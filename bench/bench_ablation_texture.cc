@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation (Section 3.3 design choice): 2.5D texture mapping vs
+ * buffer-only execution of the same SmartMem pipeline, and the
+ * device-dependence of the benefit (mobile vs desktop).
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace smartmem;
+
+int
+main()
+{
+    std::printf("%s", report::banner(
+        "Ablation: 2.5D texture mapping vs buffers").c_str());
+
+    for (auto dev : {device::adreno740(), device::maliG57()}) {
+        report::Table table({"Model", "Buffer-only(ms)",
+                             "Flat texture(ms)", "Mapped texture(ms)",
+                             "texture gain"});
+        for (const char *name : {"Swin", "ViT", "ResNext", "FST"}) {
+            auto g = models::buildModel(name, 1);
+            // Buffer-only: pretend the device has no texture units.
+            auto no_tex = dev;
+            no_tex.hasTexture = false;
+            double buf = runtime::simulate(
+                no_tex, core::compileSmartMem(g, no_tex)).latencyMs();
+            core::SmartMemOptions flat;
+            flat.enableTextureMapping = false;
+            double flat_ms = runtime::simulate(
+                dev, core::compileSmartMem(g, dev, flat)).latencyMs();
+            double mapped = runtime::simulate(
+                dev, core::compileSmartMem(g, dev)).latencyMs();
+            table.addRow({
+                name,
+                formatFixed(buf, 1),
+                formatFixed(flat_ms, 1),
+                formatFixed(mapped, 1),
+                report::formatSpeedup(buf / mapped),
+            });
+        }
+        std::printf("-- %s --\n%s\n", dev.name.c_str(),
+                    table.render().c_str());
+    }
+    std::printf("Texture memory matters most for conv-heavy models\n"
+                "(Section 2.3 cites up to 3.5x for convolutions); the\n"
+                "axis mapping of Section 3.3 adds on top of flat\n"
+                "residency.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: Swin speedups over MNN/TVM/DNNF across batch sizes 1..16;
+ * OOM cells appear when a framework's plan exceeds device memory.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace smartmem;
+
+int
+main()
+{
+    auto dev = device::adreno740();
+
+    std::printf("%s", report::banner(
+        "Figure 10: Swin speedup over baselines vs batch size").c_str());
+
+    report::Table table({"Batch", "MNN(ms)", "TVM(ms)", "DNNF(ms)",
+                         "Ours(ms)", "vs MNN", "vs TVM", "vs DNNF"});
+
+    auto mnn = baselines::makeMnnLike();
+    auto tvm = baselines::makeTvmLike();
+    auto dnnf = baselines::makeDnnFusionLike();
+
+    for (int batch : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
+        auto g = models::buildModel("Swin", batch);
+        auto ours = bench::runSmartMem(g, dev);
+        auto om = bench::runBaseline(*mnn, g, dev);
+        auto ot = bench::runBaseline(*tvm, g, dev);
+        auto od = bench::runBaseline(*dnnf, g, dev);
+        auto ratio = [&](const bench::Outcome &o) {
+            return (o.supported && o.fits)
+                ? report::formatSpeedup(o.latencyMs / ours.latencyMs)
+                : std::string("-");
+        };
+        table.addRow({
+            std::to_string(batch),
+            bench::cell(om, om.latencyMs, 0),
+            bench::cell(ot, ot.latencyMs, 0),
+            bench::cell(od, od.latencyMs, 0),
+            formatFixed(ours.latencyMs, 1),
+            ratio(om), ratio(ot), ratio(od),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper shape: speedups stay roughly flat with batch\n"
+                "size (11.6-13.2x over MNN, 4.8-5.9x over TVM,\n"
+                "4.1-4.7x over DNNF); baselines hit OOM first at\n"
+                "large batches.\n");
+    return 0;
+}

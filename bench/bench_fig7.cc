@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: memory access count and cache miss count for CSwin and
+ * ResNext under each framework, normalized by SmartMem ("Ours" = 1.0).
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace smartmem;
+
+int
+main()
+{
+    auto dev = device::adreno740();
+    auto frameworks = baselines::allMobileBaselines();
+
+    std::printf("%s", report::banner(
+        "Figure 7: memory accesses & cache misses (normalized by "
+        "Ours)").c_str());
+
+    for (const char *name : {"CSwin", "ResNext"}) {
+        auto g = models::buildModel(name, 1);
+        auto ours = bench::runSmartMem(g, dev);
+        double base_acc =
+            static_cast<double>(ours.sim.cost.memAccessElems);
+        double base_miss =
+            static_cast<double>(ours.sim.cost.cacheMissLines);
+
+        report::Table table({"Framework", "#MemAccess (norm)",
+                             "#CacheMiss (norm)"});
+        for (const auto &fw : frameworks) {
+            auto o = bench::runBaseline(*fw, g, dev);
+            if (!o.supported) {
+                table.addRow({fw->name(), "-", "-"});
+                continue;
+            }
+            table.addRow({
+                fw->name(),
+                formatFixed(static_cast<double>(
+                                o.sim.cost.memAccessElems) / base_acc, 2),
+                formatFixed(static_cast<double>(
+                                o.sim.cost.cacheMissLines) / base_miss,
+                            2),
+            });
+        }
+        table.addRow({"Ours", "1.00", "1.00"});
+        std::printf("-- %s --\n%s\n", name, table.render().c_str());
+    }
+    std::printf("Paper shape: other frameworks average ~1.8x more\n"
+                "memory accesses and ~2.0x more cache misses than\n"
+                "SmartMem; gaps larger on CSwin than ResNext.\n");
+    return 0;
+}

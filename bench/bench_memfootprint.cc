@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 4.6: memory impact of redundant layout copies and of kernel
+ * elimination -- maximum active redundant-copy bytes (paper: Swin
+ * 3.0 MB, ViT 2.3 MB) and intermediate-memory reduction vs DNNFusion
+ * (paper: 14% / 15% for Swin / ViT).
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/memory_pool.h"
+
+using namespace smartmem;
+
+int
+main()
+{
+    auto dev = device::adreno740();
+    auto dnnf = baselines::makeDnnFusionLike();
+
+    std::printf("%s", report::banner(
+        "Section 4.6: redundant copies & memory footprint").c_str());
+
+    report::Table table({"Model", "MaxActiveCopies", "Peak(Ours)",
+                         "Peak(DNNF)", "Alloc(Ours)", "Alloc(DNNF)",
+                         "Alloc reduction"});
+    for (const char *name : {"Swin", "ViT", "CSwin", "ResNext"}) {
+        auto g = models::buildModel(name, 1);
+        auto ours = core::compileSmartMem(g, dev);
+        auto base = dnnf->compile(g, dev);
+        auto m_ours = runtime::simulateMemory(ours);
+        auto m_dnnf = runtime::simulateMemory(base.plan);
+        double reduction =
+            100.0 * (1.0 - static_cast<double>(
+                               m_ours.totalAllocatedBytes) /
+                               static_cast<double>(
+                                   m_dnnf.totalAllocatedBytes));
+        table.addRow({
+            name,
+            formatBytes(static_cast<std::uint64_t>(
+                m_ours.maxActiveRedundantCopyBytes)),
+            formatBytes(static_cast<std::uint64_t>(
+                m_ours.peakIntermediateBytes)),
+            formatBytes(static_cast<std::uint64_t>(
+                m_dnnf.peakIntermediateBytes)),
+            formatBytes(static_cast<std::uint64_t>(
+                m_ours.totalAllocatedBytes)),
+            formatBytes(static_cast<std::uint64_t>(
+                m_dnnf.totalAllocatedBytes)),
+            formatFixed(reduction, 0) + "%",
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper shape: active redundant copies stay in the\n"
+                "single-MB range (Swin 3.0 MB, ViT 2.3 MB); kernel\n"
+                "elimination cuts memory consumption ~14-15%% vs\n"
+                "DNNFusion.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Section 3.2.2 microbenchmark: read-optimized vs write-optimized
+ * kernel versions for Conv, MatMul and Activation.
+ *
+ * Version (a) optimizes read performance: the producer writes the
+ * layout the consumer's reduction dimension wants, so reads are
+ * contiguous and writes may be strided.  Version (b) optimizes write
+ * performance: the producer writes contiguously and the consumer reads
+ * strided.  The paper reports version (a) winning by 1.7x / 1.4x /
+ * 1.1x -- the basis for "force the producer to generate the consumer's
+ * preferred layout".
+ *
+ * Built on google-benchmark; the modeled kernel latency is exported as
+ * a counter, and a summary ratio table prints at the end.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "cost/kernel_cost.h"
+
+using namespace smartmem;
+
+namespace {
+
+/**
+ * Modeled seconds of the consumer kernel when the stored input layout
+ * is `read_friendly` (contiguous along the reduction dim) or not.
+ * The producer-side write penalty is charged inside costKernel via the
+ * output layout, so version (a) is read-friendly input + default
+ * output, version (b) is read-hostile input + contiguous output.
+ */
+double
+kernelSeconds(const char *which, bool read_friendly,
+              const device::DeviceProfile &dev)
+{
+    ir::GraphBuilder b;
+    if (std::string(which) == "Conv") {
+        auto x = b.input("x", ir::Shape({1, 64, 56, 56}));
+        auto w = b.constant("w", ir::Shape({64, 64, 3, 3}));
+        b.markOutput(b.conv2d(x, w, 1, 1));
+    } else if (std::string(which) == "MatMul") {
+        auto x = b.input("x", ir::Shape({512, 512}));
+        auto w = b.constant("w", ir::Shape({512, 512}));
+        b.markOutput(b.matmul(x, w));
+    } else {
+        auto x = b.input("x", ir::Shape({1, 64, 56, 56}));
+        b.markOutput(b.unary(ir::OpKind::Gelu, x));
+    }
+    auto plan = core::planGraph(b.finish(), core::FusionPolicy{});
+    auto &k = plan.kernels[0];
+    const ir::Shape &in_shape =
+        plan.graph.value(k.inputs[0].source).shape;
+    int rank = in_shape.rank();
+    if (read_friendly) {
+        // Reduction dim contiguous (NC4HW4-style for conv; row-major
+        // already serves MatMul's K); output stays row-major (writes
+        // take the penalty).
+        k.inputs[0].layout =
+            rank == 4 ? ir::Layout::texture(4, 2, 3, 1)
+                      : ir::Layout::rowMajor(rank);
+        k.outLayout = ir::Layout::withOrder(
+            rank == 4 ? std::vector<int>{0, 2, 3, 1}
+                      : std::vector<int>{1, 0});
+    } else {
+        // Write-optimized: contiguous output, strided reads (the
+        // reduction dim is outermost in the stored input).
+        std::vector<int> order;
+        int red = rank == 4 ? 1 : 1;
+        order.push_back(red);
+        for (int d = 0; d < rank; ++d)
+            if (d != red)
+                order.push_back(d);
+        std::vector<int> inv(order.size());
+        // Put reduction dim outermost physically: order lists slowest
+        // first, so reversed.
+        std::reverse(order.begin() + 1, order.end());
+        k.inputs[0].layout = ir::Layout::withOrder(order);
+        k.outLayout = ir::Layout::rowMajor(
+            plan.graph.value(k.output).shape.rank());
+        (void)inv;
+    }
+    return cost::costKernel(dev, plan, k).seconds;
+}
+
+void
+microBench(benchmark::State &state, const char *which,
+           bool read_friendly)
+{
+    auto dev = device::adreno740();
+    double seconds = 0;
+    for (auto _ : state) {
+        seconds = kernelSeconds(which, read_friendly, dev);
+        benchmark::DoNotOptimize(seconds);
+    }
+    state.counters["modeled_us"] = seconds * 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark("read_opt/Conv", microBench, "Conv",
+                                 true);
+    benchmark::RegisterBenchmark("write_opt/Conv", microBench, "Conv",
+                                 false);
+    benchmark::RegisterBenchmark("read_opt/MatMul", microBench,
+                                 "MatMul", true);
+    benchmark::RegisterBenchmark("write_opt/MatMul", microBench,
+                                 "MatMul", false);
+    benchmark::RegisterBenchmark("read_opt/Activation", microBench,
+                                 "Activation", true);
+    benchmark::RegisterBenchmark("write_opt/Activation", microBench,
+                                 "Activation", false);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    auto dev = device::adreno740();
+    std::printf("\n%s", report::banner(
+        "Section 3.2.2 micro: read-optimized vs write-optimized")
+        .c_str());
+    report::Table table({"Operator", "read-opt(us)", "write-opt(us)",
+                         "speedup (a/b)"});
+    for (const char *which : {"Conv", "MatMul", "Activation"}) {
+        double a = kernelSeconds(which, true, dev);
+        double b = kernelSeconds(which, false, dev);
+        table.addRow({which, formatFixed(a * 1e6, 1),
+                      formatFixed(b * 1e6, 1),
+                      report::formatSpeedup(b / a)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: read-optimized wins by 1.7x (Conv), 1.4x\n"
+                "(MatMul), 1.1x (Activation) -- sub-optimal writes\n"
+                "beat sub-optimal reads.\n");
+    return 0;
+}

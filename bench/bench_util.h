@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.  Each bench binary
+ * regenerates one table or figure of the paper and prints the same
+ * rows/series the paper reports (absolute numbers come from the
+ * simulated device; see EXPERIMENTS.md for paper-vs-measured shape).
+ */
+#ifndef SMARTMEM_BENCH_BENCH_UTIL_H
+#define SMARTMEM_BENCH_BENCH_UTIL_H
+
+#include <optional>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "core/smartmem_compiler.h"
+#include "device/device_profile.h"
+#include "ir/macs.h"
+#include "models/models.h"
+#include "report/table.h"
+#include "runtime/simulated_executor.h"
+#include "support/strings.h"
+
+namespace smartmem::bench {
+
+/** One framework's simulated outcome for one model. */
+struct Outcome
+{
+    bool supported = false;
+    bool fits = true;
+    double latencyMs = 0;
+    double gmacs = 0;
+    int operators = 0;
+    runtime::SimResult sim;
+};
+
+/** Compile + simulate a baseline framework. */
+inline Outcome
+runBaseline(const baselines::Framework &fw, const ir::Graph &graph,
+            const device::DeviceProfile &dev)
+{
+    Outcome o;
+    auto r = fw.compile(graph, dev);
+    if (!r.supported)
+        return o;
+    o.supported = true;
+    o.sim = runtime::simulate(dev, r.plan);
+    o.fits = o.sim.fits;
+    o.latencyMs = o.sim.latencyMs();
+    o.gmacs = o.sim.gmacs();
+    o.operators = r.plan.operatorCount();
+    return o;
+}
+
+/** Compile + simulate SmartMem. */
+inline Outcome
+runSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
+            const core::SmartMemOptions &opts = core::SmartMemOptions())
+{
+    Outcome o;
+    auto plan = core::compileSmartMem(graph, dev, opts);
+    o.supported = true;
+    o.sim = runtime::simulate(dev, plan);
+    o.fits = o.sim.fits;
+    o.latencyMs = o.sim.latencyMs();
+    o.gmacs = o.sim.gmacs();
+    o.operators = plan.operatorCount();
+    return o;
+}
+
+/** "12.3" or "-" for unsupported / OOM cells. */
+inline std::string
+cell(const Outcome &o, double value, int decimals = 1)
+{
+    if (!o.supported)
+        return "-";
+    if (!o.fits)
+        return "OOM";
+    return formatFixed(value, decimals);
+}
+
+} // namespace smartmem::bench
+
+#endif // SMARTMEM_BENCH_BENCH_UTIL_H

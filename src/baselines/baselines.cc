@@ -1,0 +1,299 @@
+#include "baselines/baselines.h"
+
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "core/tuner.h"
+#include "opt/pass.h"
+#include "support/error.h"
+
+namespace smartmem::baselines {
+
+using core::FusionPolicy;
+using core::LayoutStrategy;
+using ir::OpKind;
+
+namespace {
+
+bool
+hasTransformerOps(const ir::Graph &graph)
+{
+    // A couple of MatMuls (classifier heads) are fine everywhere; the
+    // attention machinery (BatchMatMul/LayerNorm/Softmax/Gather, or
+    // MatMul-heavy token mixing) is what NCNN/TFLite GPU backends lack.
+    int matmuls = 0;
+    for (const ir::Node &n : graph.nodes()) {
+        switch (n.kind) {
+          case OpKind::MatMul:
+            ++matmuls;
+            break;
+          case OpKind::BatchMatMul:
+          case OpKind::LayerNorm:
+          case OpKind::Softmax:
+          case OpKind::Gather:
+            return true;
+          default:
+            break;
+        }
+    }
+    return matmuls > 2;
+}
+
+bool
+hasKind(const ir::Graph &graph, OpKind kind)
+{
+    return graph.countKind(kind) > 0;
+}
+
+ir::Graph
+normalize(const ir::Graph &graph)
+{
+    opt::PassManager pm;
+    pm.add(std::make_unique<opt::IdentityElim>());
+    pm.add(std::make_unique<opt::DeadCodeElim>());
+    return pm.run(graph);
+}
+
+runtime::ExecutionPlan
+pipeline(const ir::Graph &graph, const device::DeviceProfile &dev,
+         const FusionPolicy &fusion, LayoutStrategy layout, bool tune,
+         const std::string &name)
+{
+    runtime::ExecutionPlan plan =
+        core::planGraph(normalize(graph), fusion);
+    plan.compilerName = name;
+    core::assignLayouts(plan, layout, dev,
+                        /*allow_redundant_copies=*/false);
+    if (tune)
+        core::tunePlan(plan, dev);
+    return plan;
+}
+
+/** Fixed-pattern fusion shared by MNN/NCNN/TFLite. */
+FusionPolicy
+fixedPatternFusion(int max_post_ops)
+{
+    FusionPolicy p;
+    p.fuseEltwiseChains = false;
+    p.fuseEltwiseIntoIld = true;
+    p.fusePreChains = false;
+    p.maxPostOps = max_post_ops;
+    p.fuseTransformChains = false;
+    p.eliminateTransforms = false;
+    return p;
+}
+
+class MnnLike : public Framework
+{
+  public:
+    std::string name() const override { return "MNN"; }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        return pipeline(g, dev, fixedPatternFusion(2),
+                        LayoutStrategy::Nc4hw4Texture, /*tune=*/true,
+                        name());
+    }
+};
+
+class NcnnLike : public Framework
+{
+  public:
+    std::string name() const override { return "NCNN"; }
+
+    bool
+    supports(const ir::Graph &g, std::string *reason) const override
+    {
+        if (hasTransformerOps(g)) {
+            *reason = "transformer operators unsupported on GPU backend";
+            return false;
+        }
+        return true;
+    }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        return pipeline(g, dev, fixedPatternFusion(2),
+                        LayoutStrategy::PackedBuffer, /*tune=*/false,
+                        name());
+    }
+};
+
+class TfliteLike : public Framework
+{
+  public:
+    std::string name() const override { return "TFLite"; }
+
+    bool
+    supports(const ir::Graph &g, std::string *reason) const override
+    {
+        if (hasTransformerOps(g)) {
+            *reason = "transformer operators unsupported on GPU delegate";
+            return false;
+        }
+        if (hasKind(g, OpKind::Slice) || hasKind(g, OpKind::Concat)) {
+            *reason = "dynamic tensor ops unsupported on GPU delegate";
+            return false;
+        }
+        return true;
+    }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        return pipeline(g, dev, fixedPatternFusion(1),
+                        LayoutStrategy::RowMajorBuffer, /*tune=*/false,
+                        name());
+    }
+};
+
+class TvmLike : public Framework
+{
+  public:
+    std::string name() const override { return "TVM"; }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        FusionPolicy p;
+        p.fuseEltwiseChains = true;
+        p.fuseEltwiseIntoIld = true;
+        p.fusePreChains = true;
+        p.maxPostOps = 64;
+        // TVM fuses chains of injective ops (reshape/transpose) into a
+        // single kernel, but still materializes the result.
+        p.fuseTransformChains = true;
+        p.eliminateTransforms = false;
+        return pipeline(g, dev, p, LayoutStrategy::ConvertLayout,
+                        /*tune=*/true, name());
+    }
+};
+
+class DnnFusionLike : public Framework
+{
+  public:
+    std::string name() const override { return "DNNF"; }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        FusionPolicy p;
+        p.fuseEltwiseChains = true;
+        p.fuseEltwiseIntoIld = true;
+        p.fusePreChains = true;
+        p.maxPostOps = 64;
+        p.fuseTransformChains = true; // composed data-movement kernels
+        p.eliminateTransforms = false;
+        return pipeline(g, dev, p, LayoutStrategy::FusedTexture,
+                        /*tune=*/true, name());
+    }
+};
+
+class InductorLike : public Framework
+{
+  public:
+    std::string name() const override { return "TorchInductor"; }
+
+  protected:
+    runtime::ExecutionPlan
+    doCompile(const ir::Graph &g,
+              const device::DeviceProfile &dev) const override
+    {
+        FusionPolicy p;
+        p.fuseEltwiseChains = true;
+        p.fuseEltwiseIntoIld = true;
+        p.fusePreChains = true;
+        p.maxPostOps = 64;
+        p.fuseTransformChains = false;
+        p.eliminateTransforms = false;
+        return pipeline(g, dev, p, LayoutStrategy::RowMajorBuffer,
+                        /*tune=*/true, name());
+    }
+};
+
+} // namespace
+
+bool
+Framework::supports(const ir::Graph &graph, std::string *reason) const
+{
+    (void)graph;
+    (void)reason;
+    return true;
+}
+
+CompileResult
+Framework::compile(const ir::Graph &graph,
+                   const device::DeviceProfile &dev) const
+{
+    CompileResult r;
+    std::string reason;
+    if (!supports(graph, &reason)) {
+        r.supported = false;
+        r.reason = reason;
+        return r;
+    }
+    r.supported = true;
+    r.plan = doCompile(graph, dev);
+    return r;
+}
+
+std::unique_ptr<Framework>
+makeMnnLike()
+{
+    return std::make_unique<MnnLike>();
+}
+
+std::unique_ptr<Framework>
+makeNcnnLike()
+{
+    return std::make_unique<NcnnLike>();
+}
+
+std::unique_ptr<Framework>
+makeTfliteLike()
+{
+    return std::make_unique<TfliteLike>();
+}
+
+std::unique_ptr<Framework>
+makeTvmLike()
+{
+    return std::make_unique<TvmLike>();
+}
+
+std::unique_ptr<Framework>
+makeDnnFusionLike()
+{
+    return std::make_unique<DnnFusionLike>();
+}
+
+std::unique_ptr<Framework>
+makeInductorLike()
+{
+    return std::make_unique<InductorLike>();
+}
+
+std::vector<std::unique_ptr<Framework>>
+allMobileBaselines()
+{
+    std::vector<std::unique_ptr<Framework>> out;
+    out.push_back(makeMnnLike());
+    out.push_back(makeNcnnLike());
+    out.push_back(makeTfliteLike());
+    out.push_back(makeTvmLike());
+    out.push_back(makeDnnFusionLike());
+    return out;
+}
+
+} // namespace smartmem::baselines

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Baseline framework models: MNN, NCNN, TFLite, TVM, DNNFusion and
+ * TorchInductor, each expressed as a fusion policy + layout strategy
+ * over the shared planner, plus an operator-support matrix.
+ *
+ * Support matrices reflect the paper's Tables 7/8: NCNN and TFLite do
+ * not run Transformer/Hybrid models on the mobile GPU (missing operator
+ * support); every framework may still fail at runtime on small-memory
+ * devices (OOM), which the simulator reports separately.
+ */
+#ifndef SMARTMEM_BASELINES_BASELINES_H
+#define SMARTMEM_BASELINES_BASELINES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device_profile.h"
+#include "ir/graph.h"
+#include "runtime/plan.h"
+
+namespace smartmem::baselines {
+
+/** Result of asking a framework to compile a model. */
+struct CompileResult
+{
+    bool supported = false;
+    std::string reason;        ///< why unsupported (when !supported)
+    runtime::ExecutionPlan plan;
+};
+
+/** A DNN execution framework under comparison. */
+class Framework
+{
+  public:
+    virtual ~Framework() = default;
+    virtual std::string name() const = 0;
+
+    /** Whether the framework's mobile-GPU backend can run this graph. */
+    virtual bool supports(const ir::Graph &graph,
+                          std::string *reason) const;
+
+    /** Compile; plan is empty when unsupported. */
+    CompileResult compile(const ir::Graph &graph,
+                          const device::DeviceProfile &dev) const;
+
+  protected:
+    virtual runtime::ExecutionPlan
+    doCompile(const ir::Graph &graph,
+              const device::DeviceProfile &dev) const = 0;
+};
+
+/** MNN: fixed-pattern fusion, NC4HW4 texture residency, implicit
+ *  relayout around transformer/normalization operators; auto-tuned. */
+std::unique_ptr<Framework> makeMnnLike();
+
+/** NCNN: fixed-pattern fusion, packed CPU-style buffers; no
+ *  Transformer support on the GPU backend. */
+std::unique_ptr<Framework> makeNcnnLike();
+
+/** TFLite: minimal fusion, flat NHWC-style buffers; no Transformer
+ *  support on the GPU delegate. */
+std::unique_ptr<Framework> makeTfliteLike();
+
+/** TVM: rule-based fusion with the three-category operator
+ *  classification, ConvertLayout at boundaries, buffers only;
+ *  auto-tuned. */
+std::unique_ptr<Framework> makeTvmLike();
+
+/** DNNFusion: classification-driven extensive fusion incl. fused
+ *  transform chains; texture residency; no layout-transformation
+ *  elimination or layout search; auto-tuned. */
+std::unique_ptr<Framework> makeDnnFusionLike();
+
+/** TorchInductor (desktop, Table 9): extensive element-wise fusion,
+ *  pre-assigned flat layouts, buffers only. */
+std::unique_ptr<Framework> makeInductorLike();
+
+/** All five mobile baselines in the paper's column order:
+ *  MNN, NCNN, TFLite, TVM, DNNFusion. */
+std::vector<std::unique_ptr<Framework>> allMobileBaselines();
+
+} // namespace smartmem::baselines
+
+#endif // SMARTMEM_BASELINES_BASELINES_H

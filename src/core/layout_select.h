@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Layout assignment over a planned ExecutionPlan.
+ *
+ * Two families of behaviour:
+ *  - Fixed strategies (RowMajorBuffer, PackedBuffer, Nc4hw4Texture,
+ *    ConvertLayout, FusedTexture): each kernel kind demands and
+ *    produces layouts from a fixed menu; mismatches at producer->
+ *    consumer boundaries insert *implicit relayout kernels*, exactly
+ *    the behaviour Table 1 measures for existing frameworks.
+ *  - SmartSelect[BufferOnly]: SmartMem's reduction-dimension heuristic
+ *    (Section 3.2.2).  For every ILD kernel output we derive the
+ *    consumers' requested contiguous dimensions (their reduction dims
+ *    pulled back through the composed read maps), generate candidate
+ *    layouts -- including 2.5D texture mappings placing up to k=2
+ *    requested dims on the directly-indexable axes (Section 3.3) --
+ *    and score each candidate with the same probing cost formulas the
+ *    simulator uses.  Writes are weighted below reads (the paper's
+ *    "sub-optimally writing beats sub-optimally reading" insight).
+ *    When consumers demand more than k distinct layouts, redundant
+ *    copies are materialized (Section 4.6).
+ */
+#ifndef SMARTMEM_CORE_LAYOUT_SELECT_H
+#define SMARTMEM_CORE_LAYOUT_SELECT_H
+
+#include "core/policy.h"
+#include "device/device_profile.h"
+#include "runtime/plan.h"
+
+namespace smartmem::core {
+
+/** Assign layouts in place (may insert relayout kernels). */
+void assignLayouts(runtime::ExecutionPlan &plan, LayoutStrategy strategy,
+                   const device::DeviceProfile &dev,
+                   bool allow_redundant_copies = true);
+
+/**
+ * The source-tensor dimension a consumer wants contiguous: its
+ * preferred (reduction) dimension pulled back through the input's read
+ * map.  Exposed for tests.
+ */
+int requestedSourceDim(const ir::Graph &graph,
+                       const runtime::Kernel &consumer,
+                       const runtime::KernelInput &input);
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_LAYOUT_SELECT_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The planner: graph -> ExecutionPlan under a FusionPolicy.
+ *
+ * Responsibilities:
+ *   1. Decide which layout-transformation operators are eliminated
+ *      (when the policy enables LTE) following the pairwise action
+ *      table (Table 5).
+ *   2. Group the surviving operators into kernels (fusion).
+ *   3. Build each kernel's inputs, composing and strength-reducing the
+ *      IndexMaps of eliminated chains (Section 3.2.1).
+ * Layout assignment happens afterwards in layout_select.h.
+ */
+#ifndef SMARTMEM_CORE_PLANNER_H
+#define SMARTMEM_CORE_PLANNER_H
+
+#include "core/policy.h"
+#include "ir/graph.h"
+#include "runtime/plan.h"
+
+namespace smartmem::core {
+
+/**
+ * Plan the graph.  The returned plan has all layouts defaulted to
+ * row-major buffers; run a layout-assignment pass next.
+ */
+runtime::ExecutionPlan planGraph(const ir::Graph &graph,
+                                 const FusionPolicy &policy);
+
+/**
+ * The set of node ids LTE eliminates for this graph under the policy
+ * (exposed for tests and the Table-7 style reporting).
+ */
+std::vector<ir::NodeId> eliminatedNodes(const ir::Graph &graph,
+                                        const FusionPolicy &policy);
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_PLANNER_H

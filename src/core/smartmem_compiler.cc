@@ -1,0 +1,78 @@
+#include "core/smartmem_compiler.h"
+
+#include <memory>
+
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "core/tuner.h"
+#include "opt/pass.h"
+#include "support/error.h"
+
+namespace smartmem::core {
+
+namespace {
+
+/** DNNFusion-grade fusion policy; LTE layered on via the flag. */
+FusionPolicy
+smartFusion(bool lte, bool simplify_maps)
+{
+    FusionPolicy p;
+    p.fuseEltwiseChains = true;
+    p.fuseEltwiseIntoIld = true;
+    p.fusePreChains = true;
+    p.maxPostOps = 64;
+    p.fuseTransformChains = true;
+    p.eliminateTransforms = lte;
+    p.simplifyIndexMaps = simplify_maps;
+    return p;
+}
+
+} // namespace
+
+runtime::ExecutionPlan
+compileSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
+                const SmartMemOptions &options)
+{
+    opt::PassManager pm;
+    pm.add(std::make_unique<opt::IdentityElim>());
+    pm.add(std::make_unique<opt::DeadCodeElim>());
+    ir::Graph g = pm.run(graph);
+
+    runtime::ExecutionPlan plan = planGraph(
+        g, smartFusion(options.enableLte, options.enableIndexSimplify));
+    plan.compilerName = "SmartMem";
+
+    LayoutStrategy strategy;
+    if (!options.enableLayoutSelect)
+        strategy = LayoutStrategy::FusedTexture;
+    else if (options.enableTextureMapping && dev.hasTexture)
+        strategy = LayoutStrategy::SmartSelect;
+    else if (dev.hasTexture)
+        strategy = LayoutStrategy::SmartSelectFlatTexture;
+    else
+        strategy = LayoutStrategy::SmartSelectBufferOnly;
+    assignLayouts(plan, strategy, dev, options.allowRedundantCopies);
+
+    if (options.enableTuner)
+        tunePlan(plan, dev);
+    return plan;
+}
+
+runtime::ExecutionPlan
+compileStage(const ir::Graph &graph, const device::DeviceProfile &dev,
+             int stage)
+{
+    SM_REQUIRE(stage >= 0 && stage <= 3, "stage must be 0..3");
+    SmartMemOptions o;
+    o.enableLte = stage >= 1;
+    o.enableLayoutSelect = stage >= 2;
+    o.enableTextureMapping = stage >= 3;
+    o.enableTuner = true;
+    runtime::ExecutionPlan plan = compileSmartMem(graph, dev, o);
+    static const char *names[] = {
+        "DNNF", "DNNF+LTE", "DNNF+LTE+LayoutSel", "SmartMem"};
+    plan.compilerName = names[stage];
+    return plan;
+}
+
+} // namespace smartmem::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SmartMemCompiler: the end-to-end pipeline of the paper.
+ *
+ *   graph normalization (identity-elim, DCE)
+ *     -> DNNFusion-style fusion + Layout Transformation Elimination
+ *     -> reduction-dimension layout selection + 2.5D texture mapping
+ *     -> genetic auto-tuning
+ *
+ * Every stage can be disabled independently, which is how the
+ * optimization-breakdown experiments (Figures 8 and 9) are produced.
+ */
+#ifndef SMARTMEM_CORE_SMARTMEM_COMPILER_H
+#define SMARTMEM_CORE_SMARTMEM_COMPILER_H
+
+#include "core/policy.h"
+#include "device/device_profile.h"
+#include "ir/graph.h"
+#include "runtime/plan.h"
+
+namespace smartmem::core {
+
+/** Stage toggles for the SmartMem pipeline. */
+struct SmartMemOptions
+{
+    /** Layout Transformation Elimination (Section 3.2). */
+    bool enableLte = true;
+
+    /** Strength reduction on composed index maps (Section 3.2.1,
+     *  "Index Comprehension"). */
+    bool enableIndexSimplify = true;
+
+    /** Reduction-dimension layout selection (Section 3.2.2). */
+    bool enableLayoutSelect = true;
+
+    /** 2.5D texture mapping of selected layouts (Section 3.3). */
+    bool enableTextureMapping = true;
+
+    /** Genetic auto-tuner. */
+    bool enableTuner = true;
+
+    /** Redundant copies for >k layout demands (Sections 3.2.2/4.6). */
+    bool allowRedundantCopies = true;
+};
+
+/** Compile a graph with SmartMem. */
+runtime::ExecutionPlan
+compileSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
+                const SmartMemOptions &options = SmartMemOptions());
+
+/** The staged pipelines of Figure 8: 0 = DNNFusion baseline, 1 = +LTE,
+ *  2 = +Layout Selecting, 3 = +Other (texture mapping).  All stages
+ *  are auto-tuned, matching the paper's evaluation setup. */
+runtime::ExecutionPlan
+compileStage(const ir::Graph &graph, const device::DeviceProfile &dev,
+             int stage);
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_SMARTMEM_COMPILER_H

@@ -1,0 +1,114 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "cost/kernel_cost.h"
+#include "support/rng.h"
+
+namespace smartmem::core {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+using Genome = std::vector<int>;
+
+void
+applyGenome(runtime::ExecutionPlan &plan, const Genome &g,
+            const device::DeviceProfile &dev)
+{
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i)
+        plan.kernels[i].tunedEfficiency = configEfficiency(i, g[i], dev);
+}
+
+double
+fitness(runtime::ExecutionPlan &plan, const Genome &g,
+        const device::DeviceProfile &dev)
+{
+    applyGenome(plan, g, dev);
+    return cost::costPlan(dev, plan).seconds;
+}
+
+} // namespace
+
+double
+configEfficiency(std::size_t kernel_idx, int config,
+                 const device::DeviceProfile &dev)
+{
+    // Register pressure caps the achievable ceiling on small register
+    // files (e.g. FlashAttention-style configs don't fit on mobile).
+    double ceiling = dev.registersPerThread >= 64 ? 1.0 : 0.97;
+    std::uint64_t h = mix(kernel_idx + 1,
+                          static_cast<std::uint64_t>(config) + 131);
+    double frac = static_cast<double>(h % 10000) / 10000.0;
+    return 0.80 + (ceiling - 0.80) * frac;
+}
+
+double
+tunePlan(runtime::ExecutionPlan &plan, const device::DeviceProfile &dev,
+         const TunerOptions &options)
+{
+    const std::size_t n = plan.kernels.size();
+    if (n == 0)
+        return 0.0;
+    Rng rng(options.seed);
+
+    std::vector<Genome> pop(
+        static_cast<std::size_t>(options.populationSize));
+    for (Genome &g : pop) {
+        g.resize(n);
+        for (int &c : g)
+            c = static_cast<int>(rng.pickIndex(
+                static_cast<std::size_t>(options.configSpace)));
+    }
+
+    Genome best = pop[0];
+    double best_fit = fitness(plan, best, dev);
+
+    for (int gen = 0; gen < options.generations; ++gen) {
+        // Evaluate and sort by fitness (lower is better).
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (std::size_t i = 0; i < pop.size(); ++i)
+            ranked.emplace_back(fitness(plan, pop[i], dev), i);
+        std::sort(ranked.begin(), ranked.end());
+        if (ranked[0].first < best_fit) {
+            best_fit = ranked[0].first;
+            best = pop[ranked[0].second];
+        }
+        // Elitism + crossover + mutation.
+        std::vector<Genome> next;
+        std::size_t elite = std::max<std::size_t>(pop.size() / 4, 1);
+        for (std::size_t i = 0; i < elite; ++i)
+            next.push_back(pop[ranked[i].second]);
+        while (next.size() < pop.size()) {
+            const Genome &a =
+                pop[ranked[rng.pickIndex(elite)].second];
+            const Genome &b =
+                pop[ranked[rng.pickIndex(pop.size() / 2)].second];
+            Genome child(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                child[i] = rng.chance(0.5) ? a[i] : b[i];
+                if (rng.chance(options.mutationRate)) {
+                    child[i] = static_cast<int>(rng.pickIndex(
+                        static_cast<std::size_t>(options.configSpace)));
+                }
+            }
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+    }
+    applyGenome(plan, best, dev);
+    return best_fit;
+}
+
+} // namespace smartmem::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Genetic-algorithm auto-tuner for GPU execution configurations
+ * (Section 3.3 "Other optimizations", inherited from DNNFusion).
+ *
+ * Each kernel has a discrete configuration id standing for a (block
+ * dims, unrolling factor, tiling shape) triple; a configuration's
+ * effect is a deterministic relative compute efficiency in [0.80, 1.0].
+ * The GA searches the per-kernel configuration vector minimizing the
+ * plan's modeled latency.
+ */
+#ifndef SMARTMEM_CORE_TUNER_H
+#define SMARTMEM_CORE_TUNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device_profile.h"
+#include "runtime/plan.h"
+
+namespace smartmem::core {
+
+/** Tuning hyper-parameters. */
+struct TunerOptions
+{
+    int populationSize = 20;
+    int generations = 12;
+    double mutationRate = 0.15;
+    int configSpace = 16; ///< configurations per kernel
+    std::uint64_t seed = 7;
+};
+
+/** Modeled efficiency of configuration `config` for kernel `kernel_idx`
+ *  on the given device.  Deterministic. */
+double configEfficiency(std::size_t kernel_idx, int config,
+                        const device::DeviceProfile &dev);
+
+/**
+ * Run the GA and write the best configuration's efficiency into each
+ * kernel's tunedEfficiency.  Returns the best modeled plan seconds.
+ */
+double tunePlan(runtime::ExecutionPlan &plan,
+                const device::DeviceProfile &dev,
+                const TunerOptions &options = TunerOptions());
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_TUNER_H

@@ -1,0 +1,37 @@
+#include "cost/roofline.h"
+
+#include <algorithm>
+
+namespace smartmem::cost {
+
+double
+attainableGmacs(double peak_macs_per_sec, double bw_bytes_per_sec,
+                double intensity_macs_per_byte)
+{
+    double mem_bound = intensity_macs_per_byte * bw_bytes_per_sec;
+    return std::min(peak_macs_per_sec, mem_bound) / 1e9;
+}
+
+RooflinePoint
+rooflinePoint(const device::DeviceProfile &dev, const PlanCost &cost)
+{
+    RooflinePoint p;
+    if (cost.bytesMoved > 0) {
+        p.intensityMacsPerByte = static_cast<double>(cost.macs) /
+                                 static_cast<double>(cost.bytesMoved);
+    }
+    p.achievedGmacs = cost.gmacs();
+    p.globalRoofGmacs = attainableGmacs(
+        dev.peakMacsPerSec, dev.globalBwBytesPerSec,
+        p.intensityMacsPerByte);
+    p.textureRoofGmacs = attainableGmacs(
+        dev.peakMacsPerSec,
+        dev.hasTexture ? dev.textureBwBytesPerSec
+                       : dev.globalBwBytesPerSec,
+        p.intensityMacsPerByte);
+    if (p.textureRoofGmacs > 0)
+        p.fractionOfTextureRoof = p.achievedGmacs / p.textureRoofGmacs;
+    return p;
+}
+
+} // namespace smartmem::cost

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Roofline analysis helpers (paper Figure 12).
+ */
+#ifndef SMARTMEM_COST_ROOFLINE_H
+#define SMARTMEM_COST_ROOFLINE_H
+
+#include "cost/kernel_cost.h"
+#include "device/device_profile.h"
+
+namespace smartmem::cost {
+
+/** One model's point in the roofline plot. */
+struct RooflinePoint
+{
+    double intensityMacsPerByte = 0;   ///< averaged over the whole graph
+    double achievedGmacs = 0;
+    double globalRoofGmacs = 0;        ///< min(peak, I * global BW)
+    double textureRoofGmacs = 0;       ///< min(peak, I * texture BW)
+    double fractionOfTextureRoof = 0;  ///< achieved / texture roof
+};
+
+/** Compute the roofline point of an already-costed plan. */
+RooflinePoint rooflinePoint(const device::DeviceProfile &dev,
+                            const PlanCost &cost);
+
+/** Attainable GMACS at an intensity for a given bandwidth roof. */
+double attainableGmacs(double peak_macs_per_sec, double bw_bytes_per_sec,
+                       double intensity_macs_per_byte);
+
+} // namespace smartmem::cost
+
+#endif // SMARTMEM_COST_ROOFLINE_H

@@ -1,0 +1,88 @@
+#include "device/cache_sim.h"
+
+#include "support/error.h"
+
+namespace smartmem::device {
+
+namespace {
+
+bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheSim::CacheSim(std::int64_t size_bytes, std::int64_t line_bytes,
+                   int ways)
+    : sizeBytes_(size_bytes), lineBytes_(line_bytes), ways_(ways)
+{
+    SM_REQUIRE(isPowerOfTwo(line_bytes), "line size must be power of two");
+    SM_REQUIRE(ways >= 1, "associativity must be >= 1");
+    SM_REQUIRE(size_bytes % (line_bytes * ways) == 0,
+               "cache size not divisible by line*ways");
+    numSets_ = size_bytes / (line_bytes * ways);
+    lines_.resize(static_cast<std::size_t>(numSets_ * ways_));
+}
+
+bool
+CacheSim::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    std::uint64_t line_addr =
+        addr / static_cast<std::uint64_t>(lineBytes_);
+    std::uint64_t set =
+        line_addr % static_cast<std::uint64_t>(numSets_);
+    std::uint64_t tag = line_addr / static_cast<std::uint64_t>(numSets_);
+
+    Line *base = &lines_[static_cast<std::size_t>(
+        set * static_cast<std::uint64_t>(ways_))];
+    Line *victim = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = clock_;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+CacheSim::accessRange(std::uint64_t addr, std::int64_t bytes)
+{
+    std::uint64_t first = addr / static_cast<std::uint64_t>(lineBytes_);
+    std::uint64_t last = (addr + static_cast<std::uint64_t>(bytes) - 1) /
+                         static_cast<std::uint64_t>(lineBytes_);
+    for (std::uint64_t l = first; l <= last; ++l)
+        access(l * static_cast<std::uint64_t>(lineBytes_));
+}
+
+void
+CacheSim::reset()
+{
+    for (Line &l : lines_)
+        l.valid = false;
+    clock_ = accesses_ = misses_ = 0;
+}
+
+double
+CacheSim::missRate() const
+{
+    return accesses_ == 0
+        ? 0.0 : static_cast<double>(misses_) /
+                static_cast<double>(accesses_);
+}
+
+} // namespace smartmem::device

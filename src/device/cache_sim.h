@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set-associative LRU cache simulator.
+ *
+ * Used to produce the memory-access / cache-miss comparisons of
+ * Figures 7 and 9 on sampled address traces, and by unit tests that
+ * validate the analytic locality classes in the cost model.
+ */
+#ifndef SMARTMEM_DEVICE_CACHE_SIM_H
+#define SMARTMEM_DEVICE_CACHE_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smartmem::device {
+
+/** Simple set-associative cache with LRU replacement. */
+class CacheSim
+{
+  public:
+    /**
+     * @param size_bytes  Total capacity.
+     * @param line_bytes  Cache line size (power of two).
+     * @param ways        Associativity.
+     */
+    CacheSim(std::int64_t size_bytes, std::int64_t line_bytes, int ways);
+
+    /** Access one byte address; returns true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Access a [addr, addr+bytes) range; counts per-line accesses. */
+    void accessRange(std::uint64_t addr, std::int64_t bytes);
+
+    void reset();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t hits() const { return accesses_ - misses_; }
+    double missRate() const;
+
+    std::int64_t sizeBytes() const { return sizeBytes_; }
+    std::int64_t lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::int64_t sizeBytes_;
+    std::int64_t lineBytes_;
+    int ways_;
+    std::int64_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ * ways_, set-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace smartmem::device
+
+#endif // SMARTMEM_DEVICE_CACHE_SIM_H

@@ -1,0 +1,85 @@
+#include "device/device_profile.h"
+
+namespace smartmem::device {
+
+DeviceProfile
+adreno740()
+{
+    DeviceProfile p;
+    p.name = "Adreno740 (Snapdragon 8 Gen 2)";
+    p.peakMacsPerSec = 2.0e12;       // Figure 12
+    p.globalBwBytesPerSec = 55e9;    // Figure 12
+    p.textureBwBytesPerSec = 511e9;  // Figure 12
+    p.hasTexture = true;
+    p.textureCacheBytes = 128 << 10;
+    p.l2CacheBytes = 1 << 20;
+    p.cacheLineBytes = 64;
+    p.simdWidth = 4;
+    p.kernelLaunchSec = 18e-6;
+    p.memoryCapacityBytes = 16LL << 30;
+    p.registersPerThread = 64;
+    p.relayoutElemsPerSec = 0.35e9;
+    return p;
+}
+
+DeviceProfile
+adreno540()
+{
+    DeviceProfile p;
+    p.name = "Adreno540 (Snapdragon 835)";
+    p.peakMacsPerSec = 0.5e12;
+    p.globalBwBytesPerSec = 25e9;
+    p.textureBwBytesPerSec = 190e9;
+    p.hasTexture = true;
+    p.textureCacheBytes = 64 << 10;
+    p.l2CacheBytes = 512 << 10;
+    p.cacheLineBytes = 64;
+    p.simdWidth = 4;
+    p.kernelLaunchSec = 30e-6;
+    p.memoryCapacityBytes = 6LL << 30;
+    p.registersPerThread = 48;
+    p.relayoutElemsPerSec = 0.15e9;
+    return p;
+}
+
+DeviceProfile
+maliG57()
+{
+    DeviceProfile p;
+    p.name = "Mali-G57 (Dimensity 700)";
+    p.peakMacsPerSec = 0.35e12;
+    p.globalBwBytesPerSec = 14e9;
+    p.textureBwBytesPerSec = 110e9;
+    p.hasTexture = true;
+    p.textureCacheBytes = 32 << 10;
+    p.l2CacheBytes = 512 << 10;
+    p.cacheLineBytes = 64;
+    p.simdWidth = 4;
+    p.kernelLaunchSec = 35e-6;
+    p.memoryCapacityBytes = 4LL << 30;
+    p.registersPerThread = 32;
+    p.relayoutElemsPerSec = 0.10e9;
+    return p;
+}
+
+DeviceProfile
+teslaV100()
+{
+    DeviceProfile p;
+    p.name = "Tesla V100";
+    p.peakMacsPerSec = 7.0e12;       // FP32 FMA
+    p.globalBwBytesPerSec = 900e9;   // HBM2
+    p.textureBwBytesPerSec = 0;
+    p.hasTexture = false;            // desktop path uses buffers only
+    p.textureCacheBytes = 0;
+    p.l2CacheBytes = 6 << 20;
+    p.cacheLineBytes = 128;
+    p.simdWidth = 32;
+    p.kernelLaunchSec = 5e-6;
+    p.memoryCapacityBytes = 16LL << 30;
+    p.registersPerThread = 255;
+    p.relayoutElemsPerSec = 40e9;
+    return p;
+}
+
+} // namespace smartmem::device

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulated device descriptions.
+ *
+ * The paper evaluates on three mobile SoCs (Snapdragon 8 Gen 2 /
+ * Adreno 740, Snapdragon 835 / Adreno 540, Dimensity 700 / Mali-G57)
+ * and one desktop GPU (Tesla V100).  We model each as a profile of
+ * bandwidths, compute roof, cache geometry and capacity; the analytic
+ * cost model (src/cost) and the cache simulator consume these numbers.
+ * Roofline constants for Adreno 740 match Figure 12 (global 55 GB/s,
+ * texture 511 GB/s, peak 2.0 TMACs/s).
+ */
+#ifndef SMARTMEM_DEVICE_DEVICE_PROFILE_H
+#define SMARTMEM_DEVICE_DEVICE_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+namespace smartmem::device {
+
+/** Static description of one (simulated) execution platform. */
+struct DeviceProfile
+{
+    std::string name;
+
+    /** Peak multiply-accumulate throughput (MACs per second). */
+    double peakMacsPerSec = 0;
+
+    /** 1D buffer (global) memory bandwidth, bytes/s. */
+    double globalBwBytesPerSec = 0;
+
+    /** 2.5D texture path bandwidth, bytes/s (0 if no texture units). */
+    double textureBwBytesPerSec = 0;
+
+    /** Whether the device exposes 2.5D texture memory. */
+    bool hasTexture = false;
+
+    /** Dedicated texture (read) cache size in bytes. */
+    std::int64_t textureCacheBytes = 0;
+
+    /** General L2 cache size in bytes. */
+    std::int64_t l2CacheBytes = 0;
+
+    /** Cache line size in bytes. */
+    std::int64_t cacheLineBytes = 64;
+
+    /** SIMD vector width in elements (texel width is 4). */
+    int simdWidth = 4;
+
+    /** Per-kernel dispatch overhead in seconds. */
+    double kernelLaunchSec = 0;
+
+    /** Total device memory available to one model, bytes. */
+    std::int64_t memoryCapacityBytes = 0;
+
+    /** Maximum texture extent per axis, in texels. */
+    std::int64_t maxTextureExtent = 16384;
+
+    /** Registers per thread before occupancy collapses (limits e.g.
+     *  FlashAttention-style kernels on mobile; used by tuner). */
+    int registersPerThread = 64;
+
+    /**
+     * Sustained element throughput of data-relayout kernels (explicit
+     * Reshape/Transpose kernels and implicit repacking copies).  These
+     * kernels are limited by per-element index computation and
+     * uncoalesced access rather than raw bandwidth; the value is
+     * calibrated from Table 1 of the paper (MNN spends ~0.4-0.8 ms per
+     * ~300k-element transform on Adreno 740).
+     */
+    double relayoutElemsPerSec = 0;
+
+    /**
+     * Relative efficiency of convolution-family compute when inputs
+     * stream from 1D buffers instead of 2.5D texture (Section 2.3
+     * reports up to 3.5x conv latency reduction from texture memory).
+     */
+    double bufferConvPenalty = 0.45;
+};
+
+/** Snapdragon 8 Gen 2 / Adreno 740 (primary platform). */
+DeviceProfile adreno740();
+
+/** Snapdragon 835 / Adreno 540 (portability platform, 6 GB). */
+DeviceProfile adreno540();
+
+/** Dimensity 700 / Mali-G57 (portability platform, 4 GB). */
+DeviceProfile maliG57();
+
+/** Tesla V100 (desktop, Table 9; buffer memory only, FP32). */
+DeviceProfile teslaV100();
+
+} // namespace smartmem::device
+
+#endif // SMARTMEM_DEVICE_DEVICE_PROFILE_H

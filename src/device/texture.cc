@@ -1,0 +1,61 @@
+#include "device/texture.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::device {
+
+TextureExtent
+textureExtent(const ir::Shape &shape, const ir::Layout &layout)
+{
+    SM_REQUIRE(layout.space() == ir::MemSpace::Texture,
+               "textureExtent on a buffer layout");
+    layout.validate(shape.rank());
+
+    const int x_dim = layout.texDimX();
+    const int y_dim = layout.texDimY();
+    const int packed = layout.packedDim();
+
+    TextureExtent ext;
+    // Width: the X-axis dim; if it is also the packed dim, its extent is
+    // split across texels (4 per texel).
+    std::int64_t width_elems = shape.dim(x_dim);
+    if (packed == x_dim)
+        ext.widthTexels = ceilDiv(width_elems, 4);
+    else
+        ext.widthTexels = width_elems;
+
+    // Height: Y-axis dim times every remaining folded dim.
+    std::int64_t height = shape.dim(y_dim);
+    if (packed == y_dim)
+        height = ceilDiv(height, 4);
+    for (int d = 0; d < shape.rank(); ++d) {
+        if (d == x_dim || d == y_dim)
+            continue;
+        std::int64_t e = shape.dim(d);
+        if (d == packed)
+            e = ceilDiv(e, 4);
+        height *= e;
+    }
+    ext.heightTexels = height;
+
+    // A packed dim that is neither axis still collapses into the texel
+    // vector; if no dim is packed, 4 consecutive X elements share one
+    // texel only when explicitly packed, so each texel holds 1 used lane.
+    if (packed < 0) {
+        // Unpacked textures waste 3 of 4 lanes; model that as width
+        // staying in element units (1 elem per texel).
+    }
+    return ext;
+}
+
+bool
+fitsTexture(const ir::Shape &shape, const ir::Layout &layout,
+            std::int64_t max_extent_texels)
+{
+    TextureExtent ext = textureExtent(shape, layout);
+    return ext.widthTexels <= max_extent_texels &&
+           ext.heightTexels <= max_extent_texels;
+}
+
+} // namespace smartmem::device

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * 2.5D texture memory model (paper Section 2.3, Table 2).
+ *
+ * Texture memory is a width x height grid of texels; each texel is a
+ * vector of 4 elements ("0.5D").  It is addressed by (x, y) coordinates,
+ * performs hardware bounds checking, and is backed by a dedicated
+ * read-only cache.  A tensor with rank <= 3 (after layout folding) can
+ * be indexed without linearization -- the property SmartMem's layout
+ * mapping exploits (Section 3.3).
+ */
+#ifndef SMARTMEM_DEVICE_TEXTURE_H
+#define SMARTMEM_DEVICE_TEXTURE_H
+
+#include <cstdint>
+
+#include "ir/layout.h"
+#include "ir/shape.h"
+
+namespace smartmem::device {
+
+/** Geometry of a tensor mapped onto the texture grid. */
+struct TextureExtent
+{
+    std::int64_t widthTexels = 0;  ///< X extent in texels (4 elems each)
+    std::int64_t heightTexels = 0; ///< Y extent in texels
+    std::int64_t texels() const { return widthTexels * heightTexels; }
+    std::int64_t bytes(std::int64_t elem_bytes) const
+    {
+        return texels() * 4 * elem_bytes;
+    }
+};
+
+/**
+ * Compute the texture grid extent of `shape` stored with `layout`
+ * (layout.space() must be Texture).  The packed dimension occupies the
+ * texel vector; the X-axis logical dim spans the width; every other
+ * dimension is folded row-major into the height.
+ */
+TextureExtent textureExtent(const ir::Shape &shape,
+                            const ir::Layout &layout);
+
+/**
+ * True if the mapping fits device texture limits (per-axis extent).
+ */
+bool fitsTexture(const ir::Shape &shape, const ir::Layout &layout,
+                 std::int64_t max_extent_texels);
+
+/**
+ * Number of directly-indexable dimensions of 2.5D memory: tensors can
+ * use up to this many axes without index linearization (k in the
+ * paper's global layout selection, Section 3.2.2).
+ */
+constexpr int textureFreeDims = 2;
+
+} // namespace smartmem::device
+
+#endif // SMARTMEM_DEVICE_TEXTURE_H

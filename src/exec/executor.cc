@@ -1,0 +1,106 @@
+#include "exec/executor.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace smartmem::exec {
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    SM_REQUIRE(a.shape() == b.shape(), "maxAbsDiff shape mismatch");
+    float mx = 0;
+    for (std::int64_t i = 0; i < a.numElements(); ++i)
+        mx = std::max(mx, std::fabs(a.at(i) - b.at(i)));
+    return mx;
+}
+
+Tensor
+Executor::randomTensor(const ir::Shape &shape, std::uint64_t salt) const
+{
+    Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + salt + 1);
+    Tensor t(shape);
+    for (std::int64_t i = 0; i < t.numElements(); ++i)
+        t.at(i) = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    return t;
+}
+
+Tensor
+Executor::synthesizeConstant(const ir::Graph &graph, ir::ValueId id) const
+{
+    const ir::Value &v = graph.value(id);
+    const ir::Node &n = graph.node(v.producer);
+    SM_ASSERT(n.kind == ir::OpKind::Constant,
+              "synthesizeConstant on non-constant");
+    if (n.attrs.has("data")) {
+        const auto &data = n.attrs.getInts("data");
+        SM_REQUIRE(static_cast<std::int64_t>(data.size()) ==
+                   v.shape.numElements(),
+                   "constant data size mismatch");
+        Tensor t(v.shape);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            t.at(static_cast<std::int64_t>(i)) =
+                static_cast<float>(data[i]);
+        return t;
+    }
+    // Small magnitudes keep deep compositions numerically stable.
+    Rng rng(seed_ + static_cast<std::uint64_t>(id) * 7919 + 17);
+    Tensor t(v.shape);
+    for (std::int64_t i = 0; i < t.numElements(); ++i)
+        t.at(i) = static_cast<float>(rng.uniformReal(-0.25, 0.25));
+    return t;
+}
+
+std::map<ir::ValueId, Tensor>
+Executor::run(const ir::Graph &graph,
+              const std::map<ir::ValueId, Tensor> &inputs) const
+{
+    std::map<ir::ValueId, Tensor> env;
+    for (ir::NodeId nid : graph.topoOrder()) {
+        const ir::Node &node = graph.node(nid);
+        switch (node.kind) {
+          case ir::OpKind::Input: {
+            auto it = inputs.find(node.output);
+            SM_REQUIRE(it != inputs.end(),
+                       "missing model input: " + node.name);
+            SM_REQUIRE(it->second.shape() ==
+                       graph.value(node.output).shape,
+                       "input shape mismatch: " + node.name);
+            env[node.output] = it->second;
+            break;
+          }
+          case ir::OpKind::Constant:
+            env[node.output] = synthesizeConstant(graph, node.output);
+            break;
+          default: {
+            std::vector<const Tensor *> in_ptrs;
+            for (ir::ValueId in : node.inputs) {
+                auto it = env.find(in);
+                SM_ASSERT(it != env.end(), "input not yet computed");
+                in_ptrs.push_back(&it->second);
+            }
+            env[node.output] = evalNode(graph, node, in_ptrs);
+            break;
+          }
+        }
+    }
+    return env;
+}
+
+std::vector<Tensor>
+Executor::runOutputs(const ir::Graph &graph,
+                     const std::map<ir::ValueId, Tensor> &inputs) const
+{
+    auto env = run(graph, inputs);
+    std::vector<Tensor> out;
+    for (ir::ValueId id : graph.outputIds()) {
+        auto it = env.find(id);
+        SM_ASSERT(it != env.end(), "graph output was not computed");
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+} // namespace smartmem::exec

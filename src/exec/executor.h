@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional reference executor: computes real float results for a
+ * Graph.  Naive implementations, correctness first.  Constants are
+ * synthesized deterministically from the value id (or taken from a
+ * "data" attribute for integer tables such as Gather indices).
+ */
+#ifndef SMARTMEM_EXEC_EXECUTOR_H
+#define SMARTMEM_EXEC_EXECUTOR_H
+
+#include <map>
+#include <vector>
+
+#include "exec/tensor.h"
+#include "ir/graph.h"
+
+namespace smartmem::exec {
+
+/** Executes graphs with real float math. */
+class Executor
+{
+  public:
+    /** @param seed  Seed for synthesized constant contents. */
+    explicit Executor(std::uint64_t seed = 1234) : seed_(seed) {}
+
+    /**
+     * Run the whole graph on the given model inputs (keyed by input
+     * value id).  Returns every value's tensor (indexable by ValueId).
+     */
+    std::map<ir::ValueId, Tensor>
+    run(const ir::Graph &graph,
+        const std::map<ir::ValueId, Tensor> &inputs) const;
+
+    /** Run and return just the graph outputs, in declaration order. */
+    std::vector<Tensor>
+    runOutputs(const ir::Graph &graph,
+               const std::map<ir::ValueId, Tensor> &inputs) const;
+
+    /** Synthesize the deterministic constant tensor for a value. */
+    Tensor synthesizeConstant(const ir::Graph &graph,
+                              ir::ValueId id) const;
+
+    /** Deterministic random input tensor (for tests/examples). */
+    Tensor randomTensor(const ir::Shape &shape, std::uint64_t salt) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+/**
+ * Execute a single node given resolved input tensors.  Exposed so the
+ * runtime's FunctionalRunner can execute fused kernels op-by-op.
+ */
+Tensor evalNode(const ir::Graph &graph, const ir::Node &node,
+                const std::vector<const Tensor *> &inputs);
+
+} // namespace smartmem::exec
+
+#endif // SMARTMEM_EXEC_EXECUTOR_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dense float tensors for the functional reference executor.
+ *
+ * Storage is always row-major over the logical shape: the functional
+ * executor defines *semantics* only.  Physical layouts affect the cost
+ * model and simulated executor, never numerical results; tests rely on
+ * this separation to prove optimizations semantics-preserving.
+ */
+#ifndef SMARTMEM_EXEC_TENSOR_H
+#define SMARTMEM_EXEC_TENSOR_H
+
+#include <vector>
+
+#include "ir/shape.h"
+
+namespace smartmem::exec {
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    explicit Tensor(const ir::Shape &shape)
+        : shape_(shape),
+          data_(static_cast<std::size_t>(shape.numElements()), 0.0f) {}
+
+    const ir::Shape &shape() const { return shape_; }
+    std::int64_t numElements() const { return shape_.numElements(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &at(std::int64_t linear)
+    {
+        return data_[static_cast<std::size_t>(linear)];
+    }
+    float at(std::int64_t linear) const
+    {
+        return data_[static_cast<std::size_t>(linear)];
+    }
+
+    float &at(const std::vector<std::int64_t> &coord)
+    {
+        return at(ir::linearize(coord, shape_));
+    }
+    float at(const std::vector<std::int64_t> &coord) const
+    {
+        return at(ir::linearize(coord, shape_));
+    }
+
+  private:
+    ir::Shape shape_;
+    std::vector<float> data_;
+};
+
+/**
+ * Iterate all coordinates of a shape in row-major order, invoking
+ * fn(coord).  Shared loop used by the naive kernels.
+ */
+template <typename Fn>
+void
+forEachCoord(const ir::Shape &shape, Fn &&fn)
+{
+    std::vector<std::int64_t> coord(
+        static_cast<std::size_t>(shape.rank()), 0);
+    const std::int64_t total = shape.numElements();
+    for (std::int64_t i = 0; i < total; ++i) {
+        fn(coord);
+        // Increment odometer.
+        for (int d = shape.rank() - 1; d >= 0; --d) {
+            auto di = static_cast<std::size_t>(d);
+            if (++coord[di] < shape.dim(d))
+                break;
+            coord[di] = 0;
+        }
+    }
+}
+
+/** Max |a-b| over two same-shaped tensors. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace smartmem::exec
+
+#endif // SMARTMEM_EXEC_TENSOR_H

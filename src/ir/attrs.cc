@@ -1,0 +1,73 @@
+#include "ir/attrs.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::ir {
+
+Attrs &
+Attrs::set(const std::string &key, std::int64_t value)
+{
+    entries_[key] = {value};
+    return *this;
+}
+
+Attrs &
+Attrs::set(const std::string &key, std::vector<std::int64_t> values)
+{
+    entries_[key] = std::move(values);
+    return *this;
+}
+
+bool
+Attrs::has(const std::string &key) const
+{
+    return entries_.count(key) > 0;
+}
+
+std::int64_t
+Attrs::getInt(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    SM_REQUIRE(it != entries_.end(), "missing attribute: " + key);
+    SM_REQUIRE(it->second.size() == 1, "attribute not scalar: " + key);
+    return it->second[0];
+}
+
+std::int64_t
+Attrs::getInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return dflt;
+    SM_REQUIRE(it->second.size() == 1, "attribute not scalar: " + key);
+    return it->second[0];
+}
+
+const std::vector<std::int64_t> &
+Attrs::getInts(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    SM_REQUIRE(it != entries_.end(), "missing attribute: " + key);
+    return it->second;
+}
+
+std::string
+Attrs::toString() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : entries_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += key + "=";
+        if (value.size() == 1)
+            out += std::to_string(value[0]);
+        else
+            out += "[" + joinInts(value, ",") + "]";
+    }
+    return out + "}";
+}
+
+} // namespace smartmem::ir

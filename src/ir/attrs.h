@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Operator attributes: a small string->int64-vector map with typed
+ * accessors.  Keeps the Node structure uniform across ~40 operator kinds
+ * without a per-kind struct zoo.
+ */
+#ifndef SMARTMEM_IR_ATTRS_H
+#define SMARTMEM_IR_ATTRS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smartmem::ir {
+
+/** Attribute bag for one operator node. */
+class Attrs
+{
+  public:
+    Attrs &set(const std::string &key, std::int64_t value);
+    Attrs &set(const std::string &key, std::vector<std::int64_t> values);
+
+    bool has(const std::string &key) const;
+
+    /** Scalar accessor; fatal if absent or not scalar. */
+    std::int64_t getInt(const std::string &key) const;
+
+    /** Scalar accessor with default. */
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+
+    /** Vector accessor; fatal if absent. */
+    const std::vector<std::int64_t> &getInts(const std::string &key) const;
+
+    /** All entries (for printing/serialization). */
+    const std::map<std::string, std::vector<std::int64_t>> &
+    entries() const { return entries_; }
+
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::vector<std::int64_t>> entries_;
+};
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_ATTRS_H

@@ -1,0 +1,17 @@
+#include "ir/dtype.h"
+
+namespace smartmem::ir {
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F16: return "f16";
+      case DType::F32: return "f32";
+      case DType::I32: return "i32";
+      case DType::I8:  return "i8";
+    }
+    return "?";
+}
+
+} // namespace smartmem::ir

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Element data types for tensors.
+ */
+#ifndef SMARTMEM_IR_DTYPE_H
+#define SMARTMEM_IR_DTYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace smartmem::ir {
+
+/**
+ * Element type of a tensor.
+ *
+ * Mobile GPU execution in the paper uses FP16; the desktop-GPU experiment
+ * (Table 9) uses FP32.  The functional executor always computes in float
+ * regardless of the declared storage type; DType only affects storage
+ * size in the cost model.
+ */
+enum class DType { F16, F32, I32, I8 };
+
+/** Size in bytes of one element of the given type. */
+constexpr std::int64_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::F16: return 2;
+      case DType::F32: return 4;
+      case DType::I32: return 4;
+      case DType::I8:  return 1;
+    }
+    return 0;
+}
+
+/** Human-readable name ("f16"). */
+std::string dtypeName(DType t);
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_DTYPE_H

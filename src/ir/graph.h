@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The computational graph: a DAG of single-output operator nodes over
+ * typed tensor values.  This is the unit every compiler pipeline
+ * (SmartMem and the baselines) consumes and produces.
+ */
+#ifndef SMARTMEM_IR_GRAPH_H
+#define SMARTMEM_IR_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/attrs.h"
+#include "ir/dtype.h"
+#include "ir/op_kind.h"
+#include "ir/shape.h"
+
+namespace smartmem::ir {
+
+using ValueId = std::int32_t;
+using NodeId = std::int32_t;
+
+constexpr NodeId invalidNode = -1;
+
+/** A tensor value flowing along a graph edge. */
+struct Value
+{
+    ValueId id = -1;
+    std::string name;
+    Shape shape;
+    DType dtype = DType::F16;
+    NodeId producer = invalidNode;
+};
+
+/** One operator application. Every node produces exactly one value. */
+struct Node
+{
+    NodeId id = -1;
+    OpKind kind = OpKind::Identity;
+    std::string name;
+    std::vector<ValueId> inputs;
+    ValueId output = -1;
+    Attrs attrs;
+};
+
+/**
+ * Computational graph.  Construction goes through GraphBuilder, which
+ * performs shape inference; after that the graph is conceptually
+ * immutable -- optimization passes build rewritten copies.
+ */
+class Graph
+{
+  public:
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<Value> &values() const { return values_; }
+
+    const Node &node(NodeId id) const;
+    const Value &value(ValueId id) const;
+
+    /** Graph input / output value ids (model boundary). */
+    const std::vector<ValueId> &inputIds() const { return inputs_; }
+    const std::vector<ValueId> &outputIds() const { return outputs_; }
+
+    /** Node ids consuming the given value, in node-id order. */
+    std::vector<NodeId> consumers(ValueId id) const;
+
+    /** Nodes in a topological order (inputs before consumers). */
+    std::vector<NodeId> topoOrder() const;
+
+    /**
+     * Count of operator nodes, excluding Input/Constant terminals --
+     * this is the "#Operators" metric of Table 7.
+     */
+    int operatorCount() const;
+
+    /** Count of nodes of a given kind. */
+    int countKind(OpKind kind) const;
+
+    /** Count of layout-transformation nodes (Table 1 "#Layout transform"). */
+    int layoutTransformCount() const;
+
+    /** Structural + shape consistency check; panics on violations. */
+    void verify() const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+
+  private:
+    friend class GraphBuilder;
+
+    std::vector<Node> nodes_;
+    std::vector<Value> values_;
+    std::vector<ValueId> inputs_;
+    std::vector<ValueId> outputs_;
+};
+
+/**
+ * Builder with per-op typed helpers.  Every helper runs shape inference
+ * (see shape_infer.h) so ill-formed graphs fail at construction.
+ */
+class GraphBuilder
+{
+  public:
+    GraphBuilder() = default;
+
+    /** Finish building; verifies and returns the graph. */
+    Graph finish();
+
+    /** Declare a model input. */
+    ValueId input(const std::string &name, const Shape &shape,
+                  DType dtype = DType::F16);
+
+    /** Declare a constant (weights); contents are synthesized on demand
+     *  unless `attrs` carries an explicit integer "data" payload (used
+     *  for Gather index tables). */
+    ValueId constant(const std::string &name, const Shape &shape,
+                     DType dtype = DType::F16, Attrs attrs = Attrs());
+
+    /** Integer-data constant (e.g. Gather indices). */
+    ValueId constantData(const std::string &name, const Shape &shape,
+                         std::vector<std::int64_t> data,
+                         DType dtype = DType::I32);
+
+    /** Mark a value as a model output. */
+    void markOutput(ValueId id);
+
+    /** Generic node insertion (shape-inferred). */
+    ValueId addNode(OpKind kind, std::vector<ValueId> inputs, Attrs attrs,
+                    const std::string &name = "");
+
+    // ---- Convenience helpers (thin wrappers over addNode) ----
+    ValueId conv2d(ValueId x, ValueId w, int stride, int pad,
+                   int groups = 1);
+    ValueId depthwiseConv2d(ValueId x, ValueId w, int stride, int pad);
+    ValueId matmul(ValueId a, ValueId b, bool trans_b = false);
+    ValueId batchMatMul(ValueId a, ValueId b, bool trans_b = false);
+    ValueId layerNorm(ValueId x, ValueId gamma, ValueId beta);
+    ValueId instanceNorm(ValueId x);
+    ValueId batchNorm(ValueId x, ValueId scale, ValueId bias);
+    ValueId softmax(ValueId x, int axis);
+    ValueId reduce(OpKind kind, ValueId x, std::vector<std::int64_t> axes,
+                   bool keepdims);
+    ValueId maxPool2d(ValueId x, int kernel, int stride, int pad);
+    ValueId avgPool2d(ValueId x, int kernel, int stride, int pad);
+    ValueId globalAvgPool(ValueId x);
+    ValueId unary(OpKind kind, ValueId x);
+    ValueId binary(OpKind kind, ValueId a, ValueId b);
+    ValueId reshape(ValueId x, std::vector<std::int64_t> new_shape);
+    ValueId transpose(ValueId x, std::vector<std::int64_t> perm);
+    ValueId depthToSpace(ValueId x, int block);
+    ValueId spaceToDepth(ValueId x, int block);
+    ValueId gather(ValueId x, ValueId indices, int axis);
+    ValueId slice(ValueId x, std::vector<std::int64_t> axes,
+                  std::vector<std::int64_t> starts,
+                  std::vector<std::int64_t> ends);
+    ValueId concat(std::vector<ValueId> xs, int axis);
+    ValueId pad(ValueId x, std::vector<std::int64_t> pads);
+
+    const Graph &graph() const { return graph_; }
+
+  private:
+    ValueId newValue(const std::string &name, const Shape &shape,
+                     DType dtype, NodeId producer);
+
+    Graph graph_;
+    int anonCounter_ = 0;
+};
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_GRAPH_H

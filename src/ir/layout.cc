@@ -1,0 +1,177 @@
+#include "ir/layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::ir {
+
+Layout
+Layout::rowMajor(int rank)
+{
+    Layout l;
+    l.order_.resize(static_cast<std::size_t>(rank));
+    std::iota(l.order_.begin(), l.order_.end(), 0);
+    return l;
+}
+
+Layout
+Layout::packed(int rank, int packed_dim)
+{
+    Layout l = rowMajor(rank);
+    SM_REQUIRE(packed_dim >= 0 && packed_dim < rank,
+               "packed dim out of range");
+    l.packedDim_ = packed_dim;
+    return l;
+}
+
+Layout
+Layout::withOrder(std::vector<int> order, int packed_dim)
+{
+    Layout l;
+    l.order_ = std::move(order);
+    l.packedDim_ = packed_dim;
+    l.validate(static_cast<int>(l.order_.size()));
+    return l;
+}
+
+Layout
+Layout::texture(int rank, int dim_y, int dim_x, int packed_dim)
+{
+    SM_REQUIRE(dim_y >= 0 && dim_y < rank && dim_x >= 0 && dim_x < rank,
+               "texture dims out of range");
+    SM_REQUIRE(dim_y != dim_x, "texture x and y must differ");
+    Layout l;
+    l.space_ = MemSpace::Texture;
+    l.texDimX_ = dim_x;
+    l.texDimY_ = dim_y;
+    l.packedDim_ = packed_dim;
+    // Physical order: all non-axis dims (ascending), then y, then x.
+    for (int d = 0; d < rank; ++d) {
+        if (d != dim_x && d != dim_y)
+            l.order_.push_back(d);
+    }
+    l.order_.push_back(dim_y);
+    l.order_.push_back(dim_x);
+    return l;
+}
+
+int
+Layout::innermostDim() const
+{
+    SM_ASSERT(!order_.empty(), "layout has no dims");
+    return packedDim_ >= 0 ? packedDim_ : order_.back();
+}
+
+bool
+Layout::isContiguous(int d) const
+{
+    if (packedDim_ >= 0)
+        return d == packedDim_;
+    return !order_.empty() && order_.back() == d;
+}
+
+std::vector<std::int64_t>
+Layout::strides(const Shape &shape) const
+{
+    validate(shape.rank());
+    const int rank = shape.rank();
+    // Effective extent per logical dim after packing: the packed dim is
+    // ceil(extent/4) in the ordered walk, and contributes a separate
+    // innermost factor of 4.
+    std::vector<std::int64_t> extent(static_cast<std::size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+        extent[static_cast<std::size_t>(d)] = shape.dim(d);
+        if (d == packedDim_)
+            extent[static_cast<std::size_t>(d)] =
+                ceilDiv(shape.dim(d), 4);
+    }
+    std::vector<std::int64_t> strides(static_cast<std::size_t>(rank), 0);
+    std::int64_t running = packFactor();
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        int d = *it;
+        strides[static_cast<std::size_t>(d)] = running;
+        running *= extent[static_cast<std::size_t>(d)];
+    }
+    return strides;
+}
+
+std::int64_t
+Layout::storageElements(const Shape &shape) const
+{
+    validate(shape.rank());
+    std::int64_t n = 1;
+    for (int d = 0; d < shape.rank(); ++d) {
+        if (d == packedDim_)
+            n *= roundUp(shape.dim(d), 4);
+        else
+            n *= shape.dim(d);
+    }
+    return n;
+}
+
+bool
+Layout::operator==(const Layout &other) const
+{
+    return order_ == other.order_ && packedDim_ == other.packedDim_ &&
+           space_ == other.space_ && texDimX_ == other.texDimX_ &&
+           texDimY_ == other.texDimY_;
+}
+
+std::string
+Layout::toString() const
+{
+    std::string out = space_ == MemSpace::Buffer ? "buf{" : "tex{";
+    if (space_ == MemSpace::Texture)
+        out += "y:" + std::to_string(texDimY_) +
+               " x:" + std::to_string(texDimX_) + " ";
+    std::vector<std::int64_t> ord(order_.begin(), order_.end());
+    out += joinInts(ord, ",");
+    if (packedDim_ >= 0)
+        out += "|pack:" + std::to_string(packedDim_);
+    out += "}";
+    return out;
+}
+
+void
+Layout::validate(int rank) const
+{
+    SM_ASSERT(static_cast<int>(order_.size()) == rank,
+              "layout rank mismatch: layout " + toString() + " vs rank " +
+              std::to_string(rank));
+    std::vector<bool> seen(static_cast<std::size_t>(rank), false);
+    for (int d : order_) {
+        SM_ASSERT(d >= 0 && d < rank, "layout order entry out of range");
+        SM_ASSERT(!seen[static_cast<std::size_t>(d)],
+                  "layout order has duplicates");
+        seen[static_cast<std::size_t>(d)] = true;
+    }
+    if (packedDim_ >= 0)
+        SM_ASSERT(packedDim_ < rank, "packed dim out of range");
+    if (space_ == MemSpace::Texture) {
+        SM_ASSERT(texDimX_ >= 0 && texDimX_ < rank &&
+                  texDimY_ >= 0 && texDimY_ < rank,
+                  "texture axes out of range");
+    }
+}
+
+std::int64_t
+physicalOffset(const std::vector<std::int64_t> &coord, const Shape &shape,
+               const Layout &layout)
+{
+    const auto strides = layout.strides(shape);
+    std::int64_t off = 0;
+    for (int d = 0; d < shape.rank(); ++d) {
+        std::int64_t c = coord[static_cast<std::size_t>(d)];
+        if (d == layout.packedDim()) {
+            off += (c / 4) * strides[static_cast<std::size_t>(d)] + c % 4;
+        } else {
+            off += c * strides[static_cast<std::size_t>(d)];
+        }
+    }
+    return off;
+}
+
+} // namespace smartmem::ir

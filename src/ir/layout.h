@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Physical tensor layouts: dimension order, vector packing, and memory
+ * space placement (1D buffer vs 2.5D texture).
+ */
+#ifndef SMARTMEM_IR_LAYOUT_H
+#define SMARTMEM_IR_LAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/shape.h"
+
+namespace smartmem::ir {
+
+/**
+ * Where a tensor lives on the (simulated) mobile GPU.
+ *
+ * Buffer is 1D linear memory addressed by pointer arithmetic; Texture is
+ * the 2.5D memory of Section 2.3: a width x height grid of texels, each
+ * texel a vector of 4 elements, addressed by (x, y) coordinates with a
+ * dedicated read cache.
+ */
+enum class MemSpace { Buffer, Texture };
+
+/**
+ * Physical layout of a logical tensor.
+ *
+ * - `order` is a permutation of the logical dimension indices, listed from
+ *   slowest-varying to fastest-varying.  order.back() is the contiguous
+ *   (stride-1) logical dimension.
+ * - `packedDim`, if >= 0, names the logical dimension that is split by
+ *   `packFactor` (always 4 here, matching the texel width); the packed
+ *   sub-dimension becomes the "0.5D" innermost axis.  This models the
+ *   NC4HW4-style layouts used by mobile frameworks and the texel vector.
+ * - For MemSpace::Texture, `texDimY` / `texDimX` name the logical
+ *   dimensions mapped to the two texture axes.  Remaining dimensions are
+ *   folded (row-major in `order`) into the Y axis.
+ */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /** Row-major buffer layout for a tensor of the given rank. */
+    static Layout rowMajor(int rank);
+
+    /** Row-major layout with dimension `dim` packed into vec4. */
+    static Layout packed(int rank, int packed_dim);
+
+    /** Buffer layout with an arbitrary dimension order (slowest ->
+     *  fastest varying) and optional vec4 packing. */
+    static Layout withOrder(std::vector<int> order, int packed_dim = -1);
+
+    /**
+     * Texture layout: `dim_y` on the texture Y axis, `dim_x` on the X
+     * axis, `packed_dim` in the texel vector (may equal dim_x for the
+     * common "x carries the vectorized dim" arrangement; pass -1 for no
+     * packing, in which case each texel holds 4 consecutive elements of
+     * dim_x).
+     */
+    static Layout texture(int rank, int dim_y, int dim_x, int packed_dim);
+
+    int rank() const { return static_cast<int>(order_.size()); }
+    const std::vector<int> &order() const { return order_; }
+    int packedDim() const { return packedDim_; }
+    int packFactor() const { return packedDim_ >= 0 ? 4 : 1; }
+    MemSpace space() const { return space_; }
+    int texDimX() const { return texDimX_; }
+    int texDimY() const { return texDimY_; }
+
+    /** Logical dimension that is physically contiguous (stride 1). */
+    int innermostDim() const;
+
+    /** True if logical dimension `d` is contiguous in memory
+     *  (it is the innermost ordered dim or the packed dim). */
+    bool isContiguous(int d) const;
+
+    /**
+     * Physical strides per logical dimension for the given shape,
+     * in *elements*, accounting for packing padding (packed extent is
+     * rounded up to a multiple of 4).  For texture layouts this treats
+     * the texture as row-major (y, x, texel) storage, which is how the
+     * cache model addresses it.
+     */
+    std::vector<std::int64_t> strides(const Shape &shape) const;
+
+    /** Total storage in elements, including packing padding. */
+    std::int64_t storageElements(const Shape &shape) const;
+
+    bool operator==(const Layout &other) const;
+    bool operator!=(const Layout &other) const { return !(*this == other); }
+
+    /** e.g. "buf{2,0,1|pack:1}" or "tex{y:0 x:2 pack:2}". */
+    std::string toString() const;
+
+    /** Validity check against a rank; panics on malformed layouts. */
+    void validate(int rank) const;
+
+  private:
+    std::vector<int> order_;
+    int packedDim_ = -1;
+    MemSpace space_ = MemSpace::Buffer;
+    int texDimX_ = -1;
+    int texDimY_ = -1;
+};
+
+/**
+ * Physical linear offset (in elements) of the element at logical
+ * coordinate `coord` for a tensor with `shape` stored in `layout`.
+ * Used by the functional executor to materialize relayouts and by
+ * the cache model to generate addresses.
+ */
+std::int64_t physicalOffset(const std::vector<std::int64_t> &coord,
+                            const Shape &shape, const Layout &layout);
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_LAYOUT_H

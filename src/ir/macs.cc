@@ -1,0 +1,55 @@
+#include "ir/macs.h"
+
+#include "support/error.h"
+
+namespace smartmem::ir {
+
+std::int64_t
+nodeMacs(const Graph &graph, const Node &node)
+{
+    const auto out_elems = graph.value(node.output).shape.numElements();
+    switch (node.kind) {
+      case OpKind::Conv2d:
+      case OpKind::GroupConv2d:
+      case OpKind::DepthwiseConv2d: {
+        const Shape &w = graph.value(node.inputs[1]).shape; // OIHW
+        // Each output element needs I*KH*KW MACs.
+        return out_elems * w.dim(1) * w.dim(2) * w.dim(3);
+      }
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul: {
+        const Shape &a = graph.value(node.inputs[0]).shape;
+        std::int64_t k = a.dim(a.rank() - 1);
+        return out_elems * k;
+      }
+      case OpKind::LayerNorm:
+      case OpKind::InstanceNorm:
+      case OpKind::BatchNorm:
+        return graph.value(node.inputs[0]).shape.numElements();
+      case OpKind::Softmax:
+        return graph.value(node.inputs[0]).shape.numElements();
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMean:
+      case OpKind::ReduceMax:
+      case OpKind::GlobalAvgPool:
+        return graph.value(node.inputs[0]).shape.numElements();
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d: {
+        std::int64_t k = node.attrs.getInt("kernel");
+        return out_elems * k * k;
+      }
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+graphMacs(const Graph &graph)
+{
+    std::int64_t total = 0;
+    for (const Node &n : graph.nodes())
+        total += nodeMacs(graph, n);
+    return total;
+}
+
+} // namespace smartmem::ir

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Multiply-accumulate (MAC) counting per operator and per graph.
+ * MAC counts drive the GMACS speed metric of Tables 1 and 8 and the
+ * roofline analysis of Figure 12.
+ */
+#ifndef SMARTMEM_IR_MACS_H
+#define SMARTMEM_IR_MACS_H
+
+#include <cstdint>
+
+#include "ir/graph.h"
+
+namespace smartmem::ir {
+
+/**
+ * MACs performed by one node.  Element-wise and layout ops count as 0
+ * MACs (they move data); normalizations count one MAC per element
+ * (multiply by inv-std and accumulate), matching common practice.
+ */
+std::int64_t nodeMacs(const Graph &graph, const Node &node);
+
+/** Total MACs over the graph. */
+std::int64_t graphMacs(const Graph &graph);
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_MACS_H

@@ -1,0 +1,113 @@
+#include "ir/op_kind.h"
+
+namespace smartmem::ir {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input:           return "Input";
+      case OpKind::Constant:        return "Constant";
+      case OpKind::Conv2d:          return "Conv2d";
+      case OpKind::DepthwiseConv2d: return "DepthwiseConv2d";
+      case OpKind::GroupConv2d:     return "GroupConv2d";
+      case OpKind::MatMul:          return "MatMul";
+      case OpKind::BatchMatMul:     return "BatchMatMul";
+      case OpKind::LayerNorm:       return "LayerNorm";
+      case OpKind::InstanceNorm:    return "InstanceNorm";
+      case OpKind::BatchNorm:       return "BatchNorm";
+      case OpKind::Softmax:         return "Softmax";
+      case OpKind::ReduceSum:       return "ReduceSum";
+      case OpKind::ReduceMean:      return "ReduceMean";
+      case OpKind::ReduceMax:       return "ReduceMax";
+      case OpKind::MaxPool2d:       return "MaxPool2d";
+      case OpKind::AvgPool2d:       return "AvgPool2d";
+      case OpKind::GlobalAvgPool:   return "GlobalAvgPool";
+      case OpKind::Relu:            return "Relu";
+      case OpKind::Gelu:            return "Gelu";
+      case OpKind::Silu:            return "Silu";
+      case OpKind::Sigmoid:         return "Sigmoid";
+      case OpKind::Tanh:            return "Tanh";
+      case OpKind::Exp:             return "Exp";
+      case OpKind::Sqrt:            return "Sqrt";
+      case OpKind::Neg:             return "Neg";
+      case OpKind::Identity:        return "Identity";
+      case OpKind::Scale:           return "Scale";
+      case OpKind::Add:             return "Add";
+      case OpKind::Sub:             return "Sub";
+      case OpKind::Mul:             return "Mul";
+      case OpKind::Div:             return "Div";
+      case OpKind::Reshape:         return "Reshape";
+      case OpKind::Transpose:       return "Transpose";
+      case OpKind::DepthToSpace:    return "DepthToSpace";
+      case OpKind::SpaceToDepth:    return "SpaceToDepth";
+      case OpKind::Gather:          return "Gather";
+      case OpKind::Slice:           return "Slice";
+      case OpKind::Concat:          return "Concat";
+      case OpKind::Pad:             return "Pad";
+    }
+    return "?";
+}
+
+bool
+isLayoutTransform(OpKind kind)
+{
+    return kind == OpKind::Reshape || kind == OpKind::Transpose ||
+           kind == OpKind::DepthToSpace || kind == OpKind::SpaceToDepth;
+}
+
+bool
+isUnaryElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Relu:
+      case OpKind::Gelu:
+      case OpKind::Silu:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Exp:
+      case OpKind::Sqrt:
+      case OpKind::Neg:
+      case OpKind::Identity:
+      case OpKind::Scale:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBinaryElementwise(OpKind kind)
+{
+    return kind == OpKind::Add || kind == OpKind::Sub ||
+           kind == OpKind::Mul || kind == OpKind::Div;
+}
+
+bool
+isReduction(OpKind kind)
+{
+    return kind == OpKind::ReduceSum || kind == OpKind::ReduceMean ||
+           kind == OpKind::ReduceMax || kind == OpKind::GlobalAvgPool;
+}
+
+bool
+isConv(OpKind kind)
+{
+    return kind == OpKind::Conv2d || kind == OpKind::DepthwiseConv2d ||
+           kind == OpKind::GroupConv2d;
+}
+
+bool
+isMatMul(OpKind kind)
+{
+    return kind == OpKind::MatMul || kind == OpKind::BatchMatMul;
+}
+
+bool
+isNormalization(OpKind kind)
+{
+    return kind == OpKind::LayerNorm || kind == OpKind::InstanceNorm ||
+           kind == OpKind::BatchNorm;
+}
+
+} // namespace smartmem::ir

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Operator kinds supported by the IR.
+ *
+ * The set covers everything needed by the 18 evaluation models of the
+ * paper: convolutions, matrix products, normalizations, attention
+ * primitives, element-wise ops, and the layout-transformation operators
+ * that SmartMem eliminates (Reshape, Transpose, DepthToSpace,
+ * SpaceToDepth) plus the selection operators (Gather, Slice, Concat,
+ * Pad, Split-as-Slice).
+ */
+#ifndef SMARTMEM_IR_OP_KIND_H
+#define SMARTMEM_IR_OP_KIND_H
+
+#include <string>
+
+namespace smartmem::ir {
+
+enum class OpKind {
+    // Graph terminals.
+    Input,
+    Constant,
+
+    // Compute, input-layout dependent, output customizable (ILD & Var).
+    Conv2d,
+    DepthwiseConv2d,
+    GroupConv2d,
+    MatMul,
+    BatchMatMul,
+    LayerNorm,
+    InstanceNorm,
+    BatchNorm,
+    Softmax,
+    ReduceSum,
+    ReduceMean,
+    ReduceMax,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool,
+
+    // Element-wise, input-layout independent, output customizable
+    // (ILI & Var).
+    Relu,
+    Gelu,
+    Silu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Sqrt,
+    Neg,
+    Identity,
+    Scale,        ///< multiply by scalar attribute
+    Add,
+    Sub,
+    Mul,
+    Div,
+
+    // Layout transformations, input-layout dependent, fixed output
+    // (ILD & Fixed).  These are SmartMem's elimination targets.
+    Reshape,
+    Transpose,
+    DepthToSpace,
+    SpaceToDepth,
+
+    // Selection, input-layout independent, fixed output (ILI & Fixed).
+    Gather,
+    Slice,
+    Concat,
+    Pad,
+};
+
+/** Canonical operator name ("Conv2d"). */
+std::string opKindName(OpKind kind);
+
+/** True for Reshape/Transpose/DepthToSpace/SpaceToDepth. */
+bool isLayoutTransform(OpKind kind);
+
+/** True for the element-wise unary kinds (Relu..Scale). */
+bool isUnaryElementwise(OpKind kind);
+
+/** True for broadcastable binary arithmetic (Add/Sub/Mul/Div). */
+bool isBinaryElementwise(OpKind kind);
+
+/** True for reduction kinds (ReduceSum/Mean/Max, GlobalAvgPool). */
+bool isReduction(OpKind kind);
+
+/** True for convolution kinds. */
+bool isConv(OpKind kind);
+
+/** True for matrix-product kinds. */
+bool isMatMul(OpKind kind);
+
+/** True for normalization kinds. */
+bool isNormalization(OpKind kind);
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_OP_KIND_H

@@ -1,0 +1,102 @@
+#include "ir/shape.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::ir {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims)
+{
+    for (auto d : dims_)
+        SM_REQUIRE(d >= 1, "shape extents must be >= 1");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        SM_REQUIRE(d >= 1, "shape extents must be >= 1");
+}
+
+std::int64_t
+Shape::dim(int i) const
+{
+    SM_ASSERT(i >= 0 && i < rank(), "shape dim index out of range");
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t
+Shape::numElements() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<std::int64_t>
+Shape::rowMajorStrides() const
+{
+    std::vector<std::int64_t> strides(dims_.size(), 1);
+    for (int i = rank() - 2; i >= 0; --i) {
+        strides[static_cast<std::size_t>(i)] =
+            strides[static_cast<std::size_t>(i + 1)] *
+            dims_[static_cast<std::size_t>(i + 1)];
+    }
+    return strides;
+}
+
+std::string
+Shape::toString() const
+{
+    return "[" + joinInts(dims_, ", ") + "]";
+}
+
+std::int64_t
+linearize(const std::vector<std::int64_t> &coord, const Shape &shape)
+{
+    SM_ASSERT(static_cast<int>(coord.size()) == shape.rank(),
+              "coordinate rank mismatch");
+    std::int64_t off = 0;
+    for (int i = 0; i < shape.rank(); ++i) {
+        SM_ASSERT(coord[static_cast<std::size_t>(i)] >= 0 &&
+                  coord[static_cast<std::size_t>(i)] < shape.dim(i),
+                  "coordinate out of bounds");
+        off = off * shape.dim(i) + coord[static_cast<std::size_t>(i)];
+    }
+    return off;
+}
+
+std::vector<std::int64_t>
+delinearize(std::int64_t offset, const Shape &shape)
+{
+    SM_ASSERT(offset >= 0 && offset < shape.numElements(),
+              "offset out of bounds");
+    std::vector<std::int64_t> coord(static_cast<std::size_t>(shape.rank()));
+    for (int i = shape.rank() - 1; i >= 0; --i) {
+        coord[static_cast<std::size_t>(i)] = offset % shape.dim(i);
+        offset /= shape.dim(i);
+    }
+    return coord;
+}
+
+Shape
+broadcastShapes(const Shape &a, const Shape &b)
+{
+    int rank = std::max(a.rank(), b.rank());
+    std::vector<std::int64_t> out(static_cast<std::size_t>(rank));
+    for (int i = 0; i < rank; ++i) {
+        int ai = a.rank() - rank + i;
+        int bi = b.rank() - rank + i;
+        std::int64_t da = ai >= 0 ? a.dim(ai) : 1;
+        std::int64_t db = bi >= 0 ? b.dim(bi) : 1;
+        SM_REQUIRE(da == db || da == 1 || db == 1,
+                   "shapes not broadcastable: " + a.toString() + " vs " +
+                   b.toString());
+        out[static_cast<std::size_t>(i)] = std::max(da, db);
+    }
+    return Shape(out);
+}
+
+} // namespace smartmem::ir

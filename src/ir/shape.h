@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tensor shapes (logical dimension sizes, layout-free).
+ */
+#ifndef SMARTMEM_IR_SHAPE_H
+#define SMARTMEM_IR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace smartmem::ir {
+
+/**
+ * A tensor shape: ordered list of logical dimension extents.
+ *
+ * Shapes are purely logical; physical arrangement is described separately
+ * by Layout.  All extents must be >= 1 (static shapes only, matching the
+ * paper's setting where shapes are known at compile time).
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims);
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    int rank() const { return static_cast<int>(dims_.size()); }
+    std::int64_t dim(int i) const;
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** Product of all extents. 1 for rank-0. */
+    std::int64_t numElements() const;
+
+    /** Row-major strides (innermost stride 1). */
+    std::vector<std::int64_t> rowMajorStrides() const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** "[2, 256, 4]" */
+    std::string toString() const;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+/**
+ * Multi-dimensional coordinate <-> linear offset conversion under
+ * row-major order for the given shape.  Used by the functional executor
+ * and the index-map reference implementation.
+ */
+std::int64_t linearize(const std::vector<std::int64_t> &coord,
+                       const Shape &shape);
+std::vector<std::int64_t> delinearize(std::int64_t offset,
+                                      const Shape &shape);
+
+/** Broadcast two shapes per NumPy rules; fatal if incompatible. */
+Shape broadcastShapes(const Shape &a, const Shape &b);
+
+} // namespace smartmem::ir
+
+#endif // SMARTMEM_IR_SHAPE_H

@@ -1,0 +1,289 @@
+#include "ir/shape_infer.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace smartmem::ir {
+
+namespace {
+
+/** Output spatial extent of a conv/pool window. */
+std::int64_t
+windowOut(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+          std::int64_t pad)
+{
+    std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    SM_REQUIRE(out >= 1, "conv/pool window does not fit input");
+    return out;
+}
+
+Shape
+inferConv(const std::vector<Shape> &in, const Attrs &attrs, bool depthwise)
+{
+    SM_REQUIRE(in.size() >= 2, "conv expects input and weight");
+    const Shape &x = in[0]; // NCHW
+    const Shape &w = in[1]; // OIHW (I = C/groups)
+    SM_REQUIRE(x.rank() == 4 && w.rank() == 4,
+               "conv expects rank-4 input and weight");
+    std::int64_t stride = attrs.getInt("stride", 1);
+    std::int64_t pad = attrs.getInt("pad", 0);
+    std::int64_t groups = attrs.getInt("groups", depthwise ? x.dim(1) : 1);
+    SM_REQUIRE(x.dim(1) % groups == 0, "conv channels not divisible");
+    SM_REQUIRE(w.dim(1) == x.dim(1) / groups,
+               "conv weight in-channels mismatch: " + w.toString() +
+               " input " + x.toString());
+    std::int64_t oh = windowOut(x.dim(2), w.dim(2), stride, pad);
+    std::int64_t ow = windowOut(x.dim(3), w.dim(3), stride, pad);
+    return Shape({x.dim(0), w.dim(0), oh, ow});
+}
+
+Shape
+inferMatMul(const std::vector<Shape> &in, const Attrs &attrs, bool batched)
+{
+    SM_REQUIRE(in.size() >= 2, "matmul expects two inputs");
+    const Shape &a = in[0];
+    const Shape &b = in[1];
+    bool trans_b = attrs.getInt("transB", 0) != 0;
+    SM_REQUIRE(a.rank() >= 2 && b.rank() >= 2, "matmul rank too small");
+    std::int64_t m = a.dim(a.rank() - 2);
+    std::int64_t k = a.dim(a.rank() - 1);
+    std::int64_t bk = trans_b ? b.dim(b.rank() - 1) : b.dim(b.rank() - 2);
+    std::int64_t n = trans_b ? b.dim(b.rank() - 2) : b.dim(b.rank() - 1);
+    SM_REQUIRE(k == bk, "matmul K mismatch: " + a.toString() + " x " +
+               b.toString());
+    std::vector<std::int64_t> out;
+    if (batched) {
+        // Batch dims come from A; B is either matching-batch or unbatched.
+        for (int i = 0; i < a.rank() - 2; ++i)
+            out.push_back(a.dim(i));
+        if (b.rank() > 2) {
+            SM_REQUIRE(b.rank() == a.rank(),
+                       "batch matmul rank mismatch");
+            for (int i = 0; i < b.rank() - 2; ++i)
+                SM_REQUIRE(b.dim(i) == a.dim(i),
+                           "batch matmul batch-dim mismatch");
+        }
+    } else {
+        for (int i = 0; i < a.rank() - 2; ++i)
+            out.push_back(a.dim(i));
+        SM_REQUIRE(b.rank() == 2, "matmul weight must be rank 2");
+    }
+    out.push_back(m);
+    out.push_back(n);
+    return Shape(out);
+}
+
+Shape
+inferReduce(const Shape &x, const Attrs &attrs)
+{
+    const auto &axes = attrs.getInts("axes");
+    bool keepdims = attrs.getInt("keepdims", 1) != 0;
+    std::vector<bool> reduced(static_cast<std::size_t>(x.rank()), false);
+    for (auto a : axes) {
+        SM_REQUIRE(a >= 0 && a < x.rank(), "reduce axis out of range");
+        reduced[static_cast<std::size_t>(a)] = true;
+    }
+    std::vector<std::int64_t> out;
+    for (int i = 0; i < x.rank(); ++i) {
+        if (reduced[static_cast<std::size_t>(i)]) {
+            if (keepdims)
+                out.push_back(1);
+        } else {
+            out.push_back(x.dim(i));
+        }
+    }
+    if (out.empty())
+        out.push_back(1);
+    return Shape(out);
+}
+
+Shape
+inferPool(const Shape &x, const Attrs &attrs)
+{
+    SM_REQUIRE(x.rank() == 4, "pool expects rank-4 input");
+    std::int64_t kernel = attrs.getInt("kernel");
+    std::int64_t stride = attrs.getInt("stride", kernel);
+    std::int64_t pad = attrs.getInt("pad", 0);
+    return Shape({x.dim(0), x.dim(1),
+                  windowOut(x.dim(2), kernel, stride, pad),
+                  windowOut(x.dim(3), kernel, stride, pad)});
+}
+
+} // namespace
+
+Shape
+inferShape(OpKind kind, const std::vector<Shape> &in, const Attrs &attrs)
+{
+    switch (kind) {
+      case OpKind::Input:
+      case OpKind::Constant:
+        smPanic("terminals have no inferred shape");
+
+      case OpKind::Conv2d:
+      case OpKind::GroupConv2d:
+        return inferConv(in, attrs, /*depthwise=*/false);
+      case OpKind::DepthwiseConv2d:
+        return inferConv(in, attrs, /*depthwise=*/true);
+
+      case OpKind::MatMul:
+        return inferMatMul(in, attrs, /*batched=*/false);
+      case OpKind::BatchMatMul:
+        return inferMatMul(in, attrs, /*batched=*/true);
+
+      case OpKind::LayerNorm:
+      case OpKind::InstanceNorm:
+      case OpKind::BatchNorm:
+      case OpKind::Softmax:
+        SM_REQUIRE(!in.empty(), "normalization expects an input");
+        return in[0];
+
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMean:
+      case OpKind::ReduceMax:
+        return inferReduce(in[0], attrs);
+
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+        return inferPool(in[0], attrs);
+
+      case OpKind::GlobalAvgPool:
+        SM_REQUIRE(in[0].rank() == 4, "global pool expects rank-4");
+        return Shape({in[0].dim(0), in[0].dim(1), 1, 1});
+
+      case OpKind::Relu:
+      case OpKind::Gelu:
+      case OpKind::Silu:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Exp:
+      case OpKind::Sqrt:
+      case OpKind::Neg:
+      case OpKind::Identity:
+      case OpKind::Scale:
+        SM_REQUIRE(!in.empty(), "unary expects an input");
+        return in[0];
+
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+        SM_REQUIRE(in.size() == 2, "binary expects two inputs");
+        return broadcastShapes(in[0], in[1]);
+
+      case OpKind::Reshape: {
+        Shape out{attrs.getInts("shape")};
+        SM_REQUIRE(out.numElements() == in[0].numElements(),
+                   "reshape element count mismatch: " + in[0].toString() +
+                   " -> " + out.toString());
+        return out;
+      }
+
+      case OpKind::Transpose: {
+        const auto &perm = attrs.getInts("perm");
+        SM_REQUIRE(static_cast<int>(perm.size()) == in[0].rank(),
+                   "transpose perm rank mismatch");
+        std::vector<std::int64_t> out;
+        std::vector<bool> seen(perm.size(), false);
+        for (auto p : perm) {
+            SM_REQUIRE(p >= 0 && p < in[0].rank() &&
+                       !seen[static_cast<std::size_t>(p)],
+                       "transpose perm invalid");
+            seen[static_cast<std::size_t>(p)] = true;
+            out.push_back(in[0].dim(static_cast<int>(p)));
+        }
+        return Shape(out);
+      }
+
+      case OpKind::DepthToSpace: {
+        std::int64_t b = attrs.getInt("block");
+        const Shape &x = in[0];
+        SM_REQUIRE(x.rank() == 4 && x.dim(1) % (b * b) == 0,
+                   "depth_to_space channel mismatch");
+        return Shape({x.dim(0), x.dim(1) / (b * b), x.dim(2) * b,
+                      x.dim(3) * b});
+      }
+
+      case OpKind::SpaceToDepth: {
+        std::int64_t b = attrs.getInt("block");
+        const Shape &x = in[0];
+        SM_REQUIRE(x.rank() == 4 && x.dim(2) % b == 0 && x.dim(3) % b == 0,
+                   "space_to_depth spatial mismatch");
+        return Shape({x.dim(0), x.dim(1) * b * b, x.dim(2) / b,
+                      x.dim(3) / b});
+      }
+
+      case OpKind::Gather: {
+        SM_REQUIRE(in.size() == 2, "gather expects data and indices");
+        std::int64_t axis = attrs.getInt("axis");
+        const Shape &x = in[0];
+        const Shape &idx = in[1];
+        SM_REQUIRE(axis >= 0 && axis < x.rank(),
+                   "gather axis out of range");
+        std::vector<std::int64_t> out;
+        for (int i = 0; i < axis; ++i)
+            out.push_back(x.dim(i));
+        for (int i = 0; i < idx.rank(); ++i)
+            out.push_back(idx.dim(i));
+        for (int i = static_cast<int>(axis) + 1; i < x.rank(); ++i)
+            out.push_back(x.dim(i));
+        return Shape(out);
+      }
+
+      case OpKind::Slice: {
+        const auto &axes = attrs.getInts("axes");
+        const auto &starts = attrs.getInts("starts");
+        const auto &ends = attrs.getInts("ends");
+        SM_REQUIRE(axes.size() == starts.size() &&
+                   axes.size() == ends.size(), "slice attr size mismatch");
+        std::vector<std::int64_t> out = in[0].dims();
+        for (std::size_t i = 0; i < axes.size(); ++i) {
+            auto a = axes[i];
+            SM_REQUIRE(a >= 0 && a < in[0].rank(),
+                       "slice axis out of range");
+            SM_REQUIRE(starts[i] >= 0 && ends[i] <= in[0].dim(
+                           static_cast<int>(a)) && starts[i] < ends[i],
+                       "slice bounds invalid");
+            out[static_cast<std::size_t>(a)] = ends[i] - starts[i];
+        }
+        return Shape(out);
+      }
+
+      case OpKind::Concat: {
+        SM_REQUIRE(!in.empty(), "concat expects inputs");
+        std::int64_t axis = attrs.getInt("axis");
+        SM_REQUIRE(axis >= 0 && axis < in[0].rank(),
+                   "concat axis out of range");
+        std::vector<std::int64_t> out = in[0].dims();
+        for (std::size_t i = 1; i < in.size(); ++i) {
+            SM_REQUIRE(in[i].rank() == in[0].rank(),
+                       "concat rank mismatch");
+            for (int d = 0; d < in[0].rank(); ++d) {
+                if (d == axis)
+                    continue;
+                SM_REQUIRE(in[i].dim(d) == in[0].dim(d),
+                           "concat non-axis dim mismatch");
+            }
+            out[static_cast<std::size_t>(axis)] +=
+                in[i].dim(static_cast<int>(axis));
+        }
+        return Shape(out);
+      }
+
+      case OpKind::Pad: {
+        const auto &pads = attrs.getInts("pads"); // before0,after0,...
+        SM_REQUIRE(static_cast<int>(pads.size()) == 2 * in[0].rank(),
+                   "pad attr size mismatch");
+        std::vector<std::int64_t> out = in[0].dims();
+        for (int d = 0; d < in[0].rank(); ++d) {
+            out[static_cast<std::size_t>(d)] +=
+                pads[static_cast<std::size_t>(2 * d)] +
+                pads[static_cast<std::size_t>(2 * d + 1)];
+        }
+        return Shape(out);
+      }
+    }
+    smPanic("unhandled op kind in shape inference");
+}
+
+} // namespace smartmem::ir

@@ -1,0 +1,274 @@
+#include "models/blocks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace smartmem::models {
+
+using ir::Shape;
+
+ValueId
+layerNorm(GraphBuilder &b, ValueId x)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t c = s.dim(s.rank() - 1);
+    ValueId gamma = b.constant("ln_gamma", Shape({c}));
+    ValueId beta = b.constant("ln_beta", Shape({c}));
+    return b.layerNorm(x, gamma, beta);
+}
+
+ValueId
+linear(GraphBuilder &b, ValueId x, std::int64_t in, std::int64_t out)
+{
+    ValueId w = b.constant("w", Shape({in, out}));
+    ValueId bias = b.constant("bias", Shape({out}));
+    ValueId y = b.matmul(x, w);
+    return b.binary(OpKind::Add, y, bias);
+}
+
+ValueId
+mlp(GraphBuilder &b, ValueId x, std::int64_t dim, std::int64_t hidden,
+    OpKind act)
+{
+    ValueId h = linear(b, x, dim, hidden);
+    h = b.unary(act, h);
+    return linear(b, h, hidden, dim);
+}
+
+ValueId
+attention(GraphBuilder &b, ValueId x, std::int64_t batch,
+          std::int64_t tokens, std::int64_t dim, int heads, bool causal,
+          bool rel_pos_bias)
+{
+    SM_REQUIRE(dim % heads == 0, "attention dim not divisible by heads");
+    const std::int64_t hd = dim / heads;
+
+    // Fused QKV projection.
+    ValueId wqkv = b.constant("w_qkv", Shape({dim, 3 * dim}));
+    ValueId bqkv = b.constant("b_qkv", Shape({3 * dim}));
+    ValueId qkv = b.binary(OpKind::Add, b.matmul(x, wqkv), bqkv);
+
+    qkv = b.reshape(qkv, {batch, tokens, 3, heads, hd});
+    qkv = b.transpose(qkv, {2, 0, 3, 1, 4}); // [3, B, h, N, d]
+
+    auto take = [&](std::int64_t i) {
+        ValueId s = b.slice(qkv, {0}, {i}, {i + 1});
+        return b.reshape(s, {batch * heads, tokens, hd});
+    };
+    ValueId q = take(0);
+    ValueId k = take(1);
+    ValueId v = take(2);
+
+    ValueId attn = b.batchMatMul(q, k, /*trans_b=*/true);
+    ir::Attrs sa;
+    sa.set("scale_milli",
+           static_cast<std::int64_t>(1000.0 / std::max<double>(
+               1.0, std::sqrt(static_cast<double>(hd)))));
+    attn = b.addNode(OpKind::Scale, {attn}, sa);
+
+    if (rel_pos_bias) {
+        // Relative position bias: table lookup per (i, j) offset, added
+        // to the logits -- the Gather+Add pair real Swin exports carry.
+        std::vector<std::int64_t> idx_data(
+            static_cast<std::size_t>(tokens * tokens));
+        for (std::int64_t i = 0; i < tokens; ++i)
+            for (std::int64_t j = 0; j < tokens; ++j)
+                idx_data[static_cast<std::size_t>(i * tokens + j)] =
+                    (i - j + tokens - 1) % (2 * tokens - 1);
+        ValueId table =
+            b.constant("relpos_table", Shape({2 * tokens - 1}));
+        ValueId idx = b.constantData("relpos_idx",
+                                     Shape({tokens * tokens}), idx_data);
+        ValueId bias = b.gather(table, idx, 0);
+        bias = b.reshape(bias, {tokens, tokens});
+        attn = b.binary(OpKind::Add, attn, bias);
+    }
+    if (causal) {
+        ValueId mask = b.constant("causal_mask", Shape({tokens, tokens}));
+        attn = b.binary(OpKind::Add, attn, mask);
+    }
+
+    attn = b.softmax(attn, 2);
+    ValueId out = b.batchMatMul(attn, v); // [B*h, N, d]
+
+    out = b.reshape(out, {batch, heads, tokens, hd});
+    out = b.transpose(out, {0, 2, 1, 3});
+    out = b.reshape(out, {batch, tokens, dim});
+    return linear(b, out, dim, dim);
+}
+
+ValueId
+windowAttnBlock(GraphBuilder &b, ValueId x, std::int64_t batch,
+                std::int64_t h, std::int64_t w, std::int64_t dim,
+                int window, int heads, int mlp_ratio)
+{
+    SM_REQUIRE(h % window == 0 && w % window == 0,
+               "window must divide spatial extent");
+    const std::int64_t nh = h / window;
+    const std::int64_t nw = w / window;
+    const std::int64_t wt = static_cast<std::int64_t>(window) * window;
+
+    ValueId shortcut = x;
+    ValueId y = layerNorm(b, x);
+
+    // Window partition: [B, H*W, C] -> [B*nW, w*w, C].
+    y = b.reshape(y, {batch, h, w, dim});
+    y = b.reshape(y, {batch, nh, window, nw, window, dim});
+    y = b.transpose(y, {0, 1, 3, 2, 4, 5});
+    y = b.reshape(y, {batch * nh * nw, wt, dim});
+
+    y = attention(b, y, batch * nh * nw, wt, dim, heads,
+                  /*causal=*/false, /*rel_pos_bias=*/true);
+
+    // Window reverse.
+    y = b.reshape(y, {batch, nh, nw, window, window, dim});
+    y = b.transpose(y, {0, 1, 3, 2, 4, 5});
+    y = b.reshape(y, {batch, h * w, dim});
+
+    x = b.binary(OpKind::Add, shortcut, y);
+    ValueId z = layerNorm(b, x);
+    z = mlp(b, z, dim, dim * mlp_ratio);
+    return b.binary(OpKind::Add, x, z);
+}
+
+ValueId
+globalAttnBlock(GraphBuilder &b, ValueId x, std::int64_t batch,
+                std::int64_t tokens, std::int64_t dim, int heads,
+                int mlp_ratio, bool causal)
+{
+    ValueId shortcut = x;
+    ValueId y = layerNorm(b, x);
+    y = attention(b, y, batch, tokens, dim, heads, causal);
+    x = b.binary(OpKind::Add, shortcut, y);
+    ValueId z = layerNorm(b, x);
+    z = mlp(b, z, dim, dim * mlp_ratio);
+    return b.binary(OpKind::Add, x, z);
+}
+
+ValueId
+patchEmbed(GraphBuilder &b, ValueId img, std::int64_t in_ch,
+           std::int64_t embed, int patch)
+{
+    const Shape &s = b.graph().value(img).shape;
+    SM_REQUIRE(s.rank() == 4 && s.dim(1) == in_ch,
+               "patchEmbed expects NCHW with matching channels");
+    ValueId w = b.constant("patch_w",
+                           Shape({embed, in_ch, patch, patch}));
+    ValueId y = b.conv2d(img, w, patch, 0);
+    const Shape &ys = b.graph().value(y).shape;
+    std::int64_t n = ys.dim(2) * ys.dim(3);
+    y = b.reshape(y, {ys.dim(0), embed, n});
+    y = b.transpose(y, {0, 2, 1});
+    return layerNorm(b, y);
+}
+
+ValueId
+patchMerge(GraphBuilder &b, ValueId x, std::int64_t batch, std::int64_t h,
+           std::int64_t w, std::int64_t dim)
+{
+    // [B, H*W, C] -> grid -> 2x2 neighborhood concat -> linear 4C->2C.
+    ValueId y = b.reshape(x, {batch, h / 2, 2, w / 2, 2, dim});
+    ValueId t = b.transpose(y, {0, 1, 3, 2, 4, 5});
+    // [B, H/2, W/2, 2, 2, C]
+    ValueId flat = b.reshape(t, {batch, (h / 2) * (w / 2), 4 * dim});
+    flat = layerNorm(b, flat);
+    ValueId w_red = b.constant("merge_w", Shape({4 * dim, 2 * dim}));
+    return b.matmul(flat, w_red);
+}
+
+ValueId
+convBnAct(GraphBuilder &b, ValueId x, std::int64_t out_ch, int k,
+          int stride, int pad, OpKind act, int groups)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t in_ch = s.dim(1);
+    SM_REQUIRE(in_ch % groups == 0, "groups must divide channels");
+    ValueId w = b.constant(
+        "conv_w", Shape({out_ch, in_ch / groups, k, k}));
+    ValueId y = groups == in_ch && out_ch == in_ch
+        ? b.depthwiseConv2d(x, w, stride, pad)
+        : b.conv2d(x, w, stride, pad, groups);
+    ValueId scale = b.constant("bn_scale", Shape({out_ch, 1, 1}));
+    ValueId bias = b.constant("bn_bias", Shape({out_ch, 1, 1}));
+    y = b.batchNorm(y, scale, bias);
+    if (act != OpKind::Identity)
+        y = b.unary(act, y);
+    return y;
+}
+
+ValueId
+bottleneck(GraphBuilder &b, ValueId x, std::int64_t mid,
+           std::int64_t out_ch, int stride, int groups)
+{
+    const Shape &s = b.graph().value(x).shape;
+    ValueId skip = x;
+    ValueId y = convBnAct(b, x, mid, 1, 1, 0, OpKind::Relu);
+    y = convBnAct(b, y, mid, 3, stride, 1, OpKind::Relu, groups);
+    y = convBnAct(b, y, out_ch, 1, 1, 0, OpKind::Identity);
+    if (s.dim(1) != out_ch || stride != 1)
+        skip = convBnAct(b, x, out_ch, 1, stride, 0, OpKind::Identity);
+    y = b.binary(OpKind::Add, y, skip);
+    return b.unary(OpKind::Relu, y);
+}
+
+ValueId
+convnextBlock(GraphBuilder &b, ValueId x, std::int64_t dim)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t n = s.dim(0), hh = s.dim(2), ww = s.dim(3);
+    ValueId skip = x;
+    ValueId w_dw = b.constant("dw_w", Shape({dim, 1, 7, 7}));
+    ValueId y = b.depthwiseConv2d(x, w_dw, 1, 3);
+    // NCHW -> [B, HW, C] tokens (the block's signature layout shuffle).
+    y = b.reshape(y, {n, dim, hh * ww});
+    y = b.transpose(y, {0, 2, 1});
+    y = layerNorm(b, y);
+    y = linear(b, y, dim, 4 * dim);
+    y = b.unary(OpKind::Gelu, y);
+    y = linear(b, y, 4 * dim, dim);
+    ir::Attrs sa;
+    sa.set("scale_milli", 500); // layer scale gamma
+    y = b.addNode(OpKind::Scale, {y}, sa);
+    y = b.transpose(y, {0, 2, 1});
+    y = b.reshape(y, {n, dim, hh, ww});
+    return b.binary(OpKind::Add, skip, y);
+}
+
+ValueId
+mbconv(GraphBuilder &b, ValueId x, std::int64_t out_ch, int expand,
+       int stride)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t in_ch = s.dim(1);
+    std::int64_t mid = in_ch * expand;
+    ValueId y = convBnAct(b, x, mid, 1, 1, 0, OpKind::Silu);
+    y = convBnAct(b, y, mid, 3, stride, 1, OpKind::Silu,
+                  static_cast<int>(mid));
+    y = convBnAct(b, y, out_ch, 1, 1, 0, OpKind::Identity);
+    if (stride == 1 && in_ch == out_ch)
+        y = b.binary(OpKind::Add, y, x);
+    return y;
+}
+
+ValueId
+classifierHead(GraphBuilder &b, ValueId tokens, std::int64_t dim,
+               std::int64_t classes)
+{
+    ValueId y = layerNorm(b, tokens);
+    y = b.reduce(OpKind::ReduceMean, y, {1}, /*keepdims=*/false);
+    return linear(b, y, dim, classes);
+}
+
+ValueId
+convClassifierHead(GraphBuilder &b, ValueId x, std::int64_t dim,
+                   std::int64_t classes)
+{
+    ValueId y = b.globalAvgPool(x);
+    const Shape &s = b.graph().value(y).shape;
+    y = b.reshape(y, {s.dim(0), dim});
+    return linear(b, y, dim, classes);
+}
+
+} // namespace smartmem::models

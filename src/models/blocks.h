@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reusable network block builders for the model zoo.
+ *
+ * The blocks mirror how the evaluated architectures look after export
+ * to a mobile inference graph: attention is decomposed into MatMul /
+ * Reshape / Transpose / Slice / Softmax primitives with the explicit
+ * window-partition shuffles that motivate the paper (Table 1), conv
+ * stages carry their normalization/activation epilogues, and biases
+ * are explicit Adds.
+ */
+#ifndef SMARTMEM_MODELS_BLOCKS_H
+#define SMARTMEM_MODELS_BLOCKS_H
+
+#include <cstdint>
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::ValueId;
+
+/** LayerNorm with learned gamma/beta over the last dimension. */
+ValueId layerNorm(GraphBuilder &b, ValueId x);
+
+/** y = matmul(x, W[in,out]) + bias. */
+ValueId linear(GraphBuilder &b, ValueId x, std::int64_t in,
+               std::int64_t out);
+
+/** Transformer MLP: linear -> act -> linear (+biases). */
+ValueId mlp(GraphBuilder &b, ValueId x, std::int64_t dim,
+            std::int64_t hidden, OpKind act = OpKind::Gelu);
+
+/**
+ * Multi-head self attention over tokens x:[B, N, C]; returns [B, N, C].
+ * Emits the full exported-op sequence: fused QKV projection, reshape to
+ * [B,N,3,h,d], transpose to [3,B,h,N,d], per-tensor Slice+Reshape,
+ * scaled QK^T BatchMatMul, optional additive mask (causal or relative
+ * position), Softmax, AV BatchMatMul, inverse transpose/reshape and the
+ * output projection.
+ */
+ValueId attention(GraphBuilder &b, ValueId x, std::int64_t batch,
+                  std::int64_t tokens, std::int64_t dim, int heads,
+                  bool causal = false, bool rel_pos_bias = false);
+
+/**
+ * Swin-style window attention block on x:[B, H*W, C]: LN, window
+ * partition (reshape/transpose/reshape), attention within windows,
+ * window reverse, residual, LN + MLP + residual.
+ */
+ValueId windowAttnBlock(GraphBuilder &b, ValueId x, std::int64_t batch,
+                        std::int64_t h, std::int64_t w, std::int64_t dim,
+                        int window, int heads, int mlp_ratio = 4);
+
+/** Global-attention transformer block (ViT/BERT style). */
+ValueId globalAttnBlock(GraphBuilder &b, ValueId x, std::int64_t batch,
+                        std::int64_t tokens, std::int64_t dim, int heads,
+                        int mlp_ratio = 4, bool causal = false);
+
+/**
+ * Patch embedding: conv(k=patch, s=patch) + bias, flatten to tokens
+ * [B, (H/p)*(W/p), C] via Reshape+Transpose, then LayerNorm.
+ */
+ValueId patchEmbed(GraphBuilder &b, ValueId img, std::int64_t in_ch,
+                   std::int64_t embed, int patch);
+
+/**
+ * Swin patch merging: [B, H*W, C] -> [B, (H/2)*(W/2), 2C] through
+ * reshape, strided slices, concat and a reduction linear.
+ */
+ValueId patchMerge(GraphBuilder &b, ValueId x, std::int64_t batch,
+                   std::int64_t h, std::int64_t w, std::int64_t dim);
+
+/** Conv + BatchNorm + activation (Identity kind = no act). */
+ValueId convBnAct(GraphBuilder &b, ValueId x, std::int64_t out_ch, int k,
+                  int stride, int pad, OpKind act = OpKind::Relu,
+                  int groups = 1);
+
+/** ResNet/ResNeXt bottleneck: 1x1 -> 3x3 (grouped) -> 1x1 + skip. */
+ValueId bottleneck(GraphBuilder &b, ValueId x, std::int64_t mid,
+                   std::int64_t out_ch, int stride, int groups);
+
+/**
+ * ConvNeXt block: 7x7 depthwise conv, permute NCHW->tokens, LayerNorm,
+ * pointwise MLP as MatMuls, gamma Scale, permute back, residual --
+ * the layout-transform-heavy ConvNet the paper calls out.
+ */
+ValueId convnextBlock(GraphBuilder &b, ValueId x, std::int64_t dim);
+
+/** MBConv (EfficientViT-style): pw-expand, dw 3x3, pw-project + skip. */
+ValueId mbconv(GraphBuilder &b, ValueId x, std::int64_t out_ch,
+               int expand, int stride);
+
+/** Classification head: GAP-style token mean + linear logits. */
+ValueId classifierHead(GraphBuilder &b, ValueId tokens, std::int64_t dim,
+                       std::int64_t classes = 1000);
+
+/** NCHW classification head: GlobalAvgPool + flatten + linear. */
+ValueId convClassifierHead(GraphBuilder &b, ValueId x, std::int64_t dim,
+                           std::int64_t classes = 1000);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_BLOCKS_H

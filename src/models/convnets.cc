@@ -1,0 +1,245 @@
+/**
+ * @file
+ * ConvNet model builders (plus the Table 1 extras).
+ */
+#include "models/convnets.h"
+
+#include "models/blocks.h"
+#include "support/error.h"
+
+namespace smartmem::models {
+
+using ir::Graph;
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::Shape;
+
+Graph
+buildResNet50(int batch)
+{
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, 224, 224}));
+    ValueId t = convBnAct(b, x, 64, 7, 2, 3, OpKind::Relu);
+    t = b.maxPool2d(t, 3, 2, 1);
+    std::vector<int> depths = {3, 4, 6, 3};
+    std::int64_t mid = 64;
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            int stride = (stage > 0 && d == 0) ? 2 : 1;
+            t = bottleneck(b, t, mid, mid * 4, stride, 1);
+        }
+        mid *= 2;
+    }
+    b.markOutput(convClassifierHead(b, t, 2048));
+    return b.finish();
+}
+
+Graph
+buildResNext(int batch)
+{
+    // ResNeXt50 32x4d.
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, 224, 224}));
+    ValueId t = convBnAct(b, x, 64, 7, 2, 3, OpKind::Relu);
+    t = b.maxPool2d(t, 3, 2, 1);
+    std::vector<int> depths = {3, 4, 6, 3};
+    std::int64_t mid = 128; // 32 groups x 4d
+    std::int64_t out = 256;
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            int stride = (stage > 0 && d == 0) ? 2 : 1;
+            t = bottleneck(b, t, mid, out, stride, 32);
+        }
+        mid *= 2;
+        out *= 2;
+    }
+    b.markOutput(convClassifierHead(b, t, 2048));
+    return b.finish();
+}
+
+Graph
+buildResNextTiny(int batch)
+{
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, 32, 32}));
+    ValueId t = convBnAct(b, x, 16, 3, 2, 1, OpKind::Relu);
+    t = bottleneck(b, t, 16, 32, 1, 4);
+    t = bottleneck(b, t, 32, 64, 2, 4);
+    b.markOutput(convClassifierHead(b, t, 64, 10));
+    return b.finish();
+}
+
+Graph
+buildRegNet(int batch)
+{
+    // RegNetX-3.2GF-like: group-conv bottlenecks, group width 48.
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, 224, 224}));
+    ValueId t = convBnAct(b, x, 32, 3, 2, 1, OpKind::Relu);
+    std::vector<int> depths = {2, 6, 15, 2};
+    std::vector<std::int64_t> widths = {96, 192, 432, 1008};
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        std::int64_t wd = widths[stage];
+        int groups = static_cast<int>(wd / 48);
+        for (int d = 0; d < depths[stage]; ++d) {
+            int stride = d == 0 ? 2 : 1;
+            t = bottleneck(b, t, wd, wd, stride, groups);
+        }
+    }
+    b.markOutput(convClassifierHead(b, t, 1008));
+    return b.finish();
+}
+
+Graph
+buildConvNext(int batch)
+{
+    // ConvNeXt-T: depths (3,3,9,3), dims (96,192,384,768).
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, 224, 224}));
+    std::vector<int> depths = {3, 3, 9, 3};
+    std::vector<std::int64_t> dims = {96, 192, 384, 768};
+
+    // Stem: 4x4 stride-4 conv + channels-last LayerNorm round trip.
+    ValueId w_stem = b.constant("stem_w", Shape({dims[0], 3, 4, 4}));
+    ValueId t = b.conv2d(x, w_stem, 4, 0);
+    t = b.reshape(t, {batch, dims[0], 56 * 56});
+    t = b.transpose(t, {0, 2, 1});
+    t = layerNorm(b, t);
+    t = b.transpose(t, {0, 2, 1});
+    t = b.reshape(t, {batch, dims[0], 56, 56});
+
+    std::int64_t h = 56;
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d)
+            t = convnextBlock(b, t, dims[stage]);
+        if (stage + 1 < depths.size()) {
+            // Downsample: LN (tokens) + 2x2 stride-2 conv.
+            t = b.reshape(t, {batch, dims[stage], h * h});
+            t = b.transpose(t, {0, 2, 1});
+            t = layerNorm(b, t);
+            t = b.transpose(t, {0, 2, 1});
+            t = b.reshape(t, {batch, dims[stage], h, h});
+            ValueId w_down = b.constant(
+                "down_w", Shape({dims[stage + 1], dims[stage], 2, 2}));
+            t = b.conv2d(t, w_down, 2, 0);
+            h /= 2;
+        }
+    }
+    b.markOutput(convClassifierHead(b, t, dims.back()));
+    return b.finish();
+}
+
+Graph
+buildYoloV8(int batch)
+{
+    // YOLOv8n-style detector at 480: CSP backbone with C2f blocks
+    // (channel Slices + Concats), SPPF, and a decoupled detect head
+    // with Reshape/Transpose/Concat box assembly.
+    GraphBuilder b;
+    const std::int64_t img = 512;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+
+    auto c2f = [&](ValueId v, std::int64_t ch, int n_bottle) {
+        v = convBnAct(b, v, ch, 1, 1, 0, OpKind::Silu);
+        std::int64_t half = ch / 2;
+        ValueId a = b.slice(v, {1}, {0}, {half});
+        ValueId c = b.slice(v, {1}, {half}, {ch});
+        std::vector<ValueId> parts = {a, c};
+        ValueId cur = c;
+        for (int i = 0; i < n_bottle; ++i) {
+            ValueId y = convBnAct(b, cur, half, 3, 1, 1, OpKind::Silu);
+            y = convBnAct(b, y, half, 3, 1, 1, OpKind::Silu);
+            cur = b.binary(OpKind::Add, cur, y);
+            parts.push_back(cur);
+        }
+        ValueId cat = b.concat(parts, 1);
+        return convBnAct(b, cat, ch, 1, 1, 0, OpKind::Silu);
+    };
+
+    ValueId t = convBnAct(b, x, 24, 3, 2, 1, OpKind::Silu);   // P1
+    t = convBnAct(b, t, 48, 3, 2, 1, OpKind::Silu);           // P2
+    t = c2f(t, 48, 1);
+    t = convBnAct(b, t, 96, 3, 2, 1, OpKind::Silu);           // P3
+    ValueId p3 = c2f(t, 96, 2);
+    t = convBnAct(b, p3, 192, 3, 2, 1, OpKind::Silu);         // P4
+    ValueId p4 = c2f(t, 192, 2);
+    t = convBnAct(b, p4, 384, 3, 2, 1, OpKind::Silu);         // P5
+    t = c2f(t, 384, 1);
+
+    // SPPF.
+    ValueId s = convBnAct(b, t, 192, 1, 1, 0, OpKind::Silu);
+    ValueId m1 = b.maxPool2d(s, 5, 1, 2);
+    ValueId m2 = b.maxPool2d(m1, 5, 1, 2);
+    ValueId m3 = b.maxPool2d(m2, 5, 1, 2);
+    ValueId p5 = convBnAct(b, b.concat({s, m1, m2, m3}, 1), 384, 1, 1, 0,
+                           OpKind::Silu);
+
+    // Head (detect on P3/P4/P5; upsampling modeled as DepthToSpace
+    // after channel expansion, as mobile exporters lower it).
+    auto upsample = [&](ValueId v, std::int64_t ch) {
+        v = convBnAct(b, v, ch * 4, 1, 1, 0, OpKind::Silu);
+        return b.depthToSpace(v, 2);
+    };
+    ValueId u4 = b.concat({upsample(p5, 192), p4}, 1);
+    u4 = c2f(u4, 192, 1);
+    ValueId u3 = b.concat({upsample(u4, 96), p3}, 1);
+    u3 = c2f(u3, 96, 1);
+
+    // Per-level detect: box conv + cls conv, flatten, concat.
+    std::vector<ValueId> outs;
+    std::vector<ValueId> levels = {u3, u4, p5};
+    for (ValueId lvl : levels) {
+        const Shape &ls = b.graph().value(lvl).shape;
+        ValueId box = convBnAct(b, lvl, 96, 3, 1, 1, OpKind::Silu);
+        box = convBnAct(b, box, 144, 1, 1, 0, OpKind::Identity);
+        ValueId flat = b.reshape(
+            box, {batch, 144, ls.dim(2) * ls.dim(3)});
+        outs.push_back(b.transpose(flat, {0, 2, 1}));
+    }
+    b.markOutput(b.concat(outs, 1));
+    return b.finish();
+}
+
+Graph
+buildFst(int batch)
+{
+    // Fast-style-transfer (Johnson et al.): conv down, 5 residual
+    // blocks with InstanceNorm, DepthToSpace upsampling; 1024x1024
+    // input (the high-resolution setting of Table 1).
+    GraphBuilder b;
+    const std::int64_t img = 1024;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+
+    auto conv_in = [&](ValueId v, std::int64_t ch, int k, int stride,
+                       int pad) {
+        const Shape &s = b.graph().value(v).shape;
+        ValueId w = b.constant("w", Shape({ch, s.dim(1), k, k}));
+        ValueId y = b.conv2d(v, w, stride, pad);
+        y = b.instanceNorm(y);
+        return b.unary(OpKind::Relu, y);
+    };
+
+    ValueId t = conv_in(x, 32, 9, 1, 4);
+    t = conv_in(t, 64, 3, 2, 1);
+    t = conv_in(t, 128, 3, 2, 1);
+    for (int i = 0; i < 5; ++i) {
+        ValueId skip = t;
+        ValueId y = conv_in(t, 128, 3, 1, 1);
+        const Shape &s = b.graph().value(y).shape;
+        ValueId w = b.constant("w", Shape({128, s.dim(1), 3, 3}));
+        y = b.conv2d(y, w, 1, 1);
+        y = b.instanceNorm(y);
+        t = b.binary(OpKind::Add, skip, y);
+    }
+    // Upsample x2 twice via conv + DepthToSpace.
+    t = conv_in(t, 256, 3, 1, 1);
+    t = b.depthToSpace(t, 2);
+    t = conv_in(t, 128, 3, 1, 1);
+    t = b.depthToSpace(t, 2);
+    ValueId w_out = b.constant("w_out", Shape({3, 32, 9, 9}));
+    t = b.conv2d(t, w_out, 1, 4);
+    b.markOutput(b.unary(OpKind::Tanh, t));
+    return b.finish();
+}
+
+} // namespace smartmem::models

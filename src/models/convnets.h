@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Builders for the ConvNet evaluation models and Table 1 extras.
+ */
+#ifndef SMARTMEM_MODELS_CONVNETS_H
+#define SMARTMEM_MODELS_CONVNETS_H
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+ir::Graph buildResNet50(int batch);
+ir::Graph buildResNext(int batch);
+ir::Graph buildResNextTiny(int batch);
+ir::Graph buildRegNet(int batch);
+ir::Graph buildConvNext(int batch);
+ir::Graph buildYoloV8(int batch);
+ir::Graph buildFst(int batch);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_CONVNETS_H

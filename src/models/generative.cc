@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Builders for the generative / sequence models: Stable Diffusion's
+ * three pipelines, Pythia-1B, and Conformer.
+ */
+#include "models/generative.h"
+
+#include "models/blocks.h"
+#include "support/error.h"
+
+namespace smartmem::models {
+
+using ir::Graph;
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::Shape;
+
+namespace {
+
+/** Token embedding: Gather rows of a [vocab, dim] table. */
+ValueId
+tokenEmbedding(GraphBuilder &b, std::int64_t vocab, std::int64_t dim,
+               std::int64_t seq, std::uint64_t salt)
+{
+    ValueId table = b.constant("tok_table", Shape({vocab, dim}));
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(seq));
+    for (std::int64_t i = 0; i < seq; ++i)
+        ids[static_cast<std::size_t>(i)] =
+            static_cast<std::int64_t>((salt + 31 *
+                static_cast<std::uint64_t>(i)) %
+                static_cast<std::uint64_t>(vocab));
+    ValueId idx = b.constantData("tok_ids", Shape({seq}), ids);
+    return b.gather(table, idx, 0); // [seq, dim]
+}
+
+/** GroupNorm approximated with InstanceNorm + affine (our IR models
+ *  normalization granularity, which is what layout cost depends on). */
+ValueId
+groupNorm(GraphBuilder &b, ValueId x, std::int64_t ch)
+{
+    ValueId y = b.instanceNorm(x);
+    ValueId scale = b.constant("gn_scale", Shape({ch, 1, 1}));
+    ValueId bias = b.constant("gn_bias", Shape({ch, 1, 1}));
+    y = b.binary(OpKind::Mul, y, scale);
+    return b.binary(OpKind::Add, y, bias);
+}
+
+/** SD ResNet block: GN-SiLU-Conv twice + skip. */
+ValueId
+sdResBlock(GraphBuilder &b, ValueId x, std::int64_t out_ch)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t in_ch = s.dim(1);
+    ValueId skip = x;
+    ValueId y = groupNorm(b, x, in_ch);
+    y = b.unary(OpKind::Silu, y);
+    ValueId w1 = b.constant("w1", Shape({out_ch, in_ch, 3, 3}));
+    y = b.conv2d(y, w1, 1, 1);
+    y = groupNorm(b, y, out_ch);
+    y = b.unary(OpKind::Silu, y);
+    ValueId w2 = b.constant("w2", Shape({out_ch, out_ch, 3, 3}));
+    y = b.conv2d(y, w2, 1, 1);
+    if (in_ch != out_ch) {
+        ValueId ws = b.constant("ws", Shape({out_ch, in_ch, 1, 1}));
+        skip = b.conv2d(x, ws, 1, 0);
+    }
+    return b.binary(OpKind::Add, skip, y);
+}
+
+/** SD transformer block on a spatial feature map: self-attn +
+ *  cross-attn to the text context + feed-forward, with the NCHW <->
+ *  token shuttles of the exported UNet. */
+ValueId
+sdSpatialTransformer(GraphBuilder &b, ValueId x, std::int64_t ch,
+                     int heads, ValueId context, std::int64_t ctx_len,
+                     std::int64_t ctx_dim, int batch)
+{
+    const Shape &s = b.graph().value(x).shape;
+    std::int64_t h = s.dim(2), w = s.dim(3), n = h * w;
+    ValueId skip0 = x;
+    ValueId y = groupNorm(b, x, ch);
+    ValueId w_in = b.constant("proj_in", Shape({ch, ch, 1, 1}));
+    y = b.conv2d(y, w_in, 1, 0);
+    y = b.reshape(y, {batch, ch, n});
+    ValueId tok = b.transpose(y, {0, 2, 1}); // [B, N, C]
+
+    // Self attention.
+    ValueId t1 = layerNorm(b, tok);
+    t1 = attention(b, t1, batch, n, ch, heads);
+    tok = b.binary(OpKind::Add, tok, t1);
+
+    // Cross attention: q from tokens, kv from the text context.
+    ValueId t2 = layerNorm(b, tok);
+    ValueId wq = b.constant("w_q", Shape({ch, ch}));
+    ValueId q = b.matmul(t2, wq);
+    ValueId wk = b.constant("w_k", Shape({ctx_dim, ch}));
+    ValueId k = b.matmul(context, wk); // [B, L, C]
+    ValueId wv = b.constant("w_v", Shape({ctx_dim, ch}));
+    ValueId v = b.matmul(context, wv);
+    ValueId attn = b.batchMatMul(q, k, /*trans_b=*/true); // [B, N, L]
+    ir::Attrs sa;
+    sa.set("scale_milli", 125);
+    attn = b.addNode(OpKind::Scale, {attn}, sa);
+    attn = b.softmax(attn, 2);
+    ValueId o = b.batchMatMul(attn, v); // [B, N, C]
+    ValueId wo = b.constant("w_o", Shape({ch, ch}));
+    o = b.matmul(o, wo);
+    tok = b.binary(OpKind::Add, tok, o);
+    (void)ctx_len;
+
+    // GEGLU feed-forward.
+    ValueId t3 = layerNorm(b, tok);
+    ValueId gate = linear(b, t3, ch, 4 * ch);
+    gate = b.unary(OpKind::Gelu, gate);
+    ValueId val = linear(b, t3, ch, 4 * ch);
+    ValueId ff = b.binary(OpKind::Mul, gate, val);
+    ff = linear(b, ff, 4 * ch, ch);
+    tok = b.binary(OpKind::Add, tok, ff);
+
+    tok = b.transpose(tok, {0, 2, 1});
+    y = b.reshape(tok, {batch, ch, h, w});
+    ValueId w_out = b.constant("proj_out", Shape({ch, ch, 1, 1}));
+    y = b.conv2d(y, w_out, 1, 0);
+    return b.binary(OpKind::Add, skip0, y);
+}
+
+} // namespace
+
+Graph
+buildSdTextEncoder(int batch)
+{
+    // CLIP ViT-L/14 text tower: 12 layers, width 768, seq 77, causal.
+    GraphBuilder b;
+    const std::int64_t seq = 77, dim = 768;
+    ValueId t = tokenEmbedding(b, 49408, dim, seq, 3);
+    t = b.reshape(t, {1, seq, dim});
+    ValueId pos = b.constant("pos", Shape({seq, dim}));
+    t = b.binary(OpKind::Add, t, pos);
+    for (int d = 0; d < 12; ++d)
+        t = globalAttnBlock(b, t, 1, seq, dim, 12, 4, /*causal=*/true);
+    t = layerNorm(b, t);
+    b.markOutput(t);
+    (void)batch;
+    return b.finish();
+}
+
+Graph
+buildSdUnet(int batch)
+{
+    // SD 1.x UNet at 64x64 latents: channels (320, 640, 1280), spatial
+    // transformers with cross-attention to the 77x768 text context.
+    GraphBuilder b;
+    const std::int64_t lat = 64;
+    ValueId x = b.input("latent", Shape({batch, 4, lat, lat}));
+    ValueId ctx = b.input("context", Shape({batch, 77, 768}));
+
+    ValueId w_in = b.constant("w_in", Shape({192, 4, 3, 3}));
+    ValueId t = b.conv2d(x, w_in, 1, 1);
+
+    std::vector<std::int64_t> chans = {192, 384, 768};
+    std::vector<ValueId> skips;
+
+    // Down path.
+    for (std::size_t lvl = 0; lvl < chans.size(); ++lvl) {
+        std::int64_t ch = chans[lvl];
+        for (int i = 0; i < 2; ++i) {
+            t = sdResBlock(b, t, ch);
+            t = sdSpatialTransformer(b, t, ch,
+                                     static_cast<int>(ch / 64), ctx, 77,
+                                     768, batch);
+            skips.push_back(t);
+        }
+        if (lvl + 1 < chans.size()) {
+            ValueId wd = b.constant("w_down", Shape({ch, ch, 3, 3}));
+            t = b.conv2d(t, wd, 2, 1);
+        }
+    }
+
+    // Middle.
+    t = sdResBlock(b, t, 768);
+    t = sdSpatialTransformer(b, t, 768, 12, ctx, 77, 768, batch);
+    t = sdResBlock(b, t, 768);
+
+    // Up path.
+    for (std::size_t lvl = chans.size(); lvl-- > 0;) {
+        std::int64_t ch = chans[lvl];
+        for (int i = 0; i < 2; ++i) {
+            ValueId skip = skips.back();
+            skips.pop_back();
+            t = b.concat({t, skip}, 1);
+            t = sdResBlock(b, t, ch);
+            t = sdSpatialTransformer(b, t, ch,
+                                     static_cast<int>(ch / 64), ctx, 77,
+                                     768, batch);
+        }
+        if (lvl > 0) {
+            // Upsample: conv to 4x channels + DepthToSpace, then map to
+            // the next level's width.
+            ValueId wu = b.constant(
+                "w_up", Shape({chans[lvl - 1] * 4, ch, 3, 3}));
+            t = b.conv2d(t, wu, 1, 1);
+            t = b.depthToSpace(t, 2);
+        }
+    }
+
+    ValueId w_out = b.constant("w_out", Shape({4, 192, 3, 3}));
+    t = groupNorm(b, t, 192);
+    t = b.unary(OpKind::Silu, t);
+    b.markOutput(b.conv2d(t, w_out, 1, 1));
+    return b.finish();
+}
+
+Graph
+buildSdVaeDecoder(int batch)
+{
+    // VAE decoder: 4 -> 512 channels at 64x64, three 2x upsamplings to
+    // 512x512, heavy 3x3 convolutions (the highest-MAC model, 312G).
+    GraphBuilder b;
+    const std::int64_t lat = 64;
+    ValueId x = b.input("latent", Shape({batch, 4, lat, lat}));
+    ValueId w_in = b.constant("w_in", Shape({512, 4, 3, 3}));
+    ValueId t = b.conv2d(x, w_in, 1, 1);
+
+    t = sdResBlock(b, t, 512);
+    // Mid attention block on 64x64 tokens.
+    t = sdSpatialTransformer(b, t, 512, 8,
+                             b.input("null_ctx", Shape({batch, 1, 768})),
+                             1, 768, batch);
+    t = sdResBlock(b, t, 512);
+
+    std::vector<std::int64_t> chans = {512, 256, 128, 64};
+    for (std::size_t lvl = 0; lvl < chans.size(); ++lvl) {
+        std::int64_t ch = chans[lvl];
+        for (int i = 0; i < 2; ++i)
+            t = sdResBlock(b, t, ch);
+        if (lvl + 1 < chans.size()) {
+            ValueId wu = b.constant("w_up", Shape({ch * 4, ch, 3, 3}));
+            t = b.conv2d(t, wu, 1, 1);
+            t = b.depthToSpace(t, 2);
+        }
+    }
+    t = groupNorm(b, t, 64);
+    t = b.unary(OpKind::Silu, t);
+    ValueId w_out = b.constant("w_out", Shape({3, 64, 3, 3}));
+    b.markOutput(b.conv2d(t, w_out, 1, 1));
+    return b.finish();
+}
+
+Graph
+buildPythia(int batch)
+{
+    // Pythia-1B: 16 layers, width 2048, 8 heads, 8192 FFN, 50304 vocab,
+    // parallel attention+MLP residual, rotary embeddings on q/k, 128
+    // token prefill.
+    GraphBuilder b;
+    const std::int64_t seq = 128, dim = 2048, ffn = 8192;
+    const int heads = 8;
+    const std::int64_t hd = dim / heads;
+
+    ValueId t = tokenEmbedding(b, 50304, dim, seq, 17);
+    t = b.reshape(t, {1, seq, dim});
+
+    for (int layer = 0; layer < 16; ++layer) {
+        ValueId resid = t;
+        ValueId y = layerNorm(b, t);
+
+        // QKV with rotary embedding on q and k.
+        ValueId wqkv = b.constant("w_qkv", Shape({dim, 3 * dim}));
+        ValueId qkv = b.matmul(y, wqkv);
+        qkv = b.reshape(qkv, {1, seq, 3, heads, hd});
+        qkv = b.transpose(qkv, {2, 0, 3, 1, 4});
+        auto take = [&](std::int64_t i) {
+            ValueId s = b.slice(qkv, {0}, {i}, {i + 1});
+            return b.reshape(s, {heads, seq, hd});
+        };
+        ValueId q = take(0);
+        ValueId k = take(1);
+        ValueId v = take(2);
+        auto rope = [&](ValueId r) {
+            ValueId cos_t = b.constant("rope_cos", Shape({seq, hd}));
+            ValueId sin_t = b.constant("rope_sin", Shape({seq, hd}));
+            ValueId a = b.binary(OpKind::Mul, r, cos_t);
+            ValueId rot = b.binary(OpKind::Mul, r, sin_t);
+            return b.binary(OpKind::Add, a, rot);
+        };
+        q = rope(q);
+        k = rope(k);
+        ValueId attn = b.batchMatMul(q, k, /*trans_b=*/true);
+        ir::Attrs sa;
+        sa.set("scale_milli", 62); // 1/sqrt(256)
+        attn = b.addNode(OpKind::Scale, {attn}, sa);
+        ValueId mask = b.constant("mask", Shape({seq, seq}));
+        attn = b.binary(OpKind::Add, attn, mask);
+        attn = b.softmax(attn, 2);
+        ValueId o = b.batchMatMul(attn, v);
+        o = b.reshape(o, {1, heads, seq, hd});
+        o = b.transpose(o, {0, 2, 1, 3});
+        o = b.reshape(o, {1, seq, dim});
+        o = linear(b, o, dim, dim);
+
+        // Parallel MLP branch (GPT-NeoX style).
+        ValueId m = layerNorm(b, t);
+        m = mlp(b, m, dim, ffn);
+
+        t = b.binary(OpKind::Add, resid,
+                     b.binary(OpKind::Add, o, m));
+    }
+    t = layerNorm(b, t);
+    ValueId w_head = b.constant("w_head", Shape({dim, 50304}));
+    b.markOutput(b.matmul(t, w_head));
+    (void)batch;
+    return b.finish();
+}
+
+Graph
+buildConformer(int batch)
+{
+    // Conformer-S speech encoder: conv subsampling then 16 blocks of
+    // (half-FFN, MHSA, conv module, half-FFN) on 256-dim frames.
+    GraphBuilder b;
+    const std::int64_t frames = 768, mel = 80, dim = 384;
+    ValueId x = b.input("audio", Shape({batch, 1, mel, frames}));
+
+    // 2x conv subsampling -> [B, T/4, dim].
+    ValueId t = convBnAct(b, x, 64, 3, 2, 1, OpKind::Silu);
+    t = convBnAct(b, t, 64, 3, 2, 1, OpKind::Silu);
+    const Shape &s = b.graph().value(t).shape;
+    std::int64_t tlen = s.dim(3);
+    t = b.transpose(t, {0, 3, 1, 2});
+    t = b.reshape(t, {batch, tlen, 64 * s.dim(2)});
+    t = linear(b, t, 64 * s.dim(2), dim);
+
+    for (int blk = 0; blk < 16; ++blk) {
+        // Half FFN.
+        ValueId f = layerNorm(b, t);
+        f = mlp(b, f, dim, 4 * dim, OpKind::Silu);
+        ir::Attrs half;
+        half.set("scale_milli", 500);
+        f = b.addNode(OpKind::Scale, {f}, half);
+        t = b.binary(OpKind::Add, t, f);
+
+        // MHSA.
+        ValueId a = layerNorm(b, t);
+        a = attention(b, a, batch, tlen, dim, 6);
+        t = b.binary(OpKind::Add, t, a);
+
+        // Conv module: pointwise-glu, depthwise (as 1xK conv), swish.
+        ValueId c = layerNorm(b, t);
+        ValueId gate = linear(b, c, dim, dim);
+        gate = b.unary(OpKind::Sigmoid, gate);
+        ValueId val = linear(b, c, dim, dim);
+        c = b.binary(OpKind::Mul, gate, val);
+        c = b.transpose(c, {0, 2, 1});
+        c = b.reshape(c, {batch, dim, 1, tlen});
+        ValueId wdw = b.constant("dw", Shape({dim, 1, 1, 15}));
+        c = b.depthwiseConv2d(c, wdw, 1, 0);
+        c = b.pad(c, {0, 0, 0, 0, 0, 0, 7, 7});
+        c = b.instanceNorm(c);
+        c = b.unary(OpKind::Silu, c);
+        c = b.reshape(c, {batch, dim, tlen});
+        c = b.transpose(c, {0, 2, 1});
+        c = linear(b, c, dim, dim);
+        t = b.binary(OpKind::Add, t, c);
+
+        // Half FFN.
+        ValueId f2 = layerNorm(b, t);
+        f2 = mlp(b, f2, dim, 4 * dim, OpKind::Silu);
+        ir::Attrs half2;
+        half2.set("scale_milli", 500);
+        f2 = b.addNode(OpKind::Scale, {f2}, half2);
+        t = b.binary(OpKind::Add, t, f2);
+        t = layerNorm(b, t);
+    }
+    b.markOutput(t);
+    return b.finish();
+}
+
+} // namespace smartmem::models

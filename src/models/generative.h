@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Builders for generative and sequence models.
+ */
+#ifndef SMARTMEM_MODELS_GENERATIVE_H
+#define SMARTMEM_MODELS_GENERATIVE_H
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+ir::Graph buildSdTextEncoder(int batch);
+ir::Graph buildSdUnet(int batch);
+ir::Graph buildSdVaeDecoder(int batch);
+ir::Graph buildPythia(int batch);
+ir::Graph buildConformer(int batch);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_GENERATIVE_H

@@ -1,0 +1,128 @@
+#include "models/models.h"
+
+#include <map>
+#include <functional>
+
+#include "models/blocks.h"
+#include "models/convnets.h"
+#include "models/generative.h"
+#include "models/transformers.h"
+#include "support/error.h"
+
+namespace smartmem::models {
+
+namespace {
+
+using Builder = std::function<ir::Graph(int)>;
+
+const std::map<std::string, Builder> &
+registry()
+{
+    static const std::map<std::string, Builder> reg = {
+        {"AutoFormer", buildAutoFormer},
+        {"BiFormer", buildBiFormer},
+        {"CrossFormer", buildCrossFormer},
+        {"CSwin", buildCSwin},
+        {"EfficientViT", buildEfficientViT},
+        {"FlattenFormer", buildFlattenFormer},
+        {"SMTFormer", buildSmtFormer},
+        {"Swin", buildSwin},
+        {"ViT", buildViT},
+        {"Conformer", buildConformer},
+        {"SD-TextEncoder", buildSdTextEncoder},
+        {"SD-UNet", buildSdUnet},
+        {"SD-VAEDecoder", buildSdVaeDecoder},
+        {"Pythia", buildPythia},
+        {"ConvNext", buildConvNext},
+        {"RegNet", buildRegNet},
+        {"ResNext", buildResNext},
+        {"Yolo-V8", buildYoloV8},
+        {"ResNet50", buildResNet50},
+        {"FST", buildFst},
+    };
+    return reg;
+}
+
+const std::map<std::string, ModelInfo> &
+infoRegistry()
+{
+    static const std::map<std::string, ModelInfo> reg = {
+        {"AutoFormer", {"AutoFormer", "Transformer", "Image", "Local"}},
+        {"BiFormer", {"BiFormer", "Hybrid", "Image", "Local"}},
+        {"CrossFormer", {"CrossFormer", "Transformer", "Image", "Local"}},
+        {"CSwin", {"CSwin", "Hybrid", "Image", "Local"}},
+        {"EfficientViT", {"EfficientViT", "Hybrid", "Image", "Local"}},
+        {"FlattenFormer",
+         {"FlattenFormer", "Hybrid", "Image", "Local"}},
+        {"SMTFormer", {"SMTFormer", "Hybrid", "Image", "Local"}},
+        {"Swin", {"Swin", "Transformer", "Image", "Local"}},
+        {"ViT", {"ViT", "Transformer", "Image", "Global"}},
+        {"Conformer", {"Conformer", "Hybrid", "Audio", "Global"}},
+        {"SD-TextEncoder",
+         {"SD-TextEncoder", "Transformer", "Text", "Global"}},
+        {"SD-UNet", {"SD-UNet", "Hybrid", "Image", "Global"}},
+        {"SD-VAEDecoder",
+         {"SD-VAEDecoder", "Hybrid", "Image", "Global"}},
+        {"Pythia", {"Pythia", "Transformer", "Text", "Decoder"}},
+        {"ConvNext", {"ConvNext", "ConvNet", "Image", "N/A"}},
+        {"RegNet", {"RegNet", "ConvNet", "Image", "N/A"}},
+        {"ResNext", {"ResNext", "ConvNet", "Image", "N/A"}},
+        {"Yolo-V8", {"Yolo-V8", "ConvNet", "Image", "N/A"}},
+        {"ResNet50", {"ResNet50", "ConvNet", "Image", "N/A"}},
+        {"FST", {"FST", "ConvNet", "Image", "N/A"}},
+    };
+    return reg;
+}
+
+} // namespace
+
+ir::Graph
+buildModel(const std::string &name, int batch)
+{
+    auto it = registry().find(name);
+    SM_REQUIRE(it != registry().end(), "unknown model: " + name);
+    return it->second(batch);
+}
+
+ir::Graph
+buildTinyVariant(const std::string &name, int batch)
+{
+    if (name == "Swin" || name == "AutoFormer" || name == "CrossFormer" ||
+        name == "CSwin" || name == "FlattenFormer" ||
+        name == "BiFormer" || name == "SMTFormer")
+        return buildSwinTiny(batch);
+    if (name == "ViT" || name == "SD-TextEncoder" || name == "Pythia" ||
+        name == "Conformer" || name == "EfficientViT")
+        return buildViTTiny(batch);
+    return buildResNextTiny(batch);
+}
+
+std::vector<std::string>
+evaluationModels()
+{
+    return {"AutoFormer",     "BiFormer",     "CrossFormer",
+            "CSwin",          "EfficientViT", "FlattenFormer",
+            "SMTFormer",      "Swin",         "ViT",
+            "Conformer",      "SD-TextEncoder", "SD-UNet",
+            "SD-VAEDecoder",  "Pythia",       "ConvNext",
+            "RegNet",         "ResNext",      "Yolo-V8"};
+}
+
+std::vector<std::string>
+allModels()
+{
+    auto v = evaluationModels();
+    v.push_back("ResNet50");
+    v.push_back("FST");
+    return v;
+}
+
+ModelInfo
+modelInfo(const std::string &name)
+{
+    auto it = infoRegistry().find(name);
+    SM_REQUIRE(it != infoRegistry().end(), "unknown model: " + name);
+    return it->second;
+}
+
+} // namespace smartmem::models

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The model zoo: builders for the 18 evaluation models of the paper
+ * (Table 7) plus ResNet50 and Fast-Style-Transfer from Table 1.
+ *
+ * Graphs are structural reproductions: block structure, operator mix
+ * (in particular the Reshape/Transpose/Slice/Gather shuffles around
+ * attention), parameter and MAC counts are in the ballpark of the
+ * published architectures; weights are synthesized (latency does not
+ * depend on weight values).
+ */
+#ifndef SMARTMEM_MODELS_MODELS_H
+#define SMARTMEM_MODELS_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+/** Static characterization of one zoo model (Table 7 columns). */
+struct ModelInfo
+{
+    std::string name;
+    std::string type;      ///< "Transformer" | "ConvNet" | "Hybrid"
+    std::string input;     ///< "Image" | "Text" | "Audio"
+    std::string attention; ///< "Local" | "Global" | "Decoder" | "N/A"
+};
+
+/** Build a model by zoo name; fatal on unknown names. */
+ir::Graph buildModel(const std::string &name, int batch = 1);
+
+/**
+ * Reduced-size variant of the same architecture (fewer blocks, smaller
+ * dims/resolution) for functional-equivalence tests, where the
+ * reference executor does real float math.
+ */
+ir::Graph buildTinyVariant(const std::string &name, int batch = 1);
+
+/** The 18 evaluation models in Table 7 row order. */
+std::vector<std::string> evaluationModels();
+
+/** Evaluation models plus the Table 1 extras (ResNet50, FST). */
+std::vector<std::string> allModels();
+
+/** Info for a zoo model. */
+ModelInfo modelInfo(const std::string &name);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_MODELS_H

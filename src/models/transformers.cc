@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Vision transformer and hybrid model builders.
+ */
+#include "models/transformers.h"
+
+#include "models/blocks.h"
+#include "support/error.h"
+
+namespace smartmem::models {
+
+using ir::Graph;
+using ir::GraphBuilder;
+using ir::Shape;
+
+namespace {
+
+/** Hierarchical window-attention backbone (Swin skeleton). */
+Graph
+hierarchicalWindowNet(int batch, std::int64_t img, std::int64_t embed,
+                      const std::vector<int> &depths,
+                      const std::vector<int> &heads, int window,
+                      int patch = 4)
+{
+    GraphBuilder b;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, patch);
+    std::int64_t h = img / patch, w = img / patch, dim = embed;
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            t = windowAttnBlock(b, t, batch, h, w, dim, window,
+                                heads[stage]);
+        }
+        if (stage + 1 < depths.size()) {
+            t = patchMerge(b, t, batch, h, w, dim);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(classifierHead(b, t, dim));
+    return b.finish();
+}
+
+} // namespace
+
+Graph
+buildSwin(int batch)
+{
+    // Swin-T: embed 96, depths (2,2,6,2), heads (3,6,12,24), window 7.
+    return hierarchicalWindowNet(batch, 224, 96, {2, 2, 6, 2},
+                                 {3, 6, 12, 24}, 7);
+}
+
+Graph
+buildSwinTiny(int batch)
+{
+    return hierarchicalWindowNet(batch, 32, 16, {1, 1}, {2, 4}, 4);
+}
+
+Graph
+buildAutoFormer(int batch)
+{
+    // AutoFormer-S: searched ViT-like backbone with local windows.
+    return hierarchicalWindowNet(batch, 224, 88, {2, 2, 7, 2},
+                                 {4, 8, 11, 22}, 7);
+}
+
+Graph
+buildCrossFormer(int batch)
+{
+    // CrossFormer-S: cross-scale patch embedding (parallel kernels of
+    // different sizes concatenated) + hierarchical window attention.
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 96;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+
+    // Cross-scale embedding: 4/8/16/32 kernels, concat on channels.
+    std::vector<ValueId> scales;
+    std::vector<std::int64_t> chans = {embed / 2, embed / 4, embed / 8,
+                                       embed / 8};
+    std::vector<int> kernels = {4, 8, 16, 32};
+    for (int i = 0; i < 4; ++i) {
+        ValueId w = b.constant(
+            "cse_w", Shape({chans[static_cast<std::size_t>(i)], 3,
+                            kernels[static_cast<std::size_t>(i)],
+                            kernels[static_cast<std::size_t>(i)]}));
+        scales.push_back(
+            b.conv2d(x, w, 4, (kernels[static_cast<std::size_t>(i)] - 4)
+                     / 2));
+    }
+    ValueId t = b.concat(scales, 1); // [B, embed, 56, 56]
+    std::int64_t h = 56, w = 56, dim = embed;
+    t = b.reshape(t, {batch, dim, h * w});
+    t = b.transpose(t, {0, 2, 1});
+    t = layerNorm(b, t);
+
+    std::vector<int> depths = {2, 2, 6, 2};
+    std::vector<int> heads = {3, 6, 12, 24};
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            // Alternate short-distance (window 7) and long-distance
+            // (coarser window) attention.
+            int window = (d % 2 == 0) ? 7 : (h % 14 == 0 ? 14 : 7);
+            t = windowAttnBlock(b, t, batch, h, w, dim, window,
+                                heads[stage]);
+        }
+        if (stage + 1 < depths.size()) {
+            t = patchMerge(b, t, batch, h, w, dim);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(classifierHead(b, t, dim));
+    return b.finish();
+}
+
+Graph
+buildCSwin(int batch)
+{
+    // CSwin-T: cross-shaped window attention -- every block splits the
+    // heads into a horizontal-stripes branch and a vertical-stripes
+    // branch (Slice + per-branch partition + Concat), which is why the
+    // exported graph carries ~2x the layout transformations of Swin.
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 80;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, 4);
+    std::int64_t h = 56, w = 56, dim = embed;
+
+    std::vector<int> depths = {1, 2, 21, 1};
+    std::vector<int> heads = {2, 4, 8, 16};
+    std::vector<int> stripes = {1, 2, 7, 7};
+
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            int sw = stripes[stage];
+            ValueId shortcut = t;
+            ValueId y = layerNorm(b, t);
+            // Split channels for the two branches.
+            ValueId half1 = b.slice(y, {2}, {0}, {dim / 2});
+            ValueId half2 = b.slice(y, {2}, {dim / 2}, {dim});
+            auto stripe_branch = [&](ValueId v, bool horizontal) {
+                // Partition into stripes of width sw across one axis.
+                ValueId s = b.reshape(v, {batch, h, w, dim / 2});
+                std::int64_t nh, nw, win_h, win_w;
+                if (horizontal) {
+                    nh = h / sw;
+                    win_h = sw;
+                    nw = 1;
+                    win_w = w;
+                } else {
+                    nh = 1;
+                    win_h = h;
+                    nw = w / sw;
+                    win_w = sw;
+                }
+                s = b.reshape(s, {batch, nh, win_h, nw, win_w, dim / 2});
+                s = b.transpose(s, {0, 1, 3, 2, 4, 5});
+                s = b.reshape(s, {batch * nh * nw, win_h * win_w,
+                                  dim / 2});
+                s = attention(b, s, batch * nh * nw, win_h * win_w,
+                              dim / 2,
+                              std::max(heads[stage] / 2, 1));
+                s = b.reshape(s, {batch, nh, nw, win_h, win_w, dim / 2});
+                s = b.transpose(s, {0, 1, 3, 2, 4, 5});
+                return b.reshape(s, {batch, h * w, dim / 2});
+            };
+            ValueId b1 = stripe_branch(half1, true);
+            ValueId b2 = stripe_branch(half2, false);
+            y = b.concat({b1, b2}, 2);
+            t = b.binary(ir::OpKind::Add, shortcut, y);
+            ValueId z = layerNorm(b, t);
+            z = mlp(b, z, dim, 4 * dim);
+            t = b.binary(ir::OpKind::Add, t, z);
+        }
+        if (stage + 1 < depths.size()) {
+            t = patchMerge(b, t, batch, h, w, dim);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(classifierHead(b, t, dim));
+    return b.finish();
+}
+
+Graph
+buildBiFormer(int batch)
+{
+    // BiFormer-T: bi-level routing attention.  Region-level routing
+    // (pooled region tokens + region-affinity MatMul + top-k region
+    // Gather) precedes token attention -- the token-selection Gathers
+    // are the data movement the paper highlights for this model.
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 64;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, 4);
+    std::int64_t h = 56, w = 56, dim = embed;
+
+    std::vector<int> depths = {3, 3, 10, 3};
+    std::vector<int> heads = {2, 4, 8, 16};
+    const int region = 7; // S = 7 regions per axis
+
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            ValueId shortcut = t;
+            ValueId y = layerNorm(b, t);
+            std::int64_t rh = h / region, rw = w / region;
+            std::int64_t nr = region * region; // number of regions
+            std::int64_t rt = rh * rw;         // tokens per region
+
+            // Partition into regions.
+            y = b.reshape(y, {batch, region, rh, region, rw, dim});
+            y = b.transpose(y, {0, 1, 3, 2, 4, 5});
+            ValueId regions =
+                b.reshape(y, {batch * nr, rt, dim});
+
+            // Region-level routing: pooled tokens + affinity + top-k.
+            ValueId pooled = b.reduce(ir::OpKind::ReduceMean, regions,
+                                      {1}, /*keepdims=*/false);
+            pooled = b.reshape(pooled, {batch, nr, dim});
+            ValueId aff = b.batchMatMul(pooled, b.transpose(
+                pooled, {0, 2, 1}));
+            aff = b.softmax(aff, 2);
+            // Top-k region gather (k=4); indices synthesized statically
+            // to model the data movement of routing.
+            const std::int64_t topk = 4;
+            std::vector<std::int64_t> sel(
+                static_cast<std::size_t>(nr * topk));
+            for (std::int64_t r = 0; r < nr; ++r)
+                for (std::int64_t j = 0; j < topk; ++j)
+                    sel[static_cast<std::size_t>(r * topk + j)] =
+                        (r + j * 7) % nr;
+            ValueId sel_idx = b.constantData(
+                "route_idx", Shape({nr * topk}), sel);
+            ValueId grouped = b.reshape(regions, {batch, nr, rt, dim});
+            ValueId gathered = b.gather(grouped, sel_idx, 1);
+            // [B, nr*topk, rt, dim] -> keys/values of routed regions.
+            gathered = b.reshape(gathered,
+                                 {batch, nr, topk * rt, dim});
+            gathered = b.reshape(gathered,
+                                 {batch * nr, topk * rt, dim});
+
+            // Token attention: q from own region, kv from routed set.
+            ValueId wq = b.constant("w_q", Shape({dim, dim}));
+            ValueId q = b.matmul(regions, wq);
+            ValueId wk = b.constant("w_k", Shape({dim, dim}));
+            ValueId k = b.matmul(gathered, wk);
+            ValueId wv = b.constant("w_v", Shape({dim, dim}));
+            ValueId v = b.matmul(gathered, wv);
+            ValueId attn = b.batchMatMul(q, k, /*trans_b=*/true);
+            ir::Attrs sa;
+            sa.set("scale_milli", 125);
+            attn = b.addNode(ir::OpKind::Scale, {attn}, sa);
+            attn = b.softmax(attn, 2);
+            ValueId o = b.batchMatMul(attn, v);
+            ValueId wo = b.constant("w_o", Shape({dim, dim}));
+            o = b.matmul(o, wo);
+
+            // Region reverse.
+            o = b.reshape(o, {batch, region, region, rh, rw, dim});
+            o = b.transpose(o, {0, 1, 3, 2, 4, 5});
+            o = b.reshape(o, {batch, h * w, dim});
+
+            t = b.binary(ir::OpKind::Add, shortcut, o);
+            ValueId z = layerNorm(b, t);
+            z = mlp(b, z, dim, 3 * dim);
+            t = b.binary(ir::OpKind::Add, t, z);
+            (void)heads;
+        }
+        if (stage + 1 < depths.size()) {
+            t = patchMerge(b, t, batch, h, w, dim);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(classifierHead(b, t, dim));
+    return b.finish();
+}
+
+Graph
+buildFlattenFormer(int batch)
+{
+    // FLatten-Transformer (Swin-T base): focused linear attention --
+    // ReLU feature maps, KV aggregation first (N x d x d), plus a
+    // depthwise-conv token mixer; windows disappear but the exported
+    // graph keeps the NCHW<->token shuttles per block.
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 96;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, 4);
+    std::int64_t h = 56, w = 56, dim = embed;
+
+    std::vector<int> depths = {2, 2, 9, 2};
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        for (int d = 0; d < depths[stage]; ++d) {
+            ValueId shortcut = t;
+            ValueId y = layerNorm(b, t);
+            std::int64_t n = h * w;
+            // Linear attention: softplus-free phi = ReLU.
+            ValueId wq = b.constant("w_q", Shape({dim, dim}));
+            ValueId wk = b.constant("w_k", Shape({dim, dim}));
+            ValueId wv = b.constant("w_v", Shape({dim, dim}));
+            ValueId q = b.unary(ir::OpKind::Relu, b.matmul(y, wq));
+            ValueId k = b.unary(ir::OpKind::Relu, b.matmul(y, wk));
+            ValueId v = b.matmul(y, wv);
+            // KV aggregation: [B, d, N] x [B, N, d] -> [B, d, d].
+            ValueId kt = b.transpose(k, {0, 2, 1});
+            ValueId kv = b.batchMatMul(kt, v);
+            ValueId o = b.batchMatMul(q, kv); // [B, N, d]
+            // Depthwise conv token mixer on the spatial grid.
+            ValueId og = b.transpose(o, {0, 2, 1});
+            og = b.reshape(og, {batch, dim, h, w});
+            ValueId wdw = b.constant("dw_w", Shape({dim, 1, 3, 3}));
+            og = b.depthwiseConv2d(og, wdw, 1, 1);
+            og = b.reshape(og, {batch, dim, n});
+            og = b.transpose(og, {0, 2, 1});
+            o = b.binary(ir::OpKind::Add, o, og);
+            ValueId wo = b.constant("w_o", Shape({dim, dim}));
+            o = b.matmul(o, wo);
+            t = b.binary(ir::OpKind::Add, shortcut, o);
+            ValueId z = layerNorm(b, t);
+            z = mlp(b, z, dim, 4 * dim);
+            t = b.binary(ir::OpKind::Add, t, z);
+        }
+        if (stage + 1 < depths.size()) {
+            t = patchMerge(b, t, batch, h, w, dim);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(classifierHead(b, t, dim));
+    return b.finish();
+}
+
+Graph
+buildSmtFormer(int batch)
+{
+    // SMT (Scale-Aware Modulation Transformer): conv-modulation blocks
+    // in the early stages, window attention later (Hybrid).
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 96;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t4 = convBnAct(b, x, embed / 2, 3, 2, 1, ir::OpKind::Gelu);
+    t4 = convBnAct(b, t4, embed, 3, 2, 1, ir::OpKind::Identity);
+    std::int64_t h = 56, w = 56, dim = embed;
+
+    std::vector<int> depths = {3, 4, 10, 2};
+    std::vector<int> heads = {2, 4, 8, 16};
+    for (std::size_t stage = 0; stage < depths.size(); ++stage) {
+        bool conv_stage = stage < 2;
+        for (int d = 0; d < depths[stage]; ++d) {
+            if (conv_stage) {
+                // Scale-aware modulation: multi-scale depthwise convs
+                // whose Sigmoid gate modulates a pointwise value path.
+                ValueId skip = t4;
+                ValueId g1 = convBnAct(b, t4, dim, 3, 1, 1,
+                                       ir::OpKind::Identity,
+                                       static_cast<int>(dim));
+                ValueId g2 = convBnAct(b, t4, dim, 5, 1, 2,
+                                       ir::OpKind::Identity,
+                                       static_cast<int>(dim));
+                ValueId gate = b.binary(ir::OpKind::Add, g1, g2);
+                gate = b.unary(ir::OpKind::Sigmoid, gate);
+                ValueId val = convBnAct(b, t4, dim, 1, 1, 0,
+                                        ir::OpKind::Identity);
+                ValueId mod = b.binary(ir::OpKind::Mul, gate, val);
+                mod = convBnAct(b, mod, dim, 1, 1, 0,
+                                ir::OpKind::Identity);
+                t4 = b.binary(ir::OpKind::Add, skip, mod);
+            } else {
+                // Token stage: flatten once per block, window-attend,
+                // restore NCHW (the hybrid layout shuttle).
+                ValueId tok = b.reshape(t4, {batch, dim, h * w});
+                tok = b.transpose(tok, {0, 2, 1});
+                tok = windowAttnBlock(b, tok, batch, h, w, dim, 7,
+                                      heads[stage]);
+                tok = b.transpose(tok, {0, 2, 1});
+                t4 = b.reshape(tok, {batch, dim, h, w});
+            }
+        }
+        if (stage + 1 < depths.size()) {
+            t4 = convBnAct(b, t4, dim * 2, 3, 2, 1, ir::OpKind::Identity);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+        }
+    }
+    b.markOutput(convClassifierHead(b, t4, dim));
+    return b.finish();
+}
+
+Graph
+buildViT(int batch)
+{
+    // ViT-Base/16 at 224: 12 global-attention blocks, width 768.
+    GraphBuilder b;
+    const std::int64_t img = 224, embed = 768;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, 16);
+    const std::int64_t n = (img / 16) * (img / 16);
+    ValueId pos = b.constant("pos_embed", Shape({n, embed}));
+    t = b.binary(ir::OpKind::Add, t, pos);
+    for (int d = 0; d < 12; ++d)
+        t = globalAttnBlock(b, t, batch, n, embed, 12);
+    b.markOutput(classifierHead(b, t, embed));
+    return b.finish();
+}
+
+Graph
+buildViTTiny(int batch)
+{
+    GraphBuilder b;
+    const std::int64_t img = 32, embed = 24;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = patchEmbed(b, x, 3, embed, 8);
+    const std::int64_t n = 16;
+    for (int d = 0; d < 2; ++d)
+        t = globalAttnBlock(b, t, batch, n, embed, 4, 2);
+    b.markOutput(classifierHead(b, t, embed, 10));
+    return b.finish();
+}
+
+Graph
+buildEfficientViT(int batch)
+{
+    // EfficientViT-B: MBConv stages then ReLU linear attention stages.
+    GraphBuilder b;
+    const std::int64_t img = 224;
+    ValueId x = b.input("image", Shape({batch, 3, img, img}));
+    ValueId t = convBnAct(b, x, 48, 3, 2, 1, ir::OpKind::Silu);
+    t = mbconv(b, t, 48, 1, 1);
+    t = mbconv(b, t, 96, 4, 2);  // 56x56
+    t = mbconv(b, t, 96, 4, 1);
+    t = mbconv(b, t, 192, 4, 2); // 28x28
+    t = mbconv(b, t, 192, 4, 1);
+
+    std::int64_t h = 28, w = 28, dim = 192;
+    for (std::size_t stage = 0; stage < 2; ++stage) {
+        int blocks = stage == 0 ? 3 : 4;
+        for (int d = 0; d < blocks; ++d) {
+            // Lite multi-scale linear attention on tokens.
+            ValueId tok = b.reshape(t, {batch, dim, h * w});
+            tok = b.transpose(tok, {0, 2, 1});
+            ValueId y = layerNorm(b, tok);
+            ValueId wq = b.constant("w_q", Shape({dim, dim}));
+            ValueId wk = b.constant("w_k", Shape({dim, dim}));
+            ValueId wv = b.constant("w_v", Shape({dim, dim}));
+            ValueId q = b.unary(ir::OpKind::Relu, b.matmul(y, wq));
+            ValueId k = b.unary(ir::OpKind::Relu, b.matmul(y, wk));
+            ValueId v = b.matmul(y, wv);
+            ValueId kv = b.batchMatMul(b.transpose(k, {0, 2, 1}), v);
+            ValueId o = b.batchMatMul(q, kv);
+            ValueId wo = b.constant("w_o", Shape({dim, dim}));
+            o = b.matmul(o, wo);
+            tok = b.binary(ir::OpKind::Add, tok, o);
+            ValueId z = layerNorm(b, tok);
+            z = mlp(b, z, dim, 4 * dim);
+            tok = b.binary(ir::OpKind::Add, tok, z);
+            tok = b.transpose(tok, {0, 2, 1});
+            t = b.reshape(tok, {batch, dim, h, w});
+            // Local aggregation between attention blocks.
+            t = mbconv(b, t, dim, 4, 1);
+        }
+        if (stage == 0) {
+            t = mbconv(b, t, dim * 2, 4, 2);
+            dim *= 2;
+            h /= 2;
+            w /= 2;
+        }
+    }
+    b.markOutput(convClassifierHead(b, t, dim));
+    return b.finish();
+}
+
+} // namespace smartmem::models

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Builders for the Transformer and Hybrid evaluation models.
+ */
+#ifndef SMARTMEM_MODELS_TRANSFORMERS_H
+#define SMARTMEM_MODELS_TRANSFORMERS_H
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+ir::Graph buildSwin(int batch);
+ir::Graph buildSwinTiny(int batch);
+ir::Graph buildAutoFormer(int batch);
+ir::Graph buildCrossFormer(int batch);
+ir::Graph buildCSwin(int batch);
+ir::Graph buildBiFormer(int batch);
+ir::Graph buildFlattenFormer(int batch);
+ir::Graph buildSmtFormer(int batch);
+ir::Graph buildViT(int batch);
+ir::Graph buildViTTiny(int batch);
+ir::Graph buildEfficientViT(int batch);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_TRANSFORMERS_H

@@ -1,0 +1,173 @@
+#include "opclass/opclass.h"
+
+#include "support/error.h"
+
+namespace smartmem::opclass {
+
+using ir::OpKind;
+
+OpClass
+classifyOp(OpKind kind)
+{
+    switch (kind) {
+      // Compute with temporal reuse and/or reduction: performance depends
+      // on input layout, output order can be chosen by the implementation.
+      case OpKind::Conv2d:
+      case OpKind::DepthwiseConv2d:
+      case OpKind::GroupConv2d:
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul:
+      case OpKind::LayerNorm:
+      case OpKind::InstanceNorm:
+      case OpKind::Softmax:
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMean:
+      case OpKind::ReduceMax:
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+      case OpKind::GlobalAvgPool:
+        return ildVariable;
+
+      // Element-wise: touches each element once, any layout works, and
+      // the output order is free.  Inference-mode BatchNorm is a folded
+      // per-channel affine transform, i.e. element-wise.
+      case OpKind::BatchNorm:
+      case OpKind::Relu:
+      case OpKind::Gelu:
+      case OpKind::Silu:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Exp:
+      case OpKind::Sqrt:
+      case OpKind::Neg:
+      case OpKind::Identity:
+      case OpKind::Scale:
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+        return iliVariable;
+
+      // Layout transformations: performance sensitive to the input
+      // layout (they move memory), output layout fixed by definition.
+      case OpKind::Reshape:
+      case OpKind::Transpose:
+      case OpKind::DepthToSpace:
+      case OpKind::SpaceToDepth:
+        return ildFixed;
+
+      // Selection: layout-insensitive, output layout tied to input.
+      case OpKind::Gather:
+      case OpKind::Slice:
+      case OpKind::Concat:
+      case OpKind::Pad:
+        return iliFixed;
+
+      case OpKind::Input:
+      case OpKind::Constant:
+        // Terminals are treated as layout-independent fixed sources.
+        return iliFixed;
+    }
+    smPanic("unhandled op kind in classifyOp");
+}
+
+std::string
+opClassName(OpClass c)
+{
+    std::string s = c.dep == LayoutDep::Dependent ? "ILD" : "ILI";
+    s += " & ";
+    s += c.flex == OutputFlex::Variable ? "Variable" : "Fixed";
+    return s;
+}
+
+PairAction
+combinationAction(OpClass first, OpClass second)
+{
+    const bool first_fixed = first.flex == OutputFlex::Fixed;
+    const bool second_fixed = second.flex == OutputFlex::Fixed;
+    if (first_fixed && second_fixed)
+        return PairAction::EliminateBoth;
+    if (first_fixed)
+        return PairAction::EliminateFirst;
+    if (second_fixed)
+        return PairAction::EliminateSecond;
+    // Both Variable.
+    if (first.dep == LayoutDep::Dependent &&
+        second.dep == LayoutDep::Dependent)
+        return PairAction::KeepBoth;
+    return PairAction::TryFuse;
+}
+
+std::string
+pairActionName(PairAction a)
+{
+    switch (a) {
+      case PairAction::KeepBoth:        return "Keep both";
+      case PairAction::TryFuse:         return "Try fuse";
+      case PairAction::EliminateSecond: return "Eliminate 2nd";
+      case PairAction::EliminateFirst:  return "Eliminate 1st";
+      case PairAction::EliminateBoth:   return "Eliminate both";
+    }
+    return "?";
+}
+
+OpClass
+combinedType(OpClass first, OpClass second)
+{
+    // The preserved operator keeps the type of the higher-complexity
+    // operand: ILD dominates ILI; Variable operands are the survivors.
+    const bool first_fixed = first.flex == OutputFlex::Fixed;
+    const bool second_fixed = second.flex == OutputFlex::Fixed;
+    if (first_fixed && second_fixed) {
+        // Both eliminated; nothing survives.  Report ILI&Fixed as the
+        // degenerate "no remaining constraint" type.
+        return iliFixed;
+    }
+    if (first_fixed)
+        return second; // second survives
+    if (second_fixed)
+        return first; // first survives
+    // Fused pair: ILD wins over ILI.
+    if (first.dep == LayoutDep::Dependent ||
+        second.dep == LayoutDep::Dependent)
+        return ildVariable;
+    return iliVariable;
+}
+
+SearchPolicy
+searchPolicy(OpClass first, OpClass second)
+{
+    // Layout search only happens around ILD & Variable operators
+    // (Table 6): they are the ones whose performance hinges on layout.
+    const bool first_ildv = first == ildVariable;
+    const bool second_ildv = second == ildVariable;
+    const bool first_fixed = first.flex == OutputFlex::Fixed;
+    const bool second_fixed = second.flex == OutputFlex::Fixed;
+
+    if (first_ildv && second_ildv)
+        return SearchPolicy::SearchBoth;
+    if (first_ildv && second.flex == OutputFlex::Variable)
+        return SearchPolicy::SearchFused; // fused with an ILI&Var
+    if (second_ildv && first.flex == OutputFlex::Variable)
+        return SearchPolicy::SearchFused;
+    if (first_ildv && second_fixed)
+        return SearchPolicy::SearchFirst; // 2nd eliminated, search 1st
+    if (second_ildv && first_fixed)
+        return SearchPolicy::SearchSecond; // 1st eliminated, search 2nd
+    return SearchPolicy::NoSearch;
+}
+
+std::string
+searchPolicyName(SearchPolicy p)
+{
+    switch (p) {
+      case SearchPolicy::SearchBoth:   return "Search both";
+      case SearchPolicy::SearchFused:  return "Search fused";
+      case SearchPolicy::SearchFirst:  return "Search 1st";
+      case SearchPolicy::SearchSecond: return "Search 2nd";
+      case SearchPolicy::NoSearch:     return "No search";
+    }
+    return "?";
+}
+
+} // namespace smartmem::opclass

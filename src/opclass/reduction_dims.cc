@@ -1,0 +1,76 @@
+#include "opclass/reduction_dims.h"
+
+#include "support/error.h"
+
+namespace smartmem::opclass {
+
+using ir::OpKind;
+
+std::vector<int>
+reductionDims(const ir::Graph &graph, const ir::Node &node, int input_idx)
+{
+    const ir::Shape &in =
+        graph.value(node.inputs[static_cast<std::size_t>(input_idx)]).shape;
+    switch (node.kind) {
+      case OpKind::Conv2d:
+      case OpKind::GroupConv2d:
+        // x: aggregate over input channels (dim 1) and the window.
+        // w (OIHW): aggregate over I, KH, KW.
+        return input_idx == 0 ? std::vector<int>{1}
+                              : std::vector<int>{1, 2, 3};
+      case OpKind::DepthwiseConv2d:
+        // Per-channel window aggregation only.
+        return input_idx == 0 ? std::vector<int>{2, 3}
+                              : std::vector<int>{2, 3};
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul: {
+        bool trans_b = node.attrs.getInt("transB", 0) != 0;
+        if (input_idx == 0)
+            return {in.rank() - 1}; // K is A's last dim
+        // B: K is the second-to-last dim, or last when transposed.
+        return {trans_b ? in.rank() - 1 : in.rank() - 2};
+      }
+      case OpKind::LayerNorm:
+        return input_idx == 0 ? std::vector<int>{in.rank() - 1}
+                              : std::vector<int>{};
+      case OpKind::InstanceNorm:
+        return {2, 3};
+      case OpKind::Softmax: {
+        int axis = static_cast<int>(
+            node.attrs.getInt("axis", in.rank() - 1));
+        if (axis < 0)
+            axis += in.rank();
+        return {axis};
+      }
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMean:
+      case OpKind::ReduceMax: {
+        if (input_idx != 0)
+            return {};
+        std::vector<int> out;
+        for (auto a : node.attrs.getInts("axes"))
+            out.push_back(static_cast<int>(a));
+        return out;
+      }
+      case OpKind::MaxPool2d:
+      case OpKind::AvgPool2d:
+      case OpKind::GlobalAvgPool:
+        return {2, 3};
+      default:
+        return {};
+    }
+}
+
+int
+preferredContiguousDim(const ir::Graph &graph, const ir::Node &node,
+                       int input_idx)
+{
+    auto dims = reductionDims(graph, node, input_idx);
+    if (!dims.empty())
+        return dims.front();
+    const ir::Shape &in =
+        graph.value(node.inputs[static_cast<std::size_t>(input_idx)]).shape;
+    return in.rank() - 1;
+}
+
+} // namespace smartmem::opclass

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reduction-dimension analysis (paper Section 3.2.2).
+ *
+ * The reduction dimension(s) of an operand are the dimensions along
+ * which elements are aggregated (e.g. K for both MatMul operands, the
+ * input-channel dim for Conv).  SmartMem's layout selection heuristic
+ * stores data contiguously along the consumer's reduction dimension;
+ * the cost model uses the same analysis to decide each kernel's
+ * preferred iteration order.
+ */
+#ifndef SMARTMEM_OPCLASS_REDUCTION_DIMS_H
+#define SMARTMEM_OPCLASS_REDUCTION_DIMS_H
+
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace smartmem::opclass {
+
+/**
+ * Reduction dimensions of input operand `input_idx` of `node`,
+ * expressed as logical dimension indices of that operand.  Empty for
+ * operands with no aggregation (element-wise consumers).
+ */
+std::vector<int> reductionDims(const ir::Graph &graph,
+                               const ir::Node &node, int input_idx);
+
+/**
+ * The dimension a consumer most wants contiguous for operand
+ * `input_idx`: the first reduction dimension, or the innermost logical
+ * dimension when there is none.
+ */
+int preferredContiguousDim(const ir::Graph &graph, const ir::Node &node,
+                           int input_idx);
+
+} // namespace smartmem::opclass
+
+#endif // SMARTMEM_OPCLASS_REDUCTION_DIMS_H

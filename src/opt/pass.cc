@@ -1,0 +1,140 @@
+#include "opt/pass.h"
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace smartmem::opt {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+using ir::ValueId;
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+Graph
+PassManager::run(const Graph &graph) const
+{
+    Graph g = graph;
+    for (const auto &p : passes_) {
+        int before = g.operatorCount();
+        g = p->run(g);
+        g.verify();
+        SM_DEBUG("pass " << p->name() << ": " << before << " -> "
+                         << g.operatorCount() << " operators");
+    }
+    return g;
+}
+
+Graph
+rewriteGraph(const Graph &graph, const std::set<NodeId> &skip,
+             const std::map<ValueId, ValueId> &redirect)
+{
+    ir::GraphBuilder b;
+    std::map<ValueId, ValueId> value_map; // old -> new
+
+    // Resolve an old value through redirects to a new value id.
+    auto resolve = [&](ValueId old) {
+        ValueId cur = old;
+        // Follow redirect chains in the old graph first.
+        for (int guard = 0; guard < 1024; ++guard) {
+            auto it = redirect.find(cur);
+            if (it == redirect.end())
+                break;
+            cur = it->second;
+        }
+        auto it = value_map.find(cur);
+        SM_ASSERT(it != value_map.end(),
+                  "rewrite: unresolved value " + std::to_string(old));
+        return it->second;
+    };
+
+    for (const Node &n : graph.nodes()) {
+        if (skip.count(n.id) > 0)
+            continue;
+        switch (n.kind) {
+          case OpKind::Input:
+            value_map[n.output] =
+                b.input(n.name, graph.value(n.output).shape,
+                        graph.value(n.output).dtype);
+            break;
+          case OpKind::Constant:
+            value_map[n.output] =
+                b.constant(n.name, graph.value(n.output).shape,
+                           graph.value(n.output).dtype, n.attrs);
+            break;
+          default: {
+            std::vector<ValueId> ins;
+            for (ValueId in : n.inputs)
+                ins.push_back(resolve(in));
+            value_map[n.output] =
+                b.addNode(n.kind, std::move(ins), n.attrs, n.name);
+            break;
+          }
+        }
+    }
+    for (ValueId out : graph.outputIds())
+        b.markOutput(resolve(out));
+    return b.finish();
+}
+
+Graph
+DeadCodeElim::run(const Graph &graph) const
+{
+    // Mark values reachable backwards from outputs.
+    std::set<ValueId> live(graph.outputIds().begin(),
+                           graph.outputIds().end());
+    const auto &nodes = graph.nodes();
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+        if (live.count(it->output) == 0)
+            continue;
+        for (ValueId in : it->inputs)
+            live.insert(in);
+    }
+    std::set<NodeId> skip;
+    for (const Node &n : nodes) {
+        if (live.count(n.output) == 0)
+            skip.insert(n.id);
+    }
+    if (skip.empty())
+        return graph;
+    return rewriteGraph(graph, skip, {});
+}
+
+Graph
+IdentityElim::run(const Graph &graph) const
+{
+    std::set<NodeId> skip;
+    std::map<ValueId, ValueId> redirect;
+    for (const Node &n : graph.nodes()) {
+        bool noop = false;
+        if (n.kind == OpKind::Identity) {
+            noop = true;
+        } else if (n.kind == OpKind::Reshape) {
+            noop = graph.value(n.output).shape ==
+                   graph.value(n.inputs[0]).shape;
+        } else if (n.kind == OpKind::Transpose) {
+            const auto &perm = n.attrs.getInts("perm");
+            noop = true;
+            for (std::size_t i = 0; i < perm.size(); ++i) {
+                if (perm[i] != static_cast<std::int64_t>(i))
+                    noop = false;
+            }
+        }
+        if (noop) {
+            skip.insert(n.id);
+            redirect[n.output] = n.inputs[0];
+        }
+    }
+    if (skip.empty())
+        return graph;
+    return rewriteGraph(graph, skip, redirect);
+}
+
+} // namespace smartmem::opt

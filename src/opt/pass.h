@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Graph-level optimization pass framework plus a rewriting helper.
+ * Plan-level optimizations (fusion, elimination, layout selection) live
+ * in src/core; these passes normalize graphs before planning.
+ */
+#ifndef SMARTMEM_OPT_PASS_H
+#define SMARTMEM_OPT_PASS_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace smartmem::opt {
+
+/** A graph -> graph transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual std::string name() const = 0;
+    virtual ir::Graph run(const ir::Graph &graph) const = 0;
+};
+
+/** Runs a sequence of passes, verifying the graph after each. */
+class PassManager
+{
+  public:
+    PassManager &add(std::unique_ptr<Pass> pass);
+    ir::Graph run(const ir::Graph &graph) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/** Removes nodes whose results cannot reach a graph output. */
+class DeadCodeElim : public Pass
+{
+  public:
+    std::string name() const override { return "dce"; }
+    ir::Graph run(const ir::Graph &graph) const override;
+};
+
+/** Drops Identity nodes and no-op Reshape/Transpose (same shape, or
+ *  identity permutation), rewiring consumers to the input. */
+class IdentityElim : public Pass
+{
+  public:
+    std::string name() const override { return "identity-elim"; }
+    ir::Graph run(const ir::Graph &graph) const override;
+};
+
+/**
+ * Rebuild a graph, skipping `skip` nodes.  A skipped node's output is
+ * redirected to the (new id of the) value `redirect` maps it to; the
+ * redirect target must not itself be skipped-without-redirect.
+ */
+ir::Graph rewriteGraph(const ir::Graph &graph,
+                       const std::set<ir::NodeId> &skip,
+                       const std::map<ir::ValueId, ir::ValueId> &redirect);
+
+} // namespace smartmem::opt
+
+#endif // SMARTMEM_OPT_PASS_H

@@ -1,0 +1,76 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SM_REQUIRE(cells.size() == headers_.size(),
+               "table row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    os << joinStrings(headers_, ",") << "\n";
+    for (const auto &row : rows_)
+        os << joinStrings(row, ",") << "\n";
+    return os.str();
+}
+
+std::string
+formatSpeedup(double x)
+{
+    return formatFixed(x, x >= 10 ? 0 : 1) + "x";
+}
+
+std::string
+banner(const std::string &title)
+{
+    std::string line(title.size() + 4, '=');
+    return line + "\n= " + title + " =\n" + line + "\n";
+}
+
+} // namespace smartmem::report

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width table printing and CSV emission for the benchmark
+ * harnesses: every bench prints the same rows the paper's tables and
+ * figures report.
+ */
+#ifndef SMARTMEM_REPORT_TABLE_H
+#define SMARTMEM_REPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace smartmem::report {
+
+/** Simple column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add one row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "2.8x" style speedup formatting. */
+std::string formatSpeedup(double x);
+
+/** Section banner for bench output. */
+std::string banner(const std::string &title);
+
+} // namespace smartmem::report
+
+#endif // SMARTMEM_REPORT_TABLE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FunctionalRunner: executes an ExecutionPlan with real float math to
+ * prove it computes the same function as the unoptimized graph.
+ *
+ * Eliminated layout-transformation chains are reproduced by
+ * materializing each kernel input's IndexMap, exactly as the generated
+ * kernel would compute addresses on device.  Integration tests compare
+ * runPlanFunctional() against exec::Executor on the original graph.
+ */
+#ifndef SMARTMEM_RUNTIME_FUNCTIONAL_RUNNER_H
+#define SMARTMEM_RUNTIME_FUNCTIONAL_RUNNER_H
+
+#include <map>
+#include <vector>
+
+#include "exec/tensor.h"
+#include "runtime/plan.h"
+
+namespace smartmem::runtime {
+
+/**
+ * Execute the plan functionally.
+ *
+ * @param plan    The compiled plan.
+ * @param inputs  Model input tensors keyed by input value id.
+ * @param seed    Seed for synthesized constants; must match the seed
+ *                used for the reference execution being compared to.
+ * @return graph output tensors in declaration order.
+ */
+std::vector<exec::Tensor>
+runPlanFunctional(const ExecutionPlan &plan,
+                  const std::map<ir::ValueId, exec::Tensor> &inputs,
+                  std::uint64_t seed = 1234);
+
+/**
+ * Structural validity check of a plan: every kernel input is available
+ * when launched, fused nodes appear exactly once across kernels (and
+ * eliminated ones nowhere), every graph output is materialized.
+ * Panics on violations.
+ */
+void verifyPlan(const ExecutionPlan &plan);
+
+} // namespace smartmem::runtime
+
+#endif // SMARTMEM_RUNTIME_FUNCTIONAL_RUNNER_H

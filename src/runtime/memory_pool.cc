@@ -1,0 +1,97 @@
+#include "runtime/memory_pool.h"
+
+#include <map>
+
+#include "support/error.h"
+
+namespace smartmem::runtime {
+
+namespace {
+
+/** Storage bytes of a value stored in the given layout. */
+std::int64_t
+storedBytes(const ir::Graph &graph, ir::ValueId id,
+            const ir::Layout &layout)
+{
+    const ir::Value &v = graph.value(id);
+    ir::Layout l = layout;
+    if (l.rank() != v.shape.rank())
+        l = ir::Layout::rowMajor(v.shape.rank());
+    return l.storageElements(v.shape) * ir::dtypeSize(v.dtype);
+}
+
+} // namespace
+
+MemoryStats
+simulateMemory(const ExecutionPlan &plan)
+{
+    const ir::Graph &graph = plan.graph;
+    MemoryStats stats;
+
+    for (const ir::Node &n : graph.nodes()) {
+        if (n.kind == ir::OpKind::Constant) {
+            const ir::Value &v = graph.value(n.output);
+            stats.constantBytes +=
+                v.shape.numElements() * ir::dtypeSize(v.dtype);
+        }
+    }
+
+    // Last kernel index using each stored (value, copy).
+    using Key = std::pair<ir::ValueId, int>;
+    std::map<Key, std::size_t> last_use;
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+        for (const KernelInput &in : plan.kernels[i].inputs)
+            last_use[{in.source, in.sourceCopy}] = i;
+    }
+    // Graph outputs stay live to the end.
+    for (ir::ValueId id : graph.outputIds())
+        last_use[{id, 0}] = plan.kernels.size();
+
+    std::map<Key, std::int64_t> live; // bytes per live allocation
+    std::int64_t live_bytes = 0;
+    std::int64_t live_redundant = 0;
+
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+        const Kernel &k = plan.kernels[i];
+        std::int64_t bytes = storedBytes(graph, k.output, k.outLayout);
+        Key key{k.output, k.copyIndex};
+        if (live.find(key) == live.end()) {
+            live[key] = bytes;
+            live_bytes += bytes;
+            stats.totalAllocatedBytes += bytes;
+            if (k.copyIndex > 0)
+                live_redundant += bytes;
+        }
+        stats.peakIntermediateBytes =
+            std::max(stats.peakIntermediateBytes, live_bytes);
+        stats.maxActiveRedundantCopyBytes =
+            std::max(stats.maxActiveRedundantCopyBytes, live_redundant);
+
+        // Release allocations whose last consumer has now run.
+        for (auto it = live.begin(); it != live.end();) {
+            auto lu = last_use.find(it->first);
+            std::size_t last = lu == last_use.end() ? i : lu->second;
+            if (last <= i) {
+                live_bytes -= it->second;
+                if (it->first.second > 0)
+                    live_redundant -= it->second;
+                it = live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return stats;
+}
+
+bool
+fitsDevice(const ExecutionPlan &plan, std::int64_t capacity_bytes,
+           double headroom_fraction)
+{
+    MemoryStats stats = simulateMemory(plan);
+    auto usable = static_cast<std::int64_t>(
+        static_cast<double>(capacity_bytes) * (1.0 - headroom_fraction));
+    return stats.peakTotalBytes() <= usable;
+}
+
+} // namespace smartmem::runtime

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory pool simulation: liveness-based reuse of intermediate buffers,
+ * peak-footprint tracking, and the redundant-copy accounting of
+ * Section 4.6 (e.g. Swin's 3.0 MB maximum active redundant copies).
+ *
+ * Mirrors the paper's allocator: intermediates come from a pool and are
+ * released back when no remaining consumer needs them; weights stay
+ * resident for the whole run.
+ */
+#ifndef SMARTMEM_RUNTIME_MEMORY_POOL_H
+#define SMARTMEM_RUNTIME_MEMORY_POOL_H
+
+#include <cstdint>
+
+#include "runtime/plan.h"
+
+namespace smartmem::runtime {
+
+/** Result of simulating plan memory behaviour. */
+struct MemoryStats
+{
+    /** Peak bytes of live intermediates (pool high-water mark). */
+    std::int64_t peakIntermediateBytes = 0;
+
+    /** Sum of all intermediate allocations (no reuse). */
+    std::int64_t totalAllocatedBytes = 0;
+
+    /** Resident weight/constant bytes. */
+    std::int64_t constantBytes = 0;
+
+    /** Maximum bytes of redundant layout copies (copyIndex > 0) live at
+     *  any point -- the Section 4.6 metric. */
+    std::int64_t maxActiveRedundantCopyBytes = 0;
+
+    /** peakIntermediateBytes + constantBytes. */
+    std::int64_t peakTotalBytes() const
+    {
+        return peakIntermediateBytes + constantBytes;
+    }
+};
+
+/** Simulate the pool over the kernel sequence. */
+MemoryStats simulateMemory(const ExecutionPlan &plan);
+
+/**
+ * True if the plan fits a device with the given capacity, leaving
+ * `headroom_fraction` of capacity for the runtime itself.  Drives the
+ * OOM gaps in Figures 10 and 11.
+ */
+bool fitsDevice(const ExecutionPlan &plan, std::int64_t capacity_bytes,
+                double headroom_fraction = 0.25);
+
+} // namespace smartmem::runtime
+
+#endif // SMARTMEM_RUNTIME_MEMORY_POOL_H

@@ -1,0 +1,35 @@
+#include "runtime/plan.h"
+
+#include <sstream>
+
+namespace smartmem::runtime {
+
+std::string
+ExecutionPlan::toString() const
+{
+    std::ostringstream os;
+    os << "plan[" << compilerName << "] " << kernels.size()
+       << " kernels\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const Kernel &k = kernels[i];
+        os << "  #" << i << " " << k.name;
+        if (k.isLayoutCopy)
+            os << " (layout-copy)";
+        os << " -> %" << k.output << ":" << k.copyIndex << " "
+           << k.outLayout.toString() << "\n";
+        for (const KernelInput &in : k.inputs) {
+            os << "      reads %" << in.source << ":" << in.sourceCopy
+               << " as %" << in.substitute << " " << in.layout.toString();
+            if (in.readMap && !in.readMap->isIdentity())
+                os << " via " << in.readMap->toString();
+            os << "\n";
+        }
+        os << "      ops:";
+        for (ir::NodeId n : k.fusedNodes)
+            os << " " << ir::opKindName(graph.node(n).kind);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace smartmem::runtime

@@ -1,0 +1,18 @@
+#include "runtime/simulated_executor.h"
+
+#include "runtime/functional_runner.h"
+
+namespace smartmem::runtime {
+
+SimResult
+simulate(const device::DeviceProfile &dev, const ExecutionPlan &plan)
+{
+    verifyPlan(plan);
+    SimResult r;
+    r.cost = cost::costPlan(dev, plan);
+    r.memory = simulateMemory(plan);
+    r.fits = fitsDevice(plan, dev.memoryCapacityBytes);
+    return r;
+}
+
+} // namespace smartmem::runtime

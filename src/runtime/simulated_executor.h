@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SimulatedExecutor: runs an ExecutionPlan against a device profile,
+ * combining the analytic cost model with the memory-pool simulation.
+ * This is the measurement harness behind every latency table.
+ */
+#ifndef SMARTMEM_RUNTIME_SIMULATED_EXECUTOR_H
+#define SMARTMEM_RUNTIME_SIMULATED_EXECUTOR_H
+
+#include "cost/kernel_cost.h"
+#include "device/device_profile.h"
+#include "runtime/memory_pool.h"
+#include "runtime/plan.h"
+
+namespace smartmem::runtime {
+
+/** Outcome of simulating one plan on one device. */
+struct SimResult
+{
+    cost::PlanCost cost;
+    MemoryStats memory;
+
+    /** False when the plan exceeds device memory (OOM bars in
+     *  Figures 10/11). */
+    bool fits = true;
+
+    double latencyMs() const { return cost.latencyMs(); }
+    double gmacs() const { return cost.gmacs(); }
+};
+
+/** Simulate the plan; verifies the plan structure first. */
+SimResult simulate(const device::DeviceProfile &dev,
+                   const ExecutionPlan &plan);
+
+} // namespace smartmem::runtime
+
+#endif // SMARTMEM_RUNTIME_SIMULATED_EXECUTOR_H

@@ -1,0 +1,31 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace smartmem {
+
+namespace {
+
+std::string
+format(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+} // namespace
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(format("fatal", file, line, msg));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    throw InternalError(format("panic", file, line, msg));
+}
+
+} // namespace smartmem

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error handling primitives for the SmartMem library.
+ *
+ * Follows the gem5 panic()/fatal() distinction:
+ *  - smFatal():  the *user* did something unsupported (bad model config,
+ *                invalid shapes).  Throws smartmem::FatalError.
+ *  - SM_ASSERT / smPanic(): an internal invariant was violated (a bug in
+ *                this library).  Throws smartmem::InternalError.
+ *
+ * Exceptions (rather than abort()) are used so that tests can assert on
+ * failure paths and so the library is embeddable.
+ */
+#ifndef SMARTMEM_SUPPORT_ERROR_H
+#define SMARTMEM_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace smartmem {
+
+/** Error caused by invalid user input (bad config, unsupported model). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error caused by a violated internal invariant (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Throw a FatalError with file/line context. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Throw an InternalError with file/line context. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace smartmem
+
+#define smFatal(msg) ::smartmem::fatalImpl(__FILE__, __LINE__, (msg))
+#define smPanic(msg) ::smartmem::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Internal invariant check; active in all build types. */
+#define SM_ASSERT(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::smartmem::panicImpl(__FILE__, __LINE__,                     \
+                std::string("assertion failed: ") + #cond + ": " + (msg));\
+        }                                                                 \
+    } while (0)
+
+/** User-facing precondition check. */
+#define SM_REQUIRE(cond, msg)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::smartmem::fatalImpl(__FILE__, __LINE__,                     \
+                std::string("requirement failed: ") + (msg));             \
+        }                                                                 \
+    } while (0)
+
+#endif // SMARTMEM_SUPPORT_ERROR_H

@@ -1,0 +1,44 @@
+#include "support/logging.h"
+
+#include <iostream>
+
+namespace smartmem {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off:   return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::cerr << "[smartmem:" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace smartmem

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal leveled logging for the SmartMem library.
+ *
+ * Logging is off by default (level Warn) so that benchmarks produce clean
+ * table output; tests and examples can raise the level.
+ */
+#ifndef SMARTMEM_SUPPORT_LOGGING_H
+#define SMARTMEM_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace smartmem {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log level; messages below this level are dropped. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Emit one log line (used by the SM_LOG macro). */
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace smartmem
+
+#define SM_LOG(level, expr)                                               \
+    do {                                                                  \
+        if (static_cast<int>(level) >=                                    \
+            static_cast<int>(::smartmem::logLevel())) {                   \
+            std::ostringstream _sm_os;                                    \
+            _sm_os << expr;                                               \
+            ::smartmem::logMessage(level, _sm_os.str());                  \
+        }                                                                 \
+    } while (0)
+
+#define SM_DEBUG(expr) SM_LOG(::smartmem::LogLevel::Debug, expr)
+#define SM_INFO(expr)  SM_LOG(::smartmem::LogLevel::Info, expr)
+#define SM_WARN(expr)  SM_LOG(::smartmem::LogLevel::Warn, expr)
+
+#endif // SMARTMEM_SUPPORT_LOGGING_H

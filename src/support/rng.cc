@@ -1,0 +1,43 @@
+#include "support/rng.h"
+
+#include "support/error.h"
+
+namespace smartmem {
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    SM_ASSERT(lo <= hi, "uniformInt: empty range");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformReal() < p;
+}
+
+std::size_t
+Rng::pickIndex(std::size_t n)
+{
+    SM_ASSERT(n > 0, "pickIndex: empty range");
+    return static_cast<std::size_t>(next() % n);
+}
+
+} // namespace smartmem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic seeded random number generation.
+ *
+ * All randomness in the library (synthetic weights, genetic tuner,
+ * property-test shape generation) flows through Rng so results are
+ * reproducible.  Implementation is xorshift64*, which is fast and has
+ * no global state.
+ */
+#ifndef SMARTMEM_SUPPORT_RNG_H
+#define SMARTMEM_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smartmem {
+
+/** Seeded xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 1) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    double uniformReal();
+
+    /** Uniform float in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Pick an index in [0, n) . Requires n > 0. */
+    std::size_t pickIndex(std::size_t n);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = pickIndex(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace smartmem
+
+#endif // SMARTMEM_SUPPORT_RNG_H

@@ -1,0 +1,66 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace smartmem {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SM_REQUIRE(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+void
+Accumulator::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+Accumulator::min() const
+{
+    SM_ASSERT(count_ > 0, "min of empty accumulator");
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    SM_ASSERT(count_ > 0, "max of empty accumulator");
+    return max_;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+} // namespace smartmem

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small statistics helpers shared by cost models, benches and reports.
+ */
+#ifndef SMARTMEM_SUPPORT_STATS_H
+#define SMARTMEM_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace smartmem {
+
+/** Geometric mean of a set of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty set. */
+double mean(const std::vector<double> &values);
+
+/** Running accumulator for min/max/sum/count. */
+class Accumulator
+{
+  public:
+    void add(double v);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace smartmem
+
+#endif // SMARTMEM_SUPPORT_STATS_H

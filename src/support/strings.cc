@@ -1,0 +1,52 @@
+#include "support/strings.h"
+
+#include <cstdio>
+
+namespace smartmem {
+
+std::string
+joinInts(const std::vector<std::int64_t> &values, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += sep;
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+std::string
+joinStrings(const std::vector<std::string> &values, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += sep;
+        out += values[i];
+    }
+    return out;
+}
+
+std::string
+formatFixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    return formatFixed(v, 1) + " " + units[u];
+}
+
+} // namespace smartmem

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * String formatting helpers used across the library.
+ */
+#ifndef SMARTMEM_SUPPORT_STRINGS_H
+#define SMARTMEM_SUPPORT_STRINGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smartmem {
+
+/** Join elements with a separator, e.g. joinInts({1,2,3}, "x") == "1x2x3". */
+std::string joinInts(const std::vector<std::int64_t> &values,
+                     const std::string &sep);
+
+/** Join strings with a separator. */
+std::string joinStrings(const std::vector<std::string> &values,
+                        const std::string &sep);
+
+/** Format a double with the given number of decimals ("12.34"). */
+std::string formatFixed(double v, int decimals);
+
+/** Format a byte count human-readably ("3.0 MB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Integer ceiling division for non-negative operands. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of b. */
+constexpr std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace smartmem
+
+#endif // SMARTMEM_SUPPORT_STRINGS_H

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the baseline framework models: support matrices (the "-"
+ * cells of Tables 7/8) and compiled-plan sanity.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "exec/executor.h"
+#include "models/models.h"
+#include "runtime/functional_runner.h"
+#include "runtime/simulated_executor.h"
+
+namespace smartmem::baselines {
+namespace {
+
+TEST(Support, NcnnAndTfliteRejectTransformers)
+{
+    auto swin = models::buildModel("Swin", 1);
+    std::string reason;
+    EXPECT_FALSE(makeNcnnLike()->supports(swin, &reason));
+    EXPECT_FALSE(makeTfliteLike()->supports(swin, &reason));
+    EXPECT_TRUE(makeMnnLike()->supports(swin, &reason));
+    EXPECT_TRUE(makeTvmLike()->supports(swin, &reason));
+    EXPECT_TRUE(makeDnnFusionLike()->supports(swin, &reason));
+}
+
+TEST(Support, NcnnAcceptsPureConvNets)
+{
+    std::string reason;
+    for (const char *m : {"RegNet", "ResNext", "Yolo-V8"}) {
+        auto g = models::buildModel(m, 1);
+        EXPECT_TRUE(makeNcnnLike()->supports(g, &reason)) << m;
+    }
+    // ConvNext contains LayerNorm -> rejected, matching Table 7.
+    auto convnext = models::buildModel("ConvNext", 1);
+    EXPECT_FALSE(makeNcnnLike()->supports(convnext, &reason));
+}
+
+TEST(Support, TfliteRejectsYoloButAcceptsRegNet)
+{
+    std::string reason;
+    EXPECT_FALSE(makeTfliteLike()->supports(
+        models::buildModel("Yolo-V8", 1), &reason));
+    EXPECT_TRUE(makeTfliteLike()->supports(
+        models::buildModel("RegNet", 1), &reason));
+    EXPECT_TRUE(makeTfliteLike()->supports(
+        models::buildModel("ResNext", 1), &reason));
+}
+
+TEST(Compile, UnsupportedModelReportsReason)
+{
+    auto dev = device::adreno740();
+    auto r = makeNcnnLike()->compile(models::buildModel("Swin", 1), dev);
+    EXPECT_FALSE(r.supported);
+    EXPECT_FALSE(r.reason.empty());
+}
+
+class FrameworkCompile
+    : public ::testing::TestWithParam<std::tuple<int, std::string>>
+{
+  protected:
+    std::unique_ptr<Framework>
+    framework() const
+    {
+        switch (std::get<0>(GetParam())) {
+          case 0: return makeMnnLike();
+          case 1: return makeNcnnLike();
+          case 2: return makeTfliteLike();
+          case 3: return makeTvmLike();
+          case 4: return makeDnnFusionLike();
+          default: return makeInductorLike();
+        }
+    }
+};
+
+TEST_P(FrameworkCompile, PlansVerifyAndSimulate)
+{
+    auto fw = framework();
+    auto dev = device::adreno740();
+    auto g = models::buildTinyVariant(std::get<1>(GetParam()), 1);
+    auto r = fw->compile(g, dev);
+    if (!r.supported)
+        GTEST_SKIP() << r.reason;
+    EXPECT_NO_THROW(runtime::verifyPlan(r.plan));
+    auto sim = runtime::simulate(dev, r.plan);
+    EXPECT_GT(sim.latencyMs(), 0);
+}
+
+std::string
+frameworkParamName(
+    const ::testing::TestParamInfo<std::tuple<int, std::string>> &info)
+{
+    static const char *fw[] = {"MNN",  "NCNN", "TFLite",
+                               "TVM",  "DNNF", "Inductor"};
+    return std::string(fw[std::get<0>(info.param)]) + "_" +
+           std::get<1>(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrameworkCompile,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(std::string("Swin"),
+                                         std::string("ViT"),
+                                         std::string("ResNext"))),
+    frameworkParamName);
+
+TEST(Compile, FrameworksReduceOperatorCount)
+{
+    // Every framework's optimized plan has no more kernels than the
+    // unoptimized operator count (Table 7's premise)...
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    int unopt = g.operatorCount();
+    for (auto &fw : allMobileBaselines()) {
+        auto r = fw->compile(g, dev);
+        if (!r.supported)
+            continue;
+        // ...except MNN-style implicit relayout insertion, which may
+        // add copies back; allow a modest margin.
+        EXPECT_LT(r.plan.operatorCount(), unopt + unopt / 2)
+            << fw->name();
+        EXPECT_GT(r.plan.operatorCount(), 0) << fw->name();
+    }
+}
+
+TEST(Compile, DnnfFusesMoreThanMnn)
+{
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    auto mnn = makeMnnLike()->compile(g, dev);
+    auto dnnf = makeDnnFusionLike()->compile(g, dev);
+    ASSERT_TRUE(mnn.supported && dnnf.supported);
+    EXPECT_LT(dnnf.plan.operatorCount(), mnn.plan.operatorCount());
+}
+
+TEST(Compile, FunctionalEquivalenceOnTinyModel)
+{
+    // Every framework's plan computes the same function as the graph.
+    // Note: compilers normalize the graph, so inputs are re-keyed by
+    // position against each plan's own graph.
+    auto dev = device::adreno740();
+    auto g = models::buildTinyVariant("Swin", 1);
+    exec::Executor ex(21);
+    std::vector<exec::Tensor> tensors;
+    std::map<ir::ValueId, exec::Tensor> ref_inputs;
+    for (std::size_t i = 0; i < g.inputIds().size(); ++i) {
+        tensors.push_back(ex.randomTensor(
+            g.value(g.inputIds()[i]).shape, 3 + i));
+        ref_inputs[g.inputIds()[i]] = tensors.back();
+    }
+    (void)ex.runOutputs(g, ref_inputs); // reference graph executes
+    for (auto &fw : allMobileBaselines()) {
+        auto r = fw->compile(g, dev);
+        if (!r.supported)
+            continue;
+        std::map<ir::ValueId, exec::Tensor> plan_inputs;
+        const auto &ids = r.plan.graph.inputIds();
+        ASSERT_EQ(ids.size(), tensors.size()) << fw->name();
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            plan_inputs[ids[i]] = tensors[i];
+        // Compare the plan against *its own* (normalized) graph so
+        // synthesized constants line up; graph normalization itself is
+        // covered by opt_test.
+        auto ref = ex.runOutputs(r.plan.graph, plan_inputs);
+        auto got = runtime::runPlanFunctional(r.plan, plan_inputs, 21);
+        ASSERT_EQ(got.size(), ref.size()) << fw->name();
+        EXPECT_LT(exec::maxAbsDiff(ref[0], got[0]), 1e-4f)
+            << fw->name();
+    }
+}
+
+} // namespace
+} // namespace smartmem::baselines

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the simulated device substrate: cache simulator, texture
+ * geometry, device presets.
+ */
+#include <gtest/gtest.h>
+
+#include "device/cache_sim.h"
+#include "device/device_profile.h"
+#include "device/texture.h"
+#include "support/error.h"
+
+namespace smartmem::device {
+namespace {
+
+TEST(CacheSim, ColdMissesThenHits)
+{
+    CacheSim cache(1024, 64, 4);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(32)); // same line
+    EXPECT_FALSE(cache.access(64)); // next line
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.accesses(), 4u);
+}
+
+TEST(CacheSim, LruEvictsOldest)
+{
+    // 2 sets x 2 ways x 64B lines = 256B.
+    CacheSim cache(256, 64, 2);
+    // Three lines mapping to the same set (stride = 2 lines).
+    cache.access(0);
+    cache.access(256);
+    cache.access(512); // evicts line 0
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(CacheSim, SequentialStreamMissRateMatchesLineSize)
+{
+    CacheSim cache(32 << 10, 64, 4);
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 4)
+        cache.access(addr);
+    // One miss per 64-byte line, 16 accesses per line.
+    EXPECT_NEAR(cache.missRate(), 1.0 / 16.0, 1e-3);
+}
+
+TEST(CacheSim, StridedStreamThrashes)
+{
+    CacheSim cache(4 << 10, 64, 4);
+    // Stride of 256 bytes over a 1 MB range: every access a new line,
+    // and the working set exceeds the cache -> ~100% misses.
+    for (int rep = 0; rep < 4; ++rep)
+        for (std::uint64_t addr = 0; addr < (1u << 20); addr += 256)
+            cache.access(addr);
+    EXPECT_GT(cache.missRate(), 0.99);
+}
+
+TEST(CacheSim, ResetClearsState)
+{
+    CacheSim cache(1024, 64, 2);
+    cache.access(0);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheSim, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheSim(1000, 48, 2), smartmem::FatalError);
+}
+
+TEST(Texture, PackedXAxisUsesTexels)
+{
+    // [B=2, N=8, C=32], C on X packed: width = 32/4 = 8 texels,
+    // height = 2*8 = 16.
+    ir::Shape s({2, 8, 32});
+    ir::Layout l = ir::Layout::texture(3, 1, 2, 2);
+    TextureExtent e = textureExtent(s, l);
+    EXPECT_EQ(e.widthTexels, 8);
+    EXPECT_EQ(e.heightTexels, 16);
+    EXPECT_EQ(e.bytes(2), 8 * 16 * 4 * 2);
+}
+
+TEST(Texture, UnevenPackRoundsUp)
+{
+    ir::Shape s({1, 5, 6});
+    ir::Layout l = ir::Layout::texture(3, 1, 2, 2);
+    TextureExtent e = textureExtent(s, l);
+    EXPECT_EQ(e.widthTexels, 2); // ceil(6/4)
+    EXPECT_EQ(e.heightTexels, 5);
+}
+
+TEST(Texture, FitsRespectsMaxExtent)
+{
+    ir::Shape s({1, 20000, 8});
+    ir::Layout l = ir::Layout::texture(3, 1, 2, 2);
+    EXPECT_FALSE(fitsTexture(s, l, 16384));
+    EXPECT_TRUE(fitsTexture(s, l, 32768));
+}
+
+TEST(Texture, RejectsBufferLayout)
+{
+    EXPECT_THROW(textureExtent(ir::Shape({2, 2}),
+                               ir::Layout::rowMajor(2)),
+                 smartmem::FatalError);
+}
+
+TEST(Profiles, RooflineConstantsMatchFigure12)
+{
+    DeviceProfile p = adreno740();
+    EXPECT_DOUBLE_EQ(p.peakMacsPerSec, 2.0e12);
+    EXPECT_DOUBLE_EQ(p.globalBwBytesPerSec, 55e9);
+    EXPECT_DOUBLE_EQ(p.textureBwBytesPerSec, 511e9);
+    EXPECT_TRUE(p.hasTexture);
+}
+
+TEST(Profiles, PortabilityDevicesAreSmaller)
+{
+    DeviceProfile gen2 = adreno740();
+    DeviceProfile old = adreno540();
+    DeviceProfile mali = maliG57();
+    EXPECT_LT(old.peakMacsPerSec, gen2.peakMacsPerSec);
+    EXPECT_LT(mali.memoryCapacityBytes, old.memoryCapacityBytes);
+    EXPECT_EQ(mali.memoryCapacityBytes, 4LL << 30);
+}
+
+TEST(Profiles, DesktopHasNoTexturePath)
+{
+    DeviceProfile v100 = teslaV100();
+    EXPECT_FALSE(v100.hasTexture);
+    EXPECT_GT(v100.peakMacsPerSec, adreno740().peakMacsPerSec);
+}
+
+} // namespace
+} // namespace smartmem::device

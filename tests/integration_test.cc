@@ -1,0 +1,225 @@
+/**
+ * @file
+ * End-to-end integration tests: the full SmartMem pipeline against the
+ * reference executor on tiny model variants, stage monotonicity
+ * (Figure 8's premise), and cross-framework orderings (Table 8's
+ * premise) on the real evaluation models.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/smartmem_compiler.h"
+#include "exec/executor.h"
+#include "ir/macs.h"
+#include "models/models.h"
+#include "runtime/functional_runner.h"
+#include "runtime/simulated_executor.h"
+
+namespace smartmem {
+namespace {
+
+/** Inputs for a graph, deterministic by position. */
+std::map<ir::ValueId, exec::Tensor>
+makeInputs(const ir::Graph &g, const exec::Executor &ex)
+{
+    std::map<ir::ValueId, exec::Tensor> inputs;
+    for (std::size_t i = 0; i < g.inputIds().size(); ++i) {
+        inputs[g.inputIds()[i]] =
+            ex.randomTensor(g.value(g.inputIds()[i]).shape, 100 + i);
+    }
+    return inputs;
+}
+
+class TinyEquivalence : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TinyEquivalence, SmartMemPlanMatchesReference)
+{
+    auto dev = device::adreno740();
+    auto g = models::buildTinyVariant(GetParam(), 1);
+    auto plan = core::compileSmartMem(g, dev);
+
+    exec::Executor ex(77);
+    auto inputs = makeInputs(plan.graph, ex);
+    auto ref = ex.runOutputs(plan.graph, inputs);
+    auto got = runtime::runPlanFunctional(plan, inputs, 77);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_LT(exec::maxAbsDiff(ref[i], got[i]), 1e-4f);
+}
+
+TEST_P(TinyEquivalence, EveryStageMatchesReference)
+{
+    auto dev = device::adreno740();
+    auto g = models::buildTinyVariant(GetParam(), 1);
+    exec::Executor ex(88);
+    for (int stage = 0; stage <= 3; ++stage) {
+        auto plan = core::compileStage(g, dev, stage);
+        auto inputs = makeInputs(plan.graph, ex);
+        auto ref = ex.runOutputs(plan.graph, inputs);
+        auto got = runtime::runPlanFunctional(plan, inputs, 88);
+        EXPECT_LT(exec::maxAbsDiff(ref[0], got[0]), 1e-4f)
+            << "stage " << stage;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TinyEquivalence,
+                         ::testing::Values("Swin", "ViT", "ResNext"));
+
+TEST(Stages, LatencyImprovesMonotonically)
+{
+    // Figure 8: each added optimization must not slow Swin down.
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    double prev = 1e30;
+    for (int stage = 0; stage <= 3; ++stage) {
+        auto plan = core::compileStage(g, dev, stage);
+        double ms = runtime::simulate(dev, plan).latencyMs();
+        EXPECT_LE(ms, prev * 1.05) << "stage " << stage;
+        prev = ms;
+    }
+}
+
+TEST(Stages, LteReducesOperatorCount)
+{
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    auto base = core::compileStage(g, dev, 0);
+    auto lte = core::compileStage(g, dev, 1);
+    EXPECT_LT(lte.operatorCount(), base.operatorCount());
+}
+
+TEST(Table8Shape, SmartMemBeatsAllBaselinesOnTransformers)
+{
+    auto dev = device::adreno740();
+    for (const char *name : {"Swin", "CSwin"}) {
+        auto g = models::buildModel(name, 1);
+        auto ours = core::compileSmartMem(g, dev);
+        double ours_ms = runtime::simulate(dev, ours).latencyMs();
+        for (auto &fw : baselines::allMobileBaselines()) {
+            auto r = fw->compile(g, dev);
+            if (!r.supported)
+                continue;
+            double base_ms = runtime::simulate(dev, r.plan).latencyMs();
+            EXPECT_GT(base_ms, ours_ms)
+                << name << " vs " << fw->name();
+        }
+    }
+}
+
+TEST(Table8Shape, TransformerGainsExceedConvNetGains)
+{
+    // The paper's headline: speedups over DNNFusion are much larger on
+    // transformer models than on pure ConvNets.
+    auto dev = device::adreno740();
+    auto speedup = [&](const char *name) {
+        auto g = models::buildModel(name, 1);
+        auto ours = core::compileSmartMem(g, dev);
+        auto dnnf = baselines::makeDnnFusionLike()->compile(g, dev);
+        return runtime::simulate(dev, dnnf.plan).latencyMs() /
+               runtime::simulate(dev, ours).latencyMs();
+    };
+    double swin = speedup("Swin");
+    double resnext = speedup("ResNext");
+    EXPECT_GT(swin, 1.5);
+    EXPECT_GT(swin, resnext);
+    EXPECT_GE(resnext, 0.95); // never a slowdown
+}
+
+TEST(Table7Shape, OperatorCountsOrderAcrossFrameworks)
+{
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    auto ours = core::compileSmartMem(g, dev);
+    auto dnnf = baselines::makeDnnFusionLike()->compile(g, dev);
+    auto mnn = baselines::makeMnnLike()->compile(g, dev);
+    // Table 7: ours < DNNF < MNN < unoptimized.
+    EXPECT_LT(ours.operatorCount(), dnnf.plan.operatorCount());
+    EXPECT_LT(dnnf.plan.operatorCount(), mnn.plan.operatorCount());
+    EXPECT_LT(mnn.plan.operatorCount(),
+              g.operatorCount() + g.operatorCount() / 2);
+}
+
+TEST(MemoryShape, SmartMemUsesLessMemoryThanDnnf)
+{
+    // Section 4.6: eliminating kernels reduces intermediate memory.
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    auto ours = core::compileSmartMem(g, dev);
+    auto dnnf = baselines::makeDnnFusionLike()->compile(g, dev);
+    auto m_ours = runtime::simulateMemory(ours);
+    auto m_dnnf = runtime::simulateMemory(dnnf.plan);
+    EXPECT_LT(m_ours.totalAllocatedBytes, m_dnnf.totalAllocatedBytes);
+}
+
+TEST(MemoryShape, RedundantCopiesStaySmall)
+{
+    // Section 4.6: Swin's max active redundant copies ~3 MB.
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    auto ours = core::compileSmartMem(g, dev);
+    auto mem = runtime::simulateMemory(ours);
+    EXPECT_LT(mem.maxActiveRedundantCopyBytes, 16LL << 20);
+}
+
+TEST(Portability, SmallDeviceStillFavorsSmartMem)
+{
+    // Figure 11: orderings persist on Adreno 540 / Mali-G57.
+    for (auto dev : {device::adreno540(), device::maliG57()}) {
+        auto g = models::buildModel("Swin", 1);
+        auto ours = core::compileSmartMem(g, dev);
+        auto dnnf = baselines::makeDnnFusionLike()->compile(g, dev);
+        EXPECT_LT(runtime::simulate(dev, ours).latencyMs(),
+                  runtime::simulate(dev, dnnf.plan).latencyMs())
+            << dev.name;
+    }
+}
+
+TEST(Desktop, BufferOnlyPipelineBeatsInductor)
+{
+    // Table 9: LTE + layout selection (no texture) on V100.
+    auto dev = device::teslaV100();
+    auto g = models::buildModel("Swin", 1);
+    core::SmartMemOptions o;
+    o.enableTextureMapping = false;
+    auto ours = core::compileSmartMem(g, dev, o);
+    auto inductor = baselines::makeInductorLike()->compile(g, dev);
+    ASSERT_TRUE(inductor.supported);
+    double ours_ms = runtime::simulate(dev, ours).latencyMs();
+    double ind_ms = runtime::simulate(dev, inductor.plan).latencyMs();
+    EXPECT_LT(ours_ms, ind_ms);
+    // Desktop gain is modest (paper: 1.11-1.23x), nothing like mobile.
+    EXPECT_LT(ind_ms / ours_ms, 3.0);
+}
+
+TEST(BatchSize, SwinScalesAcrossBatches)
+{
+    // Figure 10: speedup vs DNNF holds as batch grows.
+    auto dev = device::adreno740();
+    for (int batch : {1, 4}) {
+        auto g = models::buildModel("Swin", batch);
+        auto ours = core::compileSmartMem(g, dev);
+        auto dnnf = baselines::makeDnnFusionLike()->compile(g, dev);
+        EXPECT_LT(runtime::simulate(dev, ours).latencyMs(),
+                  runtime::simulate(dev, dnnf.plan).latencyMs())
+            << "batch " << batch;
+    }
+}
+
+TEST(IndexSimplify, DisablingItCostsTime)
+{
+    // The Index Comprehension contribution (Figure 8 discussion).
+    auto dev = device::adreno740();
+    auto g = models::buildModel("Swin", 1);
+    core::SmartMemOptions with;
+    core::SmartMemOptions without = with;
+    without.enableIndexSimplify = false;
+    auto p1 = core::compileSmartMem(g, dev, with);
+    auto p2 = core::compileSmartMem(g, dev, without);
+    EXPECT_LE(runtime::simulate(dev, p1).cost.indexSeconds,
+              runtime::simulate(dev, p2).cost.indexSeconds);
+}
+
+} // namespace
+} // namespace smartmem

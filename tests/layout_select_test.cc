@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for layout assignment: fixed framework menus (implicit copy
+ * insertion) and SmartMem's reduction-dimension selection with texture
+ * mapping and redundant copies.
+ */
+#include <gtest/gtest.h>
+
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "cost/kernel_cost.h"
+#include "device/device_profile.h"
+#include "runtime/functional_runner.h"
+
+namespace smartmem::core {
+namespace {
+
+using ir::GraphBuilder;
+using ir::Layout;
+using ir::MemSpace;
+using ir::OpKind;
+using ir::Shape;
+
+/** conv -> layernorm-ish transformer op boundary (MNN's Figure 1b). */
+ir::Graph
+convThenLayerNorm()
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({1, 8, 8, 8}));
+    auto w = b.constant("w", Shape({8, 8, 3, 3}));
+    auto y = b.conv2d(x, w, 1, 1);
+    auto w2 = b.constant("w2", Shape({8, 8, 3, 3}));
+    auto g1 = b.constant("g", Shape({8}));
+    auto b1 = b.constant("b", Shape({8}));
+    auto ln = b.layerNorm(y, g1, b1);
+    auto y2 = b.conv2d(ln, w2, 1, 1);
+    b.markOutput(y2);
+    return b.finish();
+}
+
+TEST(FixedLayouts, RowMajorInsertsNoCopies)
+{
+    auto plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    auto dev = device::adreno740();
+    int before = plan.operatorCount();
+    assignLayouts(plan, LayoutStrategy::RowMajorBuffer, dev);
+    EXPECT_EQ(plan.operatorCount(), before);
+    for (const auto &k : plan.kernels)
+        EXPECT_EQ(k.outLayout.space(), MemSpace::Buffer);
+}
+
+TEST(FixedLayouts, MnnInsertsImplicitCopiesAroundNorm)
+{
+    // Figure 1(b): conv (NC4HW4 texture) -> norm (flat buffer) -> conv
+    // forces implicit relayouts, exactly MNN's behaviour.
+    auto plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    auto dev = device::adreno740();
+    int before = plan.operatorCount();
+    assignLayouts(plan, LayoutStrategy::Nc4hw4Texture, dev);
+    EXPECT_GT(plan.operatorCount(), before);
+    EXPECT_GT(plan.layoutCopyCount(), 0);
+    runtime::verifyPlan(plan);
+}
+
+TEST(FixedLayouts, DnnfKeepsTransformerOpsOnTexture)
+{
+    auto plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    auto dev = device::adreno740();
+    int before = plan.operatorCount();
+    assignLayouts(plan, LayoutStrategy::FusedTexture, dev);
+    // DNNFusion reads resident textures: fewer copies than MNN.
+    auto mnn_plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    assignLayouts(mnn_plan, LayoutStrategy::Nc4hw4Texture, dev);
+    EXPECT_LE(plan.operatorCount(), mnn_plan.operatorCount());
+    EXPECT_GE(plan.operatorCount(), before);
+}
+
+TEST(FixedLayouts, NoTextureOnDesktopDevice)
+{
+    auto plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    auto dev = device::teslaV100();
+    assignLayouts(plan, LayoutStrategy::FusedTexture, dev);
+    for (const auto &k : plan.kernels)
+        EXPECT_EQ(k.outLayout.space(), MemSpace::Buffer);
+}
+
+TEST(SmartSelect, GraphOutputStaysRowMajor)
+{
+    auto plan = planGraph(convThenLayerNorm(), FusionPolicy{});
+    auto dev = device::adreno740();
+    assignLayouts(plan, LayoutStrategy::SmartSelect, dev);
+    const auto &last = plan.kernels.back();
+    EXPECT_EQ(last.outLayout, Layout::rowMajor(4));
+}
+
+TEST(SmartSelect, RequestedSourceDimThroughTransposeMap)
+{
+    // transpose eliminated; matmul wants substitute dim 1 (K)
+    // contiguous, which is source dim 0.
+    GraphBuilder b;
+    auto x = b.input("x", Shape({64, 32}));
+    auto t = b.transpose(x, {1, 0});
+    auto w = b.constant("w", Shape({64, 16}));
+    auto y = b.matmul(t, w);
+    b.markOutput(y);
+    FusionPolicy p;
+    p.eliminateTransforms = true;
+    auto plan = planGraph(b.finish(), p);
+    ASSERT_EQ(plan.kernels.size(), 1u);
+    int dim = requestedSourceDim(plan.graph, plan.kernels[0],
+                                 plan.kernels[0].inputs[0]);
+    EXPECT_EQ(dim, 0);
+}
+
+TEST(SmartSelect, ProducerLayoutServesConsumerThroughMap)
+{
+    // producer matmul -> (eliminated transpose) -> consumer matmul:
+    // selection must give the producer an output layout that makes the
+    // consumer's transposed read contiguous.
+    GraphBuilder b;
+    auto x = b.input("x", Shape({64, 32}));
+    auto w1 = b.constant("w1", Shape({32, 48}));
+    auto y = b.matmul(x, w1);            // [64, 48]
+    auto t = b.transpose(y, {1, 0});     // [48, 64]
+    auto w2 = b.constant("w2", Shape({64, 8}));
+    auto z = b.matmul(t, w2);
+    b.markOutput(z);
+    FusionPolicy p;
+    p.eliminateTransforms = true;
+    auto plan = planGraph(b.finish(), p);
+    auto dev = device::adreno740();
+    assignLayouts(plan, LayoutStrategy::SmartSelectBufferOnly, dev);
+    // Find the consumer kernel and check its probed stride is small.
+    const auto &consumer = plan.kernels.back();
+    const ir::Node *mm = nullptr;
+    int idx = 0;
+    for (const auto &n : plan.graph.nodes()) {
+        if (n.kind == OpKind::MatMul &&
+            n.output == consumer.output) {
+            mm = &n;
+        }
+    }
+    ASSERT_NE(mm, nullptr);
+    std::int64_t stride = cost::probeReadStride(
+        plan.graph, consumer.inputs[0], *mm, idx);
+    EXPECT_LE(stride, 4) << "layout selection left a strided read";
+}
+
+TEST(SmartSelect, UsesTextureWhenAvailable)
+{
+    auto g = convThenLayerNorm();
+    FusionPolicy p;
+    p.eliminateTransforms = true;
+    auto plan = planGraph(g, p);
+    auto dev = device::adreno740();
+    assignLayouts(plan, LayoutStrategy::SmartSelect, dev);
+    bool any_texture = false;
+    for (const auto &k : plan.kernels)
+        any_texture |= k.outLayout.space() == MemSpace::Texture;
+    EXPECT_TRUE(any_texture);
+
+    // Buffer-only variant must not use textures.
+    auto plan2 = planGraph(g, p);
+    assignLayouts(plan2, LayoutStrategy::SmartSelectBufferOnly, dev);
+    for (const auto &k : plan2.kernels)
+        EXPECT_EQ(k.outLayout.space(), MemSpace::Buffer);
+}
+
+TEST(SmartSelect, PlansStayValidAfterAssignment)
+{
+    auto g = convThenLayerNorm();
+    FusionPolicy p;
+    p.eliminateTransforms = true;
+    p.fuseTransformChains = true;
+    for (auto strategy :
+         {LayoutStrategy::SmartSelect,
+          LayoutStrategy::SmartSelectBufferOnly,
+          LayoutStrategy::Nc4hw4Texture, LayoutStrategy::PackedBuffer,
+          LayoutStrategy::ConvertLayout, LayoutStrategy::FusedTexture,
+          LayoutStrategy::RowMajorBuffer}) {
+        auto plan = planGraph(g, p);
+        auto dev = device::adreno740();
+        assignLayouts(plan, strategy, dev);
+        EXPECT_NO_THROW(runtime::verifyPlan(plan));
+    }
+}
+
+TEST(SmartSelect, RedundantCopyForConflictingConsumers)
+{
+    // One producer, two consumers demanding different contiguous dims
+    // on a large tensor -> worth a redundant copy (Section 3.2.2).
+    GraphBuilder b;
+    auto x = b.input("x", Shape({512, 512}));
+    auto w1 = b.constant("w1", Shape({512, 512}));
+    auto y = b.matmul(x, w1); // producer
+    // Consumer 1: reads y directly (wants dim 1 contiguous).
+    auto w2 = b.constant("w2", Shape({512, 64}));
+    auto c1 = b.matmul(y, w2);
+    // Consumer 2: reads y transposed (wants dim 0 contiguous).
+    auto t = b.transpose(y, {1, 0});
+    auto w3 = b.constant("w3", Shape({512, 64}));
+    auto c2 = b.matmul(t, w3);
+    auto sum = b.binary(OpKind::Add, c1, c2);
+    b.markOutput(sum);
+    FusionPolicy p;
+    p.eliminateTransforms = true;
+    auto plan = planGraph(b.finish(), p);
+    auto dev = device::adreno740();
+    assignLayouts(plan, LayoutStrategy::SmartSelectBufferOnly, dev,
+                  /*allow_redundant_copies=*/true);
+    runtime::verifyPlan(plan);
+    // With copies disallowed the plan must still verify.
+    auto plan2 = planGraph(b.finish(), p);
+    assignLayouts(plan2, LayoutStrategy::SmartSelectBufferOnly, dev,
+                  /*allow_redundant_copies=*/false);
+    runtime::verifyPlan(plan2);
+    EXPECT_EQ(plan2.layoutCopyCount(), 0);
+}
+
+} // namespace
+} // namespace smartmem::core

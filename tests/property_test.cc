@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Property-based tests over randomized graphs and transform chains:
+ * the core invariants of the reproduction.
+ *
+ *  P1  Composed IndexMaps of random Reshape/Transpose/Slice chains
+ *      equal the materialized chain, before and after simplification.
+ *  P2  Strength reduction never increases div/mod counts and never
+ *      changes values.
+ *  P3  Any plan produced from a random graph under any policy is
+ *      functionally equivalent to the reference executor.
+ *  P4  Physical layouts are bijections (no two coordinates share a
+ *      storage slot).
+ */
+#include <gtest/gtest.h>
+
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "exec/executor.h"
+#include "index/index_map.h"
+#include "runtime/functional_runner.h"
+#include "support/rng.h"
+
+namespace smartmem {
+namespace {
+
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::Shape;
+
+/** Random shape with numElements factorable for reshapes. */
+Shape
+randomShape(Rng &rng)
+{
+    int rank = static_cast<int>(rng.uniformInt(2, 4));
+    std::vector<std::int64_t> dims;
+    for (int i = 0; i < rank; ++i)
+        dims.push_back(1 << rng.uniformInt(0, 3)); // powers of two
+    return Shape(dims);
+}
+
+/** Random factorization of n into up to 4 dims. */
+std::vector<std::int64_t>
+randomFactorization(Rng &rng, std::int64_t n)
+{
+    std::vector<std::int64_t> dims;
+    while (n > 1 && dims.size() < 3) {
+        std::int64_t f = 1;
+        // Pick a random divisor.
+        std::vector<std::int64_t> divisors;
+        for (std::int64_t d = 1; d <= n; ++d)
+            if (n % d == 0)
+                divisors.push_back(d);
+        f = divisors[rng.pickIndex(divisors.size())];
+        if (f == 1 && rng.chance(0.5))
+            continue;
+        dims.push_back(f);
+        n /= f;
+    }
+    dims.push_back(n);
+    return dims;
+}
+
+TEST(Property, P1_RandomChainsComposeCorrectly)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 60; ++trial) {
+        GraphBuilder b;
+        Shape in_shape = randomShape(rng);
+        auto x = b.input("x", in_shape);
+        auto cur = x;
+        int chain_len = static_cast<int>(rng.uniformInt(1, 5));
+        for (int i = 0; i < chain_len; ++i) {
+            const Shape &s = b.graph().value(cur).shape;
+            switch (rng.pickIndex(3)) {
+              case 0: { // reshape
+                cur = b.reshape(cur,
+                                randomFactorization(rng,
+                                                    s.numElements()));
+                break;
+              }
+              case 1: { // transpose
+                std::vector<std::int64_t> perm(
+                    static_cast<std::size_t>(s.rank()));
+                for (int d = 0; d < s.rank(); ++d)
+                    perm[static_cast<std::size_t>(d)] = d;
+                rng.shuffle(perm);
+                cur = b.transpose(cur, perm);
+                break;
+              }
+              default: { // slice on a random axis (if splittable)
+                int axis = static_cast<int>(
+                    rng.pickIndex(static_cast<std::size_t>(s.rank())));
+                std::int64_t extent = s.dim(axis);
+                if (extent < 2) {
+                    cur = b.transpose(cur, [&] {
+                        std::vector<std::int64_t> p(
+                            static_cast<std::size_t>(s.rank()));
+                        for (int d = 0; d < s.rank(); ++d)
+                            p[static_cast<std::size_t>(d)] = d;
+                        return p;
+                    }());
+                    break;
+                }
+                std::int64_t start = rng.uniformInt(0, extent / 2);
+                std::int64_t end =
+                    rng.uniformInt(start + 1, extent);
+                cur = b.slice(cur, {axis}, {start}, {end});
+                break;
+              }
+            }
+        }
+        b.markOutput(cur);
+        auto g = b.finish();
+
+        // Compose all maps along the chain.
+        std::optional<index::IndexMap> map;
+        for (const auto &n : g.nodes()) {
+            if (n.kind == OpKind::Input)
+                continue;
+            index::IndexMap m = index::IndexMap::fromNode(g, n);
+            map = map ? m.composedWith(*map) : m;
+        }
+        ASSERT_TRUE(map.has_value());
+        index::IndexMap simp = map->simplified();
+        EXPECT_LE(simp.divModCount(), map->divModCount());
+
+        // Materialize the chain with the functional executor and check
+        // both maps pick identical elements.
+        exec::Executor ex(trial);
+        auto in = ex.randomTensor(in_shape, 9);
+        auto out = ex.runOutputs(g, {{x, in}})[0];
+        exec::forEachCoord(
+            out.shape(), [&](const std::vector<std::int64_t> &coord) {
+                ASSERT_EQ(out.at(coord), in.at(map->apply(coord)));
+                ASSERT_EQ(out.at(coord), in.at(simp.apply(coord)));
+            });
+    }
+}
+
+/** Random DAG of mixed ops for end-to-end plan checks. */
+ir::Graph
+randomGraph(Rng &rng)
+{
+    GraphBuilder b;
+    std::int64_t rows = 1 << rng.uniformInt(1, 3);
+    std::int64_t cols = 8;
+    auto x = b.input("x", Shape({rows, cols}));
+    std::vector<ir::ValueId> pool = {x};
+    int n_ops = static_cast<int>(rng.uniformInt(4, 14));
+    for (int i = 0; i < n_ops; ++i) {
+        auto pick = pool[rng.pickIndex(pool.size())];
+        const Shape &s = b.graph().value(pick).shape;
+        switch (rng.pickIndex(6)) {
+          case 0:
+            pool.push_back(b.unary(OpKind::Relu, pick));
+            break;
+          case 1:
+            pool.push_back(b.unary(OpKind::Gelu, pick));
+            break;
+          case 2: { // matmul with weight
+            auto w = b.constant(
+                "w", Shape({s.dim(s.rank() - 1), cols}));
+            pool.push_back(b.matmul(pick, w));
+            break;
+          }
+          case 3: { // transpose
+            std::vector<std::int64_t> perm(
+                static_cast<std::size_t>(s.rank()));
+            for (int d = 0; d < s.rank(); ++d)
+                perm[static_cast<std::size_t>(d)] = d;
+            std::reverse(perm.begin(), perm.end());
+            pool.push_back(b.transpose(pick, perm));
+            break;
+          }
+          case 4: { // reshape
+            pool.push_back(b.reshape(
+                pick, randomFactorization(rng, s.numElements())));
+            break;
+          }
+          default: { // add with self (same shape always works)
+            pool.push_back(b.binary(OpKind::Add, pick, pick));
+            break;
+          }
+        }
+    }
+    b.markOutput(pool.back());
+    return b.finish();
+}
+
+class PolicyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PolicyProperty, P3_RandomPlansAreEquivalent)
+{
+    Rng rng(1000 + GetParam());
+    for (int trial = 0; trial < 25; ++trial) {
+        auto g = randomGraph(rng);
+        core::FusionPolicy p;
+        switch (GetParam()) {
+          case 0: // fixed-pattern
+            p.fuseEltwiseChains = false;
+            p.fusePreChains = false;
+            p.maxPostOps = 2;
+            break;
+          case 1: // DNNF-like
+            p.fuseTransformChains = true;
+            break;
+          case 2: // SmartMem
+            p.fuseTransformChains = true;
+            p.eliminateTransforms = true;
+            break;
+          default: // SmartMem without index simplification
+            p.fuseTransformChains = true;
+            p.eliminateTransforms = true;
+            p.simplifyIndexMaps = false;
+            break;
+        }
+        auto plan = core::planGraph(g, p);
+        runtime::verifyPlan(plan);
+
+        // Layout assignment must not change semantics either.
+        auto dev = device::adreno740();
+        core::assignLayouts(plan, core::LayoutStrategy::SmartSelect, dev);
+        runtime::verifyPlan(plan);
+
+        exec::Executor ex(500 + trial);
+        std::map<ir::ValueId, exec::Tensor> inputs;
+        inputs[g.inputIds()[0]] =
+            ex.randomTensor(g.value(g.inputIds()[0]).shape, 4);
+        auto ref = ex.runOutputs(g, inputs);
+        auto got = runtime::runPlanFunctional(plan, inputs,
+                                              500 + trial);
+        ASSERT_EQ(ref.size(), got.size());
+        EXPECT_LT(exec::maxAbsDiff(ref[0], got[0]), 1e-4f)
+            << "policy " << GetParam() << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyProperty,
+                         ::testing::Range(0, 4));
+
+TEST(Property, P4_RandomLayoutsAreBijections)
+{
+    Rng rng(555);
+    for (int trial = 0; trial < 40; ++trial) {
+        Shape s = randomShape(rng);
+        std::vector<ir::Layout> layouts = {
+            ir::Layout::rowMajor(s.rank())};
+        layouts.push_back(ir::Layout::packed(
+            s.rank(), static_cast<int>(
+                rng.pickIndex(static_cast<std::size_t>(s.rank())))));
+        if (s.rank() >= 2) {
+            int dx = s.rank() - 1;
+            int dy = s.rank() - 2;
+            layouts.push_back(ir::Layout::texture(s.rank(), dy, dx, dx));
+        }
+        for (const auto &l : layouts) {
+            std::set<std::int64_t> seen;
+            for (std::int64_t i = 0; i < s.numElements(); ++i) {
+                auto off =
+                    ir::physicalOffset(ir::delinearize(i, s), s, l);
+                ASSERT_TRUE(seen.insert(off).second)
+                    << l.toString() << " on " << s.toString();
+                ASSERT_LT(off, l.storageElements(s));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace smartmem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for the report/table utilities used by the bench harness.
+ */
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+#include "support/error.h"
+
+namespace smartmem::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    // Header present, separator present, rows present.
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Every line has the same "Value" column start.
+    auto header_pos = out.find("Value");
+    auto row_pos = out.find("22");
+    EXPECT_EQ(out.rfind('\n', header_pos) + 1 +
+                  (header_pos - (out.rfind('\n', header_pos) + 1)),
+              header_pos);
+    EXPECT_EQ(header_pos - out.rfind('\n', header_pos),
+              row_pos - out.rfind('\n', row_pos));
+}
+
+TEST(Table, CsvEscapesNothingButJoins)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), smartmem::FatalError);
+}
+
+TEST(Format, SpeedupPrecision)
+{
+    EXPECT_EQ(formatSpeedup(2.84), "2.8x");
+    EXPECT_EQ(formatSpeedup(12.3), "12x");
+}
+
+TEST(Format, BannerContainsTitle)
+{
+    std::string b = banner("Hello");
+    EXPECT_NE(b.find("= Hello ="), std::string::npos);
+}
+
+} // namespace
+} // namespace smartmem::report

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the support library.
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace smartmem {
+namespace {
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(smFatal("bad input"), FatalError);
+}
+
+TEST(Error, PanicThrowsInternalError)
+{
+    EXPECT_THROW(smPanic("bug"), InternalError);
+}
+
+TEST(Error, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(SM_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Error, AssertThrowsWithContext)
+{
+    try {
+        SM_ASSERT(false, "ctx-marker");
+        FAIL() << "should have thrown";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("ctx-marker"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, PickIndexCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> hits(5, 0);
+    for (int i = 0; i < 2000; ++i)
+        hits[rng.pickIndex(5)]++;
+    for (int h : hits)
+        EXPECT_GT(h, 0);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(13);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), FatalError);
+}
+
+TEST(Stats, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, AccumulatorTracksMinMax)
+{
+    Accumulator acc;
+    acc.add(3.0);
+    acc.add(-1.0);
+    acc.add(10.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(Strings, JoinInts)
+{
+    EXPECT_EQ(joinInts({1, 2, 3}, "x"), "1x2x3");
+    EXPECT_EQ(joinInts({}, ","), "");
+}
+
+TEST(Strings, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(3u << 20), "3.0 MB");
+}
+
+TEST(Strings, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(7, 4), 2);
+    EXPECT_EQ(ceilDiv(8, 4), 2);
+    EXPECT_EQ(roundUp(7, 4), 8);
+    EXPECT_EQ(roundUp(8, 4), 8);
+}
+
+} // namespace
+} // namespace smartmem

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * smartmem_cli — command-line driver for the library.
+ *
+ *   smartmem_cli list
+ *       List the model zoo with op/MAC characteristics.
+ *   smartmem_cli compile <model> [--device <name>] [--compiler <name>]
+ *                [--batch N] [--dump-plan] [--stages]
+ *       Compile a zoo model and report kernels / latency / memory.
+ *   smartmem_cli classify
+ *       Print the operator classification and pairwise action tables
+ *       (the paper's Tables 3 and 5).
+ *
+ * Devices: adreno740 (default), adreno540, mali-g57, v100.
+ * Compilers: smartmem (default), mnn, ncnn, tflite, tvm, dnnf,
+ *            inductor.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "core/smartmem_compiler.h"
+#include "ir/macs.h"
+#include "models/models.h"
+#include "opclass/opclass.h"
+#include "report/table.h"
+#include "runtime/memory_pool.h"
+#include "runtime/simulated_executor.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+using namespace smartmem;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: smartmem_cli list\n"
+                 "       smartmem_cli compile <model> [--device D] "
+                 "[--compiler C] [--batch N] [--dump-plan] [--stages]\n"
+                 "       smartmem_cli classify\n");
+    return 2;
+}
+
+device::DeviceProfile
+parseDevice(const std::string &name)
+{
+    if (name == "adreno740")
+        return device::adreno740();
+    if (name == "adreno540")
+        return device::adreno540();
+    if (name == "mali-g57")
+        return device::maliG57();
+    if (name == "v100")
+        return device::teslaV100();
+    smFatal("unknown device: " + name +
+            " (adreno740|adreno540|mali-g57|v100)");
+}
+
+int
+cmdList()
+{
+    report::Table table({"Model", "Type", "Input", "Attention", "#Ops",
+                         "#Transforms", "MACs(G)"});
+    for (const auto &name : models::allModels()) {
+        auto g = models::buildModel(name, 1);
+        auto info = models::modelInfo(name);
+        table.addRow({
+            name, info.type, info.input, info.attention,
+            std::to_string(g.operatorCount()),
+            std::to_string(g.layoutTransformCount()),
+            formatFixed(static_cast<double>(ir::graphMacs(g)) / 1e9, 1),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdClassify()
+{
+    std::printf("Operator classification (Table 3):\n");
+    report::Table table({"Operator", "Quadrant"});
+    for (int k = 0; k <= static_cast<int>(ir::OpKind::Pad); ++k) {
+        auto kind = static_cast<ir::OpKind>(k);
+        if (kind == ir::OpKind::Input || kind == ir::OpKind::Constant)
+            continue;
+        table.addRow({ir::opKindName(kind),
+                      opclass::opClassName(opclass::classifyOp(kind))});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Pairwise producer->consumer actions (Table 5):\n");
+    const opclass::OpClass quads[] = {
+        opclass::ildVariable, opclass::iliVariable, opclass::ildFixed,
+        opclass::iliFixed};
+    report::Table actions({"First \\ Second", "ILD&Var", "ILI&Var",
+                           "ILD&Fixed", "ILI&Fixed"});
+    for (const auto &first : quads) {
+        std::vector<std::string> row = {opclass::opClassName(first)};
+        for (const auto &second : quads) {
+            row.push_back(opclass::pairActionName(
+                opclass::combinationAction(first, second)));
+        }
+        actions.addRow(std::move(row));
+    }
+    std::printf("%s", actions.render().c_str());
+    return 0;
+}
+
+int
+cmdCompile(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string model = argv[2];
+    std::string device_name = "adreno740";
+    std::string compiler = "smartmem";
+    int batch = 1;
+    bool dump_plan = false;
+    bool stages = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--device" && i + 1 < argc)
+            device_name = argv[++i];
+        else if (arg == "--compiler" && i + 1 < argc)
+            compiler = argv[++i];
+        else if (arg == "--batch" && i + 1 < argc)
+            batch = std::atoi(argv[++i]);
+        else if (arg == "--dump-plan")
+            dump_plan = true;
+        else if (arg == "--stages")
+            stages = true;
+        else
+            return usage();
+    }
+
+    auto dev = parseDevice(device_name);
+    auto g = models::buildModel(model, batch);
+    std::printf("%s (batch %d): %d operators, %d transforms, %.1f "
+                "GMACs on %s\n",
+                model.c_str(), batch, g.operatorCount(),
+                g.layoutTransformCount(),
+                static_cast<double>(ir::graphMacs(g)) / 1e9,
+                dev.name.c_str());
+
+    if (stages) {
+        report::Table table({"Stage", "#Kernels", "Latency(ms)",
+                             "GMACS"});
+        const char *names[] = {"DNNF", "+LTE", "+LayoutSel", "+Other"};
+        for (int s = 0; s <= 3; ++s) {
+            auto plan = core::compileStage(g, dev, s);
+            auto sim = runtime::simulate(dev, plan);
+            table.addRow({names[s],
+                          std::to_string(plan.operatorCount()),
+                          formatFixed(sim.latencyMs(), 2),
+                          formatFixed(sim.gmacs(), 0)});
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+
+    runtime::ExecutionPlan plan;
+    if (compiler == "smartmem") {
+        plan = core::compileSmartMem(g, dev);
+    } else {
+        std::unique_ptr<baselines::Framework> fw;
+        if (compiler == "mnn") fw = baselines::makeMnnLike();
+        else if (compiler == "ncnn") fw = baselines::makeNcnnLike();
+        else if (compiler == "tflite") fw = baselines::makeTfliteLike();
+        else if (compiler == "tvm") fw = baselines::makeTvmLike();
+        else if (compiler == "dnnf") fw = baselines::makeDnnFusionLike();
+        else if (compiler == "inductor")
+            fw = baselines::makeInductorLike();
+        else
+            return usage();
+        auto r = fw->compile(g, dev);
+        if (!r.supported) {
+            std::printf("%s does not support %s: %s\n",
+                        fw->name().c_str(), model.c_str(),
+                        r.reason.c_str());
+            return 1;
+        }
+        plan = std::move(r.plan);
+    }
+
+    auto sim = runtime::simulate(dev, plan);
+    auto mem = runtime::simulateMemory(plan);
+    std::printf("compiler %-12s: %d kernels (%d relayouts)\n",
+                plan.compilerName.c_str(), plan.operatorCount(),
+                plan.layoutCopyCount());
+    std::printf("latency %.2f ms (%.0f GMACS)%s\n", sim.latencyMs(),
+                sim.gmacs(), sim.fits ? "" : "  ** exceeds memory **");
+    std::printf("  compute %.2f ms | memory %.2f ms | index %.3f ms | "
+                "launch %.2f ms\n",
+                sim.cost.computeSeconds * 1e3,
+                sim.cost.memorySeconds * 1e3,
+                sim.cost.indexSeconds * 1e3,
+                sim.cost.overheadSeconds * 1e3);
+    std::printf("  peak intermediates %s + weights %s; active "
+                "redundant copies %s\n",
+                formatBytes(static_cast<std::uint64_t>(
+                    mem.peakIntermediateBytes)).c_str(),
+                formatBytes(static_cast<std::uint64_t>(
+                    mem.constantBytes)).c_str(),
+                formatBytes(static_cast<std::uint64_t>(
+                    mem.maxActiveRedundantCopyBytes)).c_str());
+    if (dump_plan)
+        std::printf("\n%s", plan.toString().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        std::string cmd = argv[1];
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "classify")
+            return cmdClassify();
+        if (cmd == "compile")
+            return cmdCompile(argc, argv);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
