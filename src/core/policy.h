@@ -1,7 +1,7 @@
 /**
  * @file
  * Planner policies: what a compiler pipeline is allowed to fuse and how
- * it assigns layouts.  SmartMem and the five baseline frameworks are
+ * it assigns layouts.  SmartMem and the six baseline frameworks are
  * all expressed as PlannerOptions presets over one planner, so latency
  * differences in the benchmarks emerge from the decisions themselves.
  */
@@ -87,12 +87,20 @@ enum class LayoutStrategy {
 /** Full planner configuration. */
 struct PlannerOptions
 {
+    /** What the pipeline may fuse and whether transforms are
+     *  eliminated (Section 3.2) or merely fused. */
     FusionPolicy fusion;
+
+    /** Physical layout / memory-space assignment strategy; SmartMem
+     *  uses SmartSelect (Sections 3.2.2, 3.3), baselines use the fixed
+     *  strategies above. */
     LayoutStrategy layout = LayoutStrategy::RowMajorBuffer;
 
-    /** Run the genetic auto-tuner over launch configurations. */
+    /** Run the genetic auto-tuner over launch configurations
+     *  (Section 3.3, "Other optimizations"). */
     bool enableTuner = false;
 
+    /** RNG seed for the tuner; fixed so plans are reproducible. */
     std::uint64_t tunerSeed = 7;
 
     /** Insert redundant layout copies when consumers demand more than

@@ -36,14 +36,25 @@ struct SmartMemOptions
     /** 2.5D texture mapping of selected layouts (Section 3.3). */
     bool enableTextureMapping = true;
 
-    /** Genetic auto-tuner. */
+    /** Genetic auto-tuner over per-kernel launch configurations
+     *  (Section 3.3, "Other optimizations"). */
     bool enableTuner = true;
 
     /** Redundant copies for >k layout demands (Sections 3.2.2/4.6). */
     bool allowRedundantCopies = true;
 };
 
-/** Compile a graph with SmartMem. */
+/**
+ * Compile a graph with the full SmartMem pipeline (Sections 3.2-3.3).
+ *
+ * @param graph    The input computation graph (original, unfused).
+ * @param dev      Target device profile; drives the cost model, the
+ *                 texture-capability checks, and the tuner.
+ * @param options  Per-stage toggles; the default enables everything.
+ * @return An ExecutionPlan over the original (verified, normalized)
+ *         graph's nodes; plan-level invariants are exercised by the
+ *         functional runner and the test suites, not checked here.
+ */
 runtime::ExecutionPlan
 compileSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
                 const SmartMemOptions &options = SmartMemOptions());

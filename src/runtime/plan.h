@@ -8,7 +8,7 @@
  * the consuming kernel's input carries the composed IndexMap that
  * reproduces their semantics during reads.  Layouts and memory-space
  * placement are per-kernel annotations.  Every compiler (SmartMem and
- * the five baselines) produces this structure; the cost model, the
+ * the six baselines) produces this structure; the cost model, the
  * simulated executor, the memory pool, and the functional equivalence
  * runner all consume it.
  */
@@ -58,12 +58,16 @@ struct KernelInput
 /** One launched kernel: a fused group of original graph nodes. */
 struct Kernel
 {
+    /** Human-readable name, taken from the last node of the fusion
+     *  group (the node whose output the kernel materializes). */
     std::string name;
 
     /** Original node ids executed by this kernel, in topological order.
      *  Empty only for pure layout-copy kernels. */
     std::vector<ir::NodeId> fusedNodes;
 
+    /** External inputs read from memory (or, for `internalSource`,
+     *  recomputed in-register across an eliminated transform chain). */
     std::vector<KernelInput> inputs;
 
     /** The value this kernel materializes. */
@@ -92,11 +96,14 @@ struct Kernel
 /** A compiled executable plan. */
 struct ExecutionPlan
 {
+    /** Which compiler produced the plan ("SmartMem", "MNN", "NCNN",
+     *  ..., or a Figure 8 stage name); labels benchmark/CLI rows. */
     std::string compilerName;
 
     /** The original (unoptimized) graph the kernels index into. */
     ir::Graph graph;
 
+    /** Launch-ordered kernels; their count is the Table 7 metric. */
     std::vector<Kernel> kernels;
 
     /** Number of launched operators -- the Table 7 metric. */
@@ -115,6 +122,8 @@ struct ExecutionPlan
         return n;
     }
 
+    /** Multi-line dump of every kernel with inputs, layouts, and
+     *  read maps; what `smartmem_cli compile --dump-plan` prints. */
     std::string toString() const;
 };
 

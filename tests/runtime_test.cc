@@ -157,8 +157,9 @@ TEST(MemoryPool, RedundantCopiesTracked)
     core::assignLayouts(plan, core::LayoutStrategy::SmartSelectBufferOnly,
                         dev, true);
     MemoryStats stats = simulateMemory(plan);
-    if (plan.layoutCopyCount() > 0)
+    if (plan.layoutCopyCount() > 0) {
         EXPECT_GT(stats.maxActiveRedundantCopyBytes, 0);
+    }
 }
 
 TEST(FitsDevice, SmallPlanFits)
