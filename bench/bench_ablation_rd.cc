@@ -11,45 +11,78 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<std::string> names = {
+        "Swin", "CSwin", "ViT", "ResNext", "ConvNext"};
 
-    std::printf("%s", report::banner(
-        "Ablation: reduction-dimension layout selection").c_str());
+    core::CompileOptions none;
+    none.pipeline.enableLayoutSelect = false;
+    core::CompileOptions no_copies;
+    no_copies.pipeline.allowRedundantCopies = false;
+    core::CompileOptions full;
+
+    // Three configurations x five models through one cached session:
+    // the ablation is exactly the recompile-with-one-knob-changed
+    // workload the plan cache is keyed for.
+    core::CompileSession session(dev, opts.threads);
+    std::vector<core::CompileSession::Job> jobs;
+    for (const auto &name : names)
+        for (const auto &o : {none, no_copies, full})
+            jobs.push_back({name, o});
+    session.compileJobs(jobs);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            double a = bench::runSmartMem(session, name, none)
+                           .latencyMs;
+            double b = bench::runSmartMem(session, name, no_copies)
+                           .latencyMs;
+            double c = bench::runSmartMem(session, name, full)
+                           .latencyMs;
+            return std::vector<std::string>{
+                name,
+                formatFixed(a, 1),
+                formatFixed(b, 1),
+                formatFixed(c, 1),
+                report::formatSpeedup(a / b),
+                report::formatSpeedup(b / c),
+            };
+        });
 
     report::Table table({"Model", "No selection(ms)",
                          "RD, no copies(ms)", "RD full(ms)",
                          "selection gain", "copies gain"});
-    for (const char *name :
-         {"Swin", "CSwin", "ViT", "ResNext", "ConvNext"}) {
-        auto g = models::buildModel(name, 1);
-        core::SmartMemOptions none;
-        none.enableLayoutSelect = false;
-        core::SmartMemOptions no_copies;
-        no_copies.allowRedundantCopies = false;
-        core::SmartMemOptions full;
+    for (auto &row : rows)
+        table.addRow(std::move(row));
 
-        double a = runtime::simulate(
-            dev, core::compileSmartMem(g, dev, none)).latencyMs();
-        double b = runtime::simulate(
-            dev, core::compileSmartMem(g, dev, no_copies)).latencyMs();
-        double c = runtime::simulate(
-            dev, core::compileSmartMem(g, dev, full)).latencyMs();
-        table.addRow({
-            name,
-            formatFixed(a, 1),
-            formatFixed(b, 1),
-            formatFixed(c, 1),
-            report::formatSpeedup(a / b),
-            report::formatSpeedup(b / c),
-        });
-    }
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Ablation: reduction-dimension layout selection").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("The per-edge reduction-dimension choice provides the\n"
                 "bulk of the selection gain; redundant copies only\n"
                 "help when consumers demand conflicting layouts\n"
                 "(paper Section 3.2.2 'global' step).\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_ablation_rd");
+        json.add("Ablation: reduction-dimension layout selection",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -11,49 +11,80 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<std::string> names = {
+        "Swin", "CSwin", "ViT", "ConvNext"};
 
-    std::printf("%s", report::banner(
-        "Ablation: index strength reduction on/off").c_str());
+    core::CompileOptions on;
+    core::CompileOptions off;
+    off.pipeline.enableIndexSimplify = false;
+
+    core::CompileSession session(dev, opts.threads);
+    std::vector<core::CompileSession::Job> jobs;
+    for (const auto &name : names)
+        for (const auto &o : {on, off})
+            jobs.push_back({name, o});
+    session.compileJobs(jobs);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto plan_on = session.compileModel(name, on);
+            auto plan_off = session.compileModel(name, off);
+
+            auto divmods = [](const runtime::ExecutionPlan &p) {
+                int n = 0;
+                for (const auto &k : p.kernels)
+                    for (const auto &in : k.inputs)
+                        if (in.readMap)
+                            n += in.readMap->divModCount();
+                return n;
+            };
+            auto sim_on = runtime::simulate(dev, *plan_on);
+            auto sim_off = runtime::simulate(dev, *plan_off);
+            return std::vector<std::string>{
+                name,
+                std::to_string(divmods(*plan_off)),
+                std::to_string(divmods(*plan_on)),
+                formatFixed(sim_off.cost.indexSeconds * 1e3, 2),
+                formatFixed(sim_on.cost.indexSeconds * 1e3, 2),
+                report::formatSpeedup(sim_off.latencyMs() /
+                                      sim_on.latencyMs()),
+            };
+        });
 
     report::Table table({"Model", "div/mod (off)", "div/mod (on)",
                          "idx-time off(ms)", "idx-time on(ms)",
                          "total speedup"});
-    for (const char *name : {"Swin", "CSwin", "ViT", "ConvNext"}) {
-        auto g = models::buildModel(name, 1);
-        core::SmartMemOptions on;
-        core::SmartMemOptions off = on;
-        off.enableIndexSimplify = false;
-        auto plan_on = core::compileSmartMem(g, dev, on);
-        auto plan_off = core::compileSmartMem(g, dev, off);
+    for (auto &row : rows)
+        table.addRow(std::move(row));
 
-        auto divmods = [](const runtime::ExecutionPlan &p) {
-            int n = 0;
-            for (const auto &k : p.kernels)
-                for (const auto &in : k.inputs)
-                    if (in.readMap)
-                        n += in.readMap->divModCount();
-            return n;
-        };
-        auto sim_on = runtime::simulate(dev, plan_on);
-        auto sim_off = runtime::simulate(dev, plan_off);
-        table.addRow({
-            name,
-            std::to_string(divmods(plan_off)),
-            std::to_string(divmods(plan_on)),
-            formatFixed(sim_off.cost.indexSeconds * 1e3, 2),
-            formatFixed(sim_on.cost.indexSeconds * 1e3, 2),
-            report::formatSpeedup(sim_off.latencyMs() /
-                                  sim_on.latencyMs()),
-        });
-    }
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Ablation: index strength reduction on/off").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Strength reduction removes most div/mod operations\n"
                 "that stacked Reshape/Transpose chains leave in the\n"
                 "composed access functions (paper: contributes\n"
                 "1.1-1.3x on transformers).\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_ablation_strength");
+        json.add("Ablation: index strength reduction on/off", table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -10,43 +10,83 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
-    std::printf("%s", report::banner(
-        "Ablation: 2.5D texture mapping vs buffers").c_str());
+    const std::vector<std::string> names = {
+        "Swin", "ViT", "ResNext", "FST"};
+
+    bench::JsonReport json("bench_ablation_texture");
+    if (print)
+        std::printf("%s", report::banner(
+            "Ablation: 2.5D texture mapping vs buffers").c_str());
 
     for (auto dev : {device::adreno740(), device::maliG57()}) {
+        // Buffer-only: pretend the device has no texture units.  The
+        // session cache keys on the device fingerprint, so the
+        // modified profile never aliases the real one.
+        auto no_tex = dev;
+        no_tex.hasTexture = false;
+
+        core::CompileOptions flat;
+        flat.pipeline.enableTextureMapping = false;
+        core::CompileOptions mapped;
+
+        core::CompileSession session(dev, opts.threads);
+        core::CompileSession buf_session(no_tex, opts.threads);
+        std::vector<core::CompileSession::Job> jobs;
+        for (const auto &name : names)
+            for (const auto &o : {flat, mapped})
+                jobs.push_back({name, o});
+        session.compileJobs(jobs);
+        buf_session.compileZoo(names);
+
+        auto rows = support::parallelMap(
+            names.size(), opts.threads, [&](std::size_t i) {
+                const auto &name = names[i];
+                double buf =
+                    bench::runSmartMem(buf_session, name).latencyMs;
+                double flat_ms =
+                    bench::runSmartMem(session, name, flat).latencyMs;
+                double mapped_ms =
+                    bench::runSmartMem(session, name, mapped)
+                        .latencyMs;
+                return std::vector<std::string>{
+                    name,
+                    formatFixed(buf, 1),
+                    formatFixed(flat_ms, 1),
+                    formatFixed(mapped_ms, 1),
+                    report::formatSpeedup(buf / mapped_ms),
+                };
+            });
+
         report::Table table({"Model", "Buffer-only(ms)",
                              "Flat texture(ms)", "Mapped texture(ms)",
                              "texture gain"});
-        for (const char *name : {"Swin", "ViT", "ResNext", "FST"}) {
-            auto g = models::buildModel(name, 1);
-            // Buffer-only: pretend the device has no texture units.
-            auto no_tex = dev;
-            no_tex.hasTexture = false;
-            double buf = runtime::simulate(
-                no_tex, core::compileSmartMem(g, no_tex)).latencyMs();
-            core::SmartMemOptions flat;
-            flat.enableTextureMapping = false;
-            double flat_ms = runtime::simulate(
-                dev, core::compileSmartMem(g, dev, flat)).latencyMs();
-            double mapped = runtime::simulate(
-                dev, core::compileSmartMem(g, dev)).latencyMs();
-            table.addRow({
-                name,
-                formatFixed(buf, 1),
-                formatFixed(flat_ms, 1),
-                formatFixed(mapped, 1),
-                report::formatSpeedup(buf / mapped),
-            });
-        }
-        std::printf("-- %s --\n%s\n", dev.name.c_str(),
-                    table.render().c_str());
+        for (auto &row : rows)
+            table.addRow(std::move(row));
+        if (print)
+            std::printf("-- %s --\n%s\n", dev.name.c_str(),
+                        table.render().c_str());
+        json.add(dev.name, table);
     }
+    if (!print)
+        return;
     std::printf("Texture memory matters most for conv-heavy models\n"
                 "(Section 2.3 cites up to 3.5x for convolutions); the\n"
                 "axis mapping of Section 3.3 adds on top of flat\n"
                 "residency.\n");
-    return 0;
+    if (!opts.jsonPath.empty())
+        json.writeTo(opts.jsonPath);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compilation-pipeline benchmark: wall time to compile the full
+ * 18-model zoo serially (1 thread, the pre-session behavior) vs
+ * thread-pooled (core::CompileSession), plus a cache-hit pass over
+ * the same configurations.  Also verifies the tentpole guarantee:
+ * plans from the parallel path are byte-identical to the serial
+ * path's.  Exits non-zero on a determinism mismatch so the CI perf
+ * job doubles as a correctness gate.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace smartmem;
+
+namespace {
+
+using PlanPtrs =
+    std::vector<std::shared_ptr<const runtime::ExecutionPlan>>;
+
+double
+timeZooMs(core::CompileSession &session,
+          const std::vector<std::string> &names,
+          PlanPtrs *plans_out = nullptr)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    auto plans = session.compileZoo(names);
+    double ms = std::chrono::duration<double, std::milli>(
+                    clock::now() - t0).count();
+    if (plans_out)
+        *plans_out = std::move(plans);
+    return ms;
+}
+
+int
+runOnce(const bench::BenchOptions &opts, bool print)
+{
+    auto dev = device::adreno740();
+    auto names = models::evaluationModels();
+    int threads = opts.threads > 0 ? opts.threads
+                                   : support::defaultThreadCount();
+
+    core::CompileSession serial(dev, 1);
+    PlanPtrs serial_plans;
+    double serial_ms = timeZooMs(serial, names, &serial_plans);
+
+    core::CompileSession pooled(dev, threads);
+    PlanPtrs pooled_plans;
+    double pooled_ms = timeZooMs(pooled, names, &pooled_plans);
+
+    double cached_ms = timeZooMs(pooled, names);
+    auto stats = pooled.stats();
+
+    // The acceptance bar: sharding must not change a single byte.
+    int mismatches = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (serial_plans[i]->toString() != pooled_plans[i]->toString())
+            ++mismatches;
+    }
+
+    if (print) {
+        std::printf("%s", report::banner(
+            "Compile pipeline: serial vs thread-pooled zoo "
+            "compilation").c_str());
+        report::Table table({"Mode", "Threads", "Wall(ms)",
+                             "Speedup"});
+        table.addRow({"serial", "1", formatFixed(serial_ms, 0),
+                      "1.0x"});
+        table.addRow({"pooled", std::to_string(threads),
+                      formatFixed(pooled_ms, 0),
+                      report::formatSpeedup(serial_ms / pooled_ms)});
+        table.addRow({"cached", std::to_string(threads),
+                      formatFixed(cached_ms, 0),
+                      report::formatSpeedup(serial_ms / cached_ms)});
+        std::printf("%s\n", table.render().c_str());
+        std::printf("models %zu | cache hits %lld misses %lld | "
+                    "plans byte-identical: %s\n",
+                    names.size(),
+                    static_cast<long long>(stats.cacheHits),
+                    static_cast<long long>(stats.cacheMisses),
+                    mismatches == 0 ? "yes" : "NO");
+        if (!opts.jsonPath.empty()) {
+            bench::JsonReport json("bench_compile_speedup");
+            json.add("Compile pipeline: serial vs thread-pooled zoo "
+                     "compilation",
+                     table);
+            json.writeTo(opts.jsonPath);
+        }
+    }
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "error: %d plans differ between serial and "
+                     "pooled compilation\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    int rc = 0;
+    bench::runRepeated(opts, [&rc](const bench::BenchOptions &o,
+                                   bool print) {
+        rc |= runOnce(o, print);
+    });
+    return rc;
+}

@@ -9,45 +9,82 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<int> batches = {1, 2, 4, 6, 8, 10, 12, 14, 16};
 
-    std::printf("%s", report::banner(
-        "Figure 10: Swin speedup over baselines vs batch size").c_str());
-
-    report::Table table({"Batch", "MNN(ms)", "TVM(ms)", "DNNF(ms)",
-                         "Ours(ms)", "vs MNN", "vs TVM", "vs DNNF"});
+    // Per-batch jobs through the session: the zoo dimension here is
+    // batch size, not model name.
+    core::CompileSession session(dev, opts.threads);
+    std::vector<core::CompileSession::Job> jobs;
+    for (int batch : batches) {
+        core::CompileOptions o;
+        o.batch = batch;
+        jobs.push_back({"Swin", o});
+    }
+    session.compileJobs(jobs);
 
     auto mnn = baselines::makeMnnLike();
     auto tvm = baselines::makeTvmLike();
     auto dnnf = baselines::makeDnnFusionLike();
 
-    for (int batch : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
-        auto g = models::buildModel("Swin", batch);
-        auto ours = bench::runSmartMem(g, dev);
-        auto om = bench::runBaseline(*mnn, g, dev);
-        auto ot = bench::runBaseline(*tvm, g, dev);
-        auto od = bench::runBaseline(*dnnf, g, dev);
-        auto ratio = [&](const bench::Outcome &o) {
-            return (o.supported && o.fits)
-                ? report::formatSpeedup(o.latencyMs / ours.latencyMs)
-                : std::string("-");
-        };
-        table.addRow({
-            std::to_string(batch),
-            bench::cell(om, om.latencyMs, 0),
-            bench::cell(ot, ot.latencyMs, 0),
-            bench::cell(od, od.latencyMs, 0),
-            formatFixed(ours.latencyMs, 1),
-            ratio(om), ratio(ot), ratio(od),
+    auto rows = support::parallelMap(
+        batches.size(), opts.threads, [&](std::size_t i) {
+            int batch = batches[i];
+            auto g = models::buildModel("Swin", batch);
+            core::CompileOptions o;
+            o.batch = batch;
+            auto ours = bench::runSmartMem(session, "Swin", o);
+            auto om = bench::runBaseline(*mnn, g, dev);
+            auto ot = bench::runBaseline(*tvm, g, dev);
+            auto od = bench::runBaseline(*dnnf, g, dev);
+            auto ratio = [&](const bench::Outcome &b) {
+                return (b.supported && b.fits)
+                    ? report::formatSpeedup(b.latencyMs /
+                                            ours.latencyMs)
+                    : std::string("-");
+            };
+            return std::vector<std::string>{
+                std::to_string(batch),
+                bench::cell(om, om.latencyMs, 0),
+                bench::cell(ot, ot.latencyMs, 0),
+                bench::cell(od, od.latencyMs, 0),
+                formatFixed(ours.latencyMs, 1),
+                ratio(om), ratio(ot), ratio(od),
+            };
         });
-    }
+
+    report::Table table({"Batch", "MNN(ms)", "TVM(ms)", "DNNF(ms)",
+                         "Ours(ms)", "vs MNN", "vs TVM", "vs DNNF"});
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Figure 10: Swin speedup over baselines vs batch size").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: speedups stay roughly flat with batch\n"
                 "size (11.6-13.2x over MNN, 4.8-5.9x over TVM,\n"
                 "4.1-4.7x over DNNF); baselines hit OOM first at\n"
                 "large batches.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_fig10");
+        json.add("Figure 10: Swin speedup over baselines vs batch size",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -13,50 +13,76 @@ using namespace smartmem;
 
 namespace {
 
-void
-runDevice(const device::DeviceProfile &dev)
+report::Table
+runDevice(const device::DeviceProfile &dev,
+          const bench::BenchOptions &opts)
 {
     auto frameworks = baselines::allMobileBaselines();
-    std::printf("-- %s --\n", dev.name.c_str());
+    const std::vector<std::string> names = {
+        "CSwin",   "FlattenFormer", "SMTFormer", "Swin",
+        "ViT",     "ConvNext",      "ResNext",   "Yolo-V8"};
+
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto ours = bench::runSmartMem(session, name);
+            std::vector<std::string> row = {name};
+            for (const auto &fw : frameworks) {
+                auto o = bench::runBaseline(*fw, g, dev);
+                if (!o.supported) {
+                    row.push_back("-");
+                } else if (!o.fits) {
+                    row.push_back("OOM");
+                } else {
+                    row.push_back(report::formatSpeedup(
+                        o.latencyMs / ours.latencyMs));
+                }
+            }
+            row.push_back(ours.fits ? formatFixed(ours.latencyMs, 1)
+                                    : "OOM");
+            return row;
+        });
+
     report::Table table({"Model", "vs MNN", "vs NCNN", "vs TFLite",
                          "vs TVM", "vs DNNF", "Ours(ms)"});
-    const char *names[] = {"CSwin",    "FlattenFormer", "SMTFormer",
-                           "Swin",     "ViT",           "ConvNext",
-                           "ResNext",  "Yolo-V8"};
-    for (const char *name : names) {
-        auto g = models::buildModel(name, 1);
-        auto ours = bench::runSmartMem(g, dev);
-        std::vector<std::string> row = {name};
-        for (const auto &fw : frameworks) {
-            auto o = bench::runBaseline(*fw, g, dev);
-            if (!o.supported) {
-                row.push_back("-");
-            } else if (!o.fits) {
-                row.push_back("OOM");
-            } else {
-                row.push_back(report::formatSpeedup(
-                    o.latencyMs / ours.latencyMs));
-            }
-        }
-        row.push_back(ours.fits ? formatFixed(ours.latencyMs, 1)
-                                : "OOM");
+    for (auto &row : rows)
         table.addRow(std::move(row));
+    return table;
+}
+
+void
+run(const bench::BenchOptions &opts, bool print)
+{
+    bench::JsonReport json("bench_fig11");
+    if (print)
+        std::printf("%s", report::banner(
+            "Figure 11: portability to older/smaller SoCs").c_str());
+    for (auto dev : {device::maliG57(), device::adreno540()}) {
+        auto table = runDevice(dev, opts);
+        if (print)
+            std::printf("-- %s --\n%s\n", dev.name.c_str(),
+                        table.render().c_str());
+        json.add(dev.name, table);
     }
-    std::printf("%s\n", table.render().c_str());
+    if (!print)
+        return;
+    std::printf("Paper shape: similar speedups as the flagship SoC;\n"
+                "SmartMem is less sensitive to reduced resources\n"
+                "because elimination lowers memory/cache pressure;\n"
+                "some baselines OOM on the 4 GB device.\n");
+    if (!opts.jsonPath.empty())
+        json.writeTo(opts.jsonPath);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("%s", report::banner(
-        "Figure 11: portability to older/smaller SoCs").c_str());
-    runDevice(device::maliG57());
-    runDevice(device::adreno540());
-    std::printf("Paper shape: similar speedups as the flagship SoC;\n"
-                "SmartMem is less sensitive to reduced resources\n"
-                "because elimination lowers memory/cache pressure;\n"
-                "some baselines OOM on the 4 GB device.\n");
-    return 0;
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

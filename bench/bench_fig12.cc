@@ -12,11 +12,41 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<std::string> names = {
+        "Swin", "ViT", "ResNext", "SD-VAEDecoder"};
 
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto ours = bench::runSmartMem(session, name);
+            auto pt = cost::rooflinePoint(dev, ours.sim.cost);
+            return std::vector<std::string>{
+                name,
+                formatFixed(pt.intensityMacsPerByte, 1),
+                formatFixed(pt.achievedGmacs, 0),
+                formatFixed(pt.globalRoofGmacs, 0),
+                formatFixed(pt.textureRoofGmacs, 0),
+                formatFixed(100.0 * pt.fractionOfTextureRoof, 0),
+            };
+        });
+
+    report::Table table({"Model", "Intensity(MACs/B)",
+                         "Achieved(GMACS)", "GlobalRoof", "TextureRoof",
+                         "%ofTexRoof"});
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+
+    if (!print)
+        return;
     std::printf("%s", report::banner(
         "Figure 12: roofline analysis (Adreno 740)").c_str());
     std::printf("peak %.1f TMACs/s, global BW %.0f GB/s, texture BW "
@@ -24,27 +54,23 @@ main()
                 dev.peakMacsPerSec / 1e12,
                 dev.globalBwBytesPerSec / 1e9,
                 dev.textureBwBytesPerSec / 1e9);
-
-    report::Table table({"Model", "Intensity(MACs/B)", "Achieved(GMACS)",
-                         "GlobalRoof", "TextureRoof", "%ofTexRoof"});
-    for (const char *name :
-         {"Swin", "ViT", "ResNext", "SD-VAEDecoder"}) {
-        auto g = models::buildModel(name, 1);
-        auto ours = bench::runSmartMem(g, dev);
-        auto pt = cost::rooflinePoint(dev, ours.sim.cost);
-        table.addRow({
-            name,
-            formatFixed(pt.intensityMacsPerByte, 1),
-            formatFixed(pt.achievedGmacs, 0),
-            formatFixed(pt.globalRoofGmacs, 0),
-            formatFixed(pt.textureRoofGmacs, 0),
-            formatFixed(100.0 * pt.fractionOfTextureRoof, 0),
-        });
-    }
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: achieved speed ordered Swin < ViT <\n"
                 "ResNext < SD-VAEDecoder (149/204/271/360 GMACS),\n"
                 "reaching 24-35%% of the texture roof; higher\n"
                 "intensity models get closer to the roof.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_fig12");
+        json.add("Figure 12: roofline analysis (Adreno 740)", table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

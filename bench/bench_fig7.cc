@@ -9,46 +9,73 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
     auto frameworks = baselines::allMobileBaselines();
+    const std::vector<std::string> names = {"CSwin", "ResNext"};
 
-    std::printf("%s", report::banner(
-        "Figure 7: memory accesses & cache misses (normalized by "
-        "Ours)").c_str());
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
 
-    for (const char *name : {"CSwin", "ResNext"}) {
+    bench::JsonReport json("bench_fig7");
+    if (print)
+        std::printf("%s", report::banner(
+            "Figure 7: memory accesses & cache misses (normalized by "
+            "Ours)").c_str());
+
+    for (const auto &name : names) {
         auto g = models::buildModel(name, 1);
-        auto ours = bench::runSmartMem(g, dev);
+        auto ours = bench::runSmartMem(session, name);
         double base_acc =
             static_cast<double>(ours.sim.cost.memAccessElems);
         double base_miss =
             static_cast<double>(ours.sim.cost.cacheMissLines);
 
+        auto rows = support::parallelMap(
+            frameworks.size(), opts.threads, [&](std::size_t f) {
+                auto o = bench::runBaseline(*frameworks[f], g, dev);
+                if (!o.supported)
+                    return std::vector<std::string>{
+                        frameworks[f]->name(), "-", "-"};
+                return std::vector<std::string>{
+                    frameworks[f]->name(),
+                    formatFixed(
+                        static_cast<double>(
+                            o.sim.cost.memAccessElems) / base_acc, 2),
+                    formatFixed(
+                        static_cast<double>(
+                            o.sim.cost.cacheMissLines) / base_miss, 2),
+                };
+            });
+
         report::Table table({"Framework", "#MemAccess (norm)",
                              "#CacheMiss (norm)"});
-        for (const auto &fw : frameworks) {
-            auto o = bench::runBaseline(*fw, g, dev);
-            if (!o.supported) {
-                table.addRow({fw->name(), "-", "-"});
-                continue;
-            }
-            table.addRow({
-                fw->name(),
-                formatFixed(static_cast<double>(
-                                o.sim.cost.memAccessElems) / base_acc, 2),
-                formatFixed(static_cast<double>(
-                                o.sim.cost.cacheMissLines) / base_miss,
-                            2),
-            });
-        }
+        for (auto &row : rows)
+            table.addRow(std::move(row));
         table.addRow({"Ours", "1.00", "1.00"});
-        std::printf("-- %s --\n%s\n", name, table.render().c_str());
+        if (print)
+            std::printf("-- %s --\n%s\n", name.c_str(),
+                        table.render().c_str());
+        json.add(name, table);
     }
+    if (!print)
+        return;
     std::printf("Paper shape: other frameworks average ~1.8x more\n"
                 "memory accesses and ~2.0x more cache misses than\n"
                 "SmartMem; gaps larger on CSwin than ResNext.\n");
-    return 0;
+    if (!opts.jsonPath.empty())
+        json.writeTo(opts.jsonPath);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -10,40 +10,76 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<std::string> names = {
+        "AutoFormer", "BiFormer", "EfficientViT", "CSwin",
+        "ViT",        "ConvNext", "RegNet",       "ResNext"};
 
-    std::printf("%s", report::banner(
-        "Figure 8: speedup over DNNF per added optimization").c_str());
+    // All (model, stage) pairs are independent: shard the full cross
+    // product across the pool, then read the cache per row.
+    core::CompileSession session(dev, opts.threads);
+    std::vector<core::CompileSession::Job> jobs;
+    for (const auto &name : names) {
+        for (int stage = 0; stage <= 3; ++stage) {
+            core::CompileOptions o;
+            o.stage = stage;
+            jobs.push_back({name, o});
+        }
+    }
+    session.compileJobs(jobs);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            double ms[4];
+            for (int stage = 0; stage <= 3; ++stage) {
+                core::CompileOptions o;
+                o.stage = stage;
+                auto plan = session.compileModel(name, o);
+                ms[stage] = runtime::simulate(dev, *plan).latencyMs();
+            }
+            return std::vector<std::string>{
+                name,
+                formatFixed(ms[0], 1),
+                report::formatSpeedup(ms[0] / ms[1]),
+                report::formatSpeedup(ms[0] / ms[2]),
+                report::formatSpeedup(ms[0] / ms[3]),
+                report::formatSpeedup(ms[0] / ms[3]),
+            };
+        });
 
     report::Table table({"Model", "DNNF(ms)", "+LTE", "+LayoutSel",
                          "+Other(tex)", "Total speedup"});
+    for (auto &row : rows)
+        table.addRow(std::move(row));
 
-    const char *names[] = {"AutoFormer", "BiFormer", "EfficientViT",
-                           "CSwin",      "ViT",      "ConvNext",
-                           "RegNet",     "ResNext"};
-    for (const char *name : names) {
-        auto g = models::buildModel(name, 1);
-        double ms[4];
-        for (int stage = 0; stage <= 3; ++stage) {
-            auto plan = core::compileStage(g, dev, stage);
-            ms[stage] = runtime::simulate(dev, plan).latencyMs();
-        }
-        table.addRow({
-            name,
-            formatFixed(ms[0], 1),
-            report::formatSpeedup(ms[0] / ms[1]),
-            report::formatSpeedup(ms[0] / ms[2]),
-            report::formatSpeedup(ms[0] / ms[3]),
-            report::formatSpeedup(ms[0] / ms[3]),
-        });
-    }
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Figure 8: speedup over DNNF per added optimization").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Columns are cumulative speedups over DNNF.  Paper\n"
                 "shape: for transformers LTE contributes 1.5-2.7x,\n"
                 "layout selection a further 1.4-1.9x, texture/tuning\n"
                 "1.2-1.4x; ConvNet stages contribute 1.1-1.7x each.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_fig8");
+        json.add("Figure 8: speedup over DNNF per added optimization",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

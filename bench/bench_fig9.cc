@@ -10,21 +10,39 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
+    const std::vector<std::string> names = {"CSwin", "ResNext"};
 
-    std::printf("%s", report::banner(
-        "Figure 9: memory/cache counts per optimization stage").c_str());
-
-    for (const char *name : {"CSwin", "ResNext"}) {
-        auto g = models::buildModel(name, 1);
-        cost::PlanCost costs[4];
+    core::CompileSession session(dev, opts.threads);
+    std::vector<core::CompileSession::Job> jobs;
+    for (const auto &name : names) {
         for (int stage = 0; stage <= 3; ++stage) {
-            auto plan = core::compileStage(g, dev, stage);
-            costs[stage] = runtime::simulate(dev, plan).cost;
+            core::CompileOptions o;
+            o.stage = stage;
+            jobs.push_back({name, o});
         }
+    }
+    session.compileJobs(jobs);
+
+    bench::JsonReport json("bench_fig9");
+    if (print)
+        std::printf("%s", report::banner(
+            "Figure 9: memory/cache counts per optimization stage")
+            .c_str());
+
+    for (const auto &name : names) {
+        auto costs = support::parallelMap(
+            std::size_t(4), opts.threads, [&](std::size_t s) {
+                core::CompileOptions o;
+                o.stage = static_cast<int>(s);
+                auto plan = session.compileModel(name, o);
+                return runtime::simulate(dev, *plan).cost;
+            });
         double base_acc =
             static_cast<double>(costs[3].memAccessElems);
         double base_miss =
@@ -38,16 +56,33 @@ main()
             table.addRow({
                 stages[s],
                 formatFixed(static_cast<double>(
-                                costs[s].memAccessElems) / base_acc, 2),
+                                costs[static_cast<std::size_t>(s)]
+                                    .memAccessElems) / base_acc, 2),
                 formatFixed(static_cast<double>(
-                                costs[s].cacheMissLines) / base_miss, 2),
+                                costs[static_cast<std::size_t>(s)]
+                                    .cacheMissLines) / base_miss, 2),
             });
         }
-        std::printf("-- %s --\n%s\n", name, table.render().c_str());
+        if (print)
+            std::printf("-- %s --\n%s\n", name.c_str(),
+                        table.render().c_str());
+        json.add(name, table);
     }
+    if (!print)
+        return;
     std::printf("Paper shape: LTE reduces memory accesses more than\n"
                 "cache misses (it removes data reorganization);\n"
                 "layout selection reduces cache misses more than\n"
                 "accesses (it improves access patterns).\n");
-    return 0;
+    if (!opts.jsonPath.empty())
+        json.writeTo(opts.jsonPath);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

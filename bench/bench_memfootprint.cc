@@ -12,48 +12,76 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
     auto dnnf = baselines::makeDnnFusionLike();
+    const std::vector<std::string> names = {
+        "Swin", "ViT", "CSwin", "ResNext"};
 
-    std::printf("%s", report::banner(
-        "Section 4.6: redundant copies & memory footprint").c_str());
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto ours = session.compileModel(name);
+            auto base = dnnf->compile(g, dev);
+            auto m_ours = runtime::simulateMemory(*ours);
+            auto m_dnnf = runtime::simulateMemory(base.plan);
+            double reduction =
+                100.0 * (1.0 - static_cast<double>(
+                                   m_ours.totalAllocatedBytes) /
+                                   static_cast<double>(
+                                       m_dnnf.totalAllocatedBytes));
+            return std::vector<std::string>{
+                name,
+                formatBytes(static_cast<std::uint64_t>(
+                    m_ours.maxActiveRedundantCopyBytes)),
+                formatBytes(static_cast<std::uint64_t>(
+                    m_ours.peakIntermediateBytes)),
+                formatBytes(static_cast<std::uint64_t>(
+                    m_dnnf.peakIntermediateBytes)),
+                formatBytes(static_cast<std::uint64_t>(
+                    m_ours.totalAllocatedBytes)),
+                formatBytes(static_cast<std::uint64_t>(
+                    m_dnnf.totalAllocatedBytes)),
+                formatFixed(reduction, 0) + "%",
+            };
+        });
 
     report::Table table({"Model", "MaxActiveCopies", "Peak(Ours)",
                          "Peak(DNNF)", "Alloc(Ours)", "Alloc(DNNF)",
                          "Alloc reduction"});
-    for (const char *name : {"Swin", "ViT", "CSwin", "ResNext"}) {
-        auto g = models::buildModel(name, 1);
-        auto ours = core::compileSmartMem(g, dev);
-        auto base = dnnf->compile(g, dev);
-        auto m_ours = runtime::simulateMemory(ours);
-        auto m_dnnf = runtime::simulateMemory(base.plan);
-        double reduction =
-            100.0 * (1.0 - static_cast<double>(
-                               m_ours.totalAllocatedBytes) /
-                               static_cast<double>(
-                                   m_dnnf.totalAllocatedBytes));
-        table.addRow({
-            name,
-            formatBytes(static_cast<std::uint64_t>(
-                m_ours.maxActiveRedundantCopyBytes)),
-            formatBytes(static_cast<std::uint64_t>(
-                m_ours.peakIntermediateBytes)),
-            formatBytes(static_cast<std::uint64_t>(
-                m_dnnf.peakIntermediateBytes)),
-            formatBytes(static_cast<std::uint64_t>(
-                m_ours.totalAllocatedBytes)),
-            formatBytes(static_cast<std::uint64_t>(
-                m_dnnf.totalAllocatedBytes)),
-            formatFixed(reduction, 0) + "%",
-        });
-    }
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Section 4.6: redundant copies & memory footprint").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: active redundant copies stay in the\n"
                 "single-MB range (Swin 3.0 MB, ViT 2.3 MB); kernel\n"
                 "elimination cuts memory consumption ~14-15%% vs\n"
                 "DNNFusion.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_memfootprint");
+        json.add("Section 4.6: redundant copies & memory footprint",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -12,49 +12,76 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
     auto mnn = baselines::makeMnnLike();
 
-    std::printf("%s", report::banner(
-        "Table 1: latency and transformation breakdown (MNN-like, "
-        "Adreno 740)").c_str());
+    const std::vector<std::string> names = {
+        "ResNet50",    "FST",            "RegNet",  "CrossFormer",
+        "Swin",        "AutoFormer",     "CSwin",   "SD-TextEncoder",
+        "SD-UNet",     "Pythia"};
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto r = mnn->compile(g, dev);
+            if (!r.supported) {
+                return std::vector<std::string>{
+                    name, "-", "-", "-", "-", "-", "-", "-"};
+            }
+            auto sim = runtime::simulate(dev, r.plan);
+            double lat = sim.cost.seconds;
+            double exp_pct =
+                100.0 * sim.cost.explicitTransformSeconds / lat;
+            double imp_pct =
+                100.0 * sim.cost.implicitTransformSeconds / lat;
+            double comp_pct = 100.0 - exp_pct - imp_pct;
+            return std::vector<std::string>{
+                name,
+                formatFixed(
+                    static_cast<double>(ir::graphMacs(g)) / 1e9, 1),
+                std::to_string(g.layoutTransformCount()),
+                formatFixed(sim.latencyMs(), 0),
+                formatFixed(imp_pct, 1),
+                formatFixed(exp_pct, 1),
+                formatFixed(comp_pct, 1),
+                formatFixed(sim.gmacs(), 0),
+            };
+        });
 
     report::Table table({"Model", "#MACs(G)", "#Transforms", "Lat.(ms)",
                          "Imp.%", "Exp.%", "Comp.%", "Speed(GMACS)"});
+    for (auto &row : rows)
+        table.addRow(std::move(row));
 
-    const char *names[] = {"ResNet50",   "FST",         "RegNet",
-                           "CrossFormer", "Swin",       "AutoFormer",
-                           "CSwin",       "SD-TextEncoder", "SD-UNet",
-                           "Pythia"};
-    for (const char *name : names) {
-        auto g = models::buildModel(name, 1);
-        auto r = mnn->compile(g, dev);
-        if (!r.supported) {
-            table.addRow({name, "-", "-", "-", "-", "-", "-", "-"});
-            continue;
-        }
-        auto sim = runtime::simulate(dev, r.plan);
-        double lat = sim.cost.seconds;
-        double exp_pct = 100.0 * sim.cost.explicitTransformSeconds / lat;
-        double imp_pct = 100.0 * sim.cost.implicitTransformSeconds / lat;
-        double comp_pct = 100.0 - exp_pct - imp_pct;
-        table.addRow({
-            name,
-            formatFixed(static_cast<double>(ir::graphMacs(g)) / 1e9, 1),
-            std::to_string(g.layoutTransformCount()),
-            formatFixed(sim.latencyMs(), 0),
-            formatFixed(imp_pct, 1),
-            formatFixed(exp_pct, 1),
-            formatFixed(comp_pct, 1),
-            formatFixed(sim.gmacs(), 0),
-        });
-    }
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Table 1: latency and transformation breakdown (MNN-like, "
+        "Adreno 740)").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: transformers spend ~43-70%% of time on\n"
                 "layout transformations and run ~10x slower (GMACS)\n"
                 "than ConvNets; ConvNets spend <20%%.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_table1");
+        json.add("Table 1: latency and transformation breakdown "
+                 "(MNN-like, Adreno 740)",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

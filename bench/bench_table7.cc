@@ -10,38 +10,68 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
     auto frameworks = baselines::allMobileBaselines();
+    auto names = models::evaluationModels();
 
-    std::printf("%s", report::banner(
-        "Table 7: #operators with optimizations (Adreno 740)").c_str());
+    // Warm the plan cache across the pool; the per-row SmartMem
+    // compile below then hits instead of re-planning.
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto info = models::modelInfo(name);
+            std::vector<std::string> row = {
+                name, info.type, info.attention,
+                std::to_string(g.operatorCount()),
+                formatFixed(
+                    static_cast<double>(ir::graphMacs(g)) / 1e9, 1)};
+            for (const auto &fw : frameworks) {
+                auto o = bench::runBaseline(*fw, g, dev);
+                row.push_back(o.supported
+                                  ? std::to_string(o.operators)
+                                  : "-");
+            }
+            auto ours = bench::runSmartMem(session, name);
+            row.push_back(std::to_string(ours.operators));
+            return row;
+        });
 
     report::Table table({"Model", "Type", "Attn", "#Ops", "#MACs(G)",
                          "MNN", "NCNN", "TFLite", "TVM", "DNNF",
                          "Ours"});
-
-    for (const auto &name : models::evaluationModels()) {
-        auto g = models::buildModel(name, 1);
-        auto info = models::modelInfo(name);
-        std::vector<std::string> row = {
-            name, info.type, info.attention,
-            std::to_string(g.operatorCount()),
-            formatFixed(static_cast<double>(ir::graphMacs(g)) / 1e9, 1)};
-        for (const auto &fw : frameworks) {
-            auto o = bench::runBaseline(*fw, g, dev);
-            row.push_back(o.supported ? std::to_string(o.operators)
-                                      : "-");
-        }
-        auto ours = bench::runSmartMem(g, dev);
-        row.push_back(std::to_string(ours.operators));
+    for (auto &row : rows)
         table.addRow(std::move(row));
-    }
+
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Table 7: #operators with optimizations (Adreno 740)").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: Ours < DNNF < TVM < MNN on transformer\n"
                 "and hybrid models; NCNN/TFLite support only pure\n"
                 "ConvNets; for RegNet/ResNext/Yolo ours ~= DNNF.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_table7");
+        json.add("Table 7: #operators with optimizations (Adreno 740)",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

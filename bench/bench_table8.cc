@@ -11,50 +11,72 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+struct Row
+{
+    std::vector<std::string> cells;
+    std::vector<double> baselineSpeedups; // <= 0 marks "-"/OOM cells
+};
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::adreno740();
     auto frameworks = baselines::allMobileBaselines();
+    auto names = models::evaluationModels();
 
-    std::printf("%s", report::banner(
-        "Table 8: end-to-end latency (ms) on Adreno 740").c_str());
+    // Warm the plan cache across the pool; the per-row SmartMem
+    // compile below then hits instead of re-planning.
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto ours = bench::runSmartMem(session, name);
+
+            Row r;
+            r.cells = {name,
+                       formatFixed(static_cast<double>(
+                                       ir::graphMacs(g)) / 1e9, 1)};
+            r.baselineSpeedups.assign(frameworks.size(), 0);
+            double dnnf_ms = 0;
+            for (std::size_t f = 0; f < frameworks.size(); ++f) {
+                auto o = bench::runBaseline(*frameworks[f], g, dev);
+                r.cells.push_back(bench::cell(o, o.latencyMs));
+                if (o.supported && o.fits)
+                    r.baselineSpeedups[f] =
+                        o.latencyMs / ours.latencyMs;
+                if (frameworks[f]->name() == "DNNF" && o.supported)
+                    dnnf_ms = o.latencyMs;
+            }
+            r.cells.push_back(formatFixed(ours.latencyMs, 1));
+            r.cells.push_back(formatFixed(ours.gmacs, 0));
+            r.cells.push_back(
+                dnnf_ms > 0
+                    ? report::formatSpeedup(dnnf_ms / ours.latencyMs)
+                    : "-");
+            return r;
+        });
 
     report::Table table({"Model", "#MACs(G)", "MNN", "NCNN", "TFLite",
                          "TVM", "DNNF", "Ours", "Ours(GMACS)",
                          "vs DNNF"});
-
     // Per-framework speedup samples for the geomean row.
     std::vector<std::vector<double>> speedups(frameworks.size());
-    std::vector<double> dnnf_speedups;
-
-    for (const auto &name : models::evaluationModels()) {
-        auto g = models::buildModel(name, 1);
-        auto ours = bench::runSmartMem(g, dev);
-
-        std::vector<std::string> row = {
-            name,
-            formatFixed(static_cast<double>(ir::graphMacs(g)) / 1e9, 1)};
-        double dnnf_ms = 0;
-        for (std::size_t i = 0; i < frameworks.size(); ++i) {
-            auto o = bench::runBaseline(*frameworks[i], g, dev);
-            row.push_back(bench::cell(o, o.latencyMs));
-            if (o.supported && o.fits)
-                speedups[i].push_back(o.latencyMs / ours.latencyMs);
-            if (frameworks[i]->name() == "DNNF" && o.supported)
-                dnnf_ms = o.latencyMs;
-        }
-        row.push_back(formatFixed(ours.latencyMs, 1));
-        row.push_back(formatFixed(ours.gmacs, 0));
-        if (dnnf_ms > 0) {
-            double s = dnnf_ms / ours.latencyMs;
-            dnnf_speedups.push_back(s);
-            row.push_back(report::formatSpeedup(s));
-        } else {
-            row.push_back("-");
-        }
-        table.addRow(std::move(row));
+    for (auto &r : rows) {
+        for (std::size_t f = 0; f < frameworks.size(); ++f)
+            if (r.baselineSpeedups[f] > 0)
+                speedups[f].push_back(r.baselineSpeedups[f]);
+        table.addRow(std::move(r.cells));
     }
+
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Table 8: end-to-end latency (ms) on Adreno 740").c_str());
     std::printf("%s\n", table.render().c_str());
 
     std::printf("Geo-mean speedup of SmartMem over each framework:\n");
@@ -68,5 +90,19 @@ main()
     std::printf("\nPaper: 2.8x geo-mean over DNNF, 6.9x over TVM, 7.9x\n"
                 "over MNN; largest gains on transformer/hybrid models,\n"
                 "1.2-1.3x on RegNet/Yolo-V8.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_table8");
+        json.add("Table 8: end-to-end latency (ms) on Adreno 740",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

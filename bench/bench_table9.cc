@@ -10,33 +10,61 @@
 
 using namespace smartmem;
 
-int
-main()
+namespace {
+
+void
+run(const bench::BenchOptions &opts, bool print)
 {
     auto dev = device::teslaV100();
     auto inductor = baselines::makeInductorLike();
+    const std::vector<std::string> names = {"Swin", "AutoFormer"};
 
-    std::printf("%s", report::banner(
-        "Table 9: desktop GPU (V100), TorchInductor vs Ours").c_str());
+    core::CompileOptions desktop;
+    desktop.pipeline.enableTextureMapping = false; // no 2.5D on desktop
+    core::CompileSession session(dev, opts.threads);
+    session.compileZoo(names, desktop);
+
+    auto rows = support::parallelMap(
+        names.size(), opts.threads, [&](std::size_t i) {
+            const auto &name = names[i];
+            auto g = models::buildModel(name, 1);
+            auto base = bench::runBaseline(*inductor, g, dev);
+            auto ours = bench::runSmartMem(session, name, desktop);
+            return std::vector<std::string>{
+                name,
+                formatFixed(base.latencyMs, 2),
+                formatFixed(ours.latencyMs, 2),
+                report::formatSpeedup(base.latencyMs /
+                                      ours.latencyMs),
+            };
+        });
 
     report::Table table({"Model", "TorchInductor(ms)", "Ours(ms)",
                          "Speedup"});
-    for (const char *name : {"Swin", "AutoFormer"}) {
-        auto g = models::buildModel(name, 1);
-        auto base = bench::runBaseline(*inductor, g, dev);
-        core::SmartMemOptions o;
-        o.enableTextureMapping = false; // no 2.5D memory on desktop
-        auto ours = bench::runSmartMem(g, dev, o);
-        table.addRow({
-            name,
-            formatFixed(base.latencyMs, 2),
-            formatFixed(ours.latencyMs, 2),
-            report::formatSpeedup(base.latencyMs / ours.latencyMs),
-        });
-    }
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+
+    if (!print)
+        return;
+    std::printf("%s", report::banner(
+        "Table 9: desktop GPU (V100), TorchInductor vs Ours").c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper: 1.23x (Swin) and 1.11x (AutoFormer) -- modest\n"
                 "desktop gains because desktop GPUs have far more\n"
                 "bandwidth and no 2.5D texture path to exploit.\n");
-    return 0;
+    if (!opts.jsonPath.empty()) {
+        bench::JsonReport json("bench_table9");
+        json.add("Table 9: desktop GPU (V100), TorchInductor vs Ours",
+                 table);
+        json.writeTo(opts.jsonPath);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchArgs(argc, argv);
+    return bench::runRepeated(opts, run);
 }

@@ -8,10 +8,18 @@
 #ifndef SMARTMEM_BENCH_BENCH_UTIL_H
 #define SMARTMEM_BENCH_BENCH_UTIL_H
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/baselines.h"
+#include "core/compile_session.h"
 #include "core/smartmem_compiler.h"
 #include "device/device_profile.h"
 #include "ir/macs.h"
@@ -19,8 +27,181 @@
 #include "report/table.h"
 #include "runtime/simulated_executor.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 namespace smartmem::bench {
+
+/** Flags shared by every bench binary (and the CLI). */
+struct BenchOptions
+{
+    /** Compilation/evaluation threads; 0 = SMARTMEM_THREADS env or
+     *  hardware default, 1 = serial (the pre-thread-pool behavior). */
+    int threads = 0;
+
+    /** Run the measured body K times end to end (each run compiles
+     *  and simulates afresh); tables are printed once, on the last
+     *  run, with per-run wall time reported. */
+    int repeat = 1;
+
+    /** When non-empty, also emit the tables as JSON to this path. */
+    std::string jsonPath;
+};
+
+/** Strictly parse a non-negative integer flag value; exits(2) on
+ *  anything else (no atoi coercion of typos to defaults). */
+inline int
+parseIntFlag(const char *flag, const char *value, int min_value)
+{
+    char *end = nullptr;
+    long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < min_value || n > 100000) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
+                     value);
+        std::exit(2);
+    }
+    return static_cast<int>(n);
+}
+
+/** Parse --threads N / --repeat K / --json PATH; exits(2) on anything
+ *  else so a typo'd flag can't silently run the wrong experiment. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            o.threads = parseIntFlag("--threads", argv[++i], 0);
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            o.repeat = parseIntFlag("--repeat", argv[++i], 1);
+        } else if (arg == "--json" && i + 1 < argc) {
+            o.jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--repeat K] "
+                         "[--json PATH]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+/**
+ * Machine-readable mirror of the printed tables:
+ *   {"bench": ..., "tables": [{"title", "headers", "rows"}...]}
+ * Cells stay the formatted strings the table prints ("12.3", "-",
+ * "OOM"), so golden-number diffing sees exactly what the reader sees.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    void add(const std::string &title, const report::Table &table)
+    {
+        tables_.push_back({title, table.headers(), table.rows()});
+    }
+
+    std::string str() const
+    {
+        std::string out = "{\"bench\": " + quote(bench_) +
+                          ", \"tables\": [";
+        for (std::size_t t = 0; t < tables_.size(); ++t) {
+            const Entry &e = tables_[t];
+            if (t)
+                out += ", ";
+            out += "{\"title\": " + quote(e.title) + ", \"headers\": ";
+            out += cells(e.headers);
+            out += ", \"rows\": [";
+            for (std::size_t r = 0; r < e.rows.size(); ++r) {
+                if (r)
+                    out += ", ";
+                out += cells(e.rows[r]);
+            }
+            out += "]}";
+        }
+        out += "]}\n";
+        return out;
+    }
+
+    /** Write to `path`; prints a warning and returns false on error. */
+    bool writeTo(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "warning: cannot write JSON to %s\n",
+                         path.c_str());
+            return false;
+        }
+        f << str();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string title;
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    static std::string quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    static std::string cells(const std::vector<std::string> &row)
+    {
+        std::string out = "[";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += quote(row[i]);
+        }
+        out += "]";
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<Entry> tables_;
+};
+
+/**
+ * Run `body` opts.repeat times, printing only on the last run, and
+ * report per-iteration wall time when repeating.  Bench bodies are
+ * deterministic, so repeated runs measure the compile pipeline's
+ * wall time rather than changing the tables.
+ */
+inline int
+runRepeated(const BenchOptions &opts,
+            const std::function<void(const BenchOptions &, bool)> &body)
+{
+    using clock = std::chrono::steady_clock;
+    double best_ms = 0, total_ms = 0;
+    for (int r = 0; r < opts.repeat; ++r) {
+        auto t0 = clock::now();
+        body(opts, r + 1 == opts.repeat);
+        double ms = std::chrono::duration<double, std::milli>(
+                        clock::now() - t0).count();
+        total_ms += ms;
+        if (r == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+    if (opts.repeat > 1) {
+        std::printf("repeat %d: best %.0f ms, mean %.0f ms\n",
+                    opts.repeat, best_ms,
+                    total_ms / static_cast<double>(opts.repeat));
+    }
+    return 0;
+}
 
 /** One framework's simulated outcome for one model. */
 struct Outcome
@@ -65,6 +246,30 @@ runSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
     o.gmacs = o.sim.gmacs();
     o.operators = plan.operatorCount();
     return o;
+}
+
+/** Simulate an already-compiled plan (e.g. from a CompileSession). */
+inline Outcome
+simulatePlan(const runtime::ExecutionPlan &plan,
+             const device::DeviceProfile &dev)
+{
+    Outcome o;
+    o.supported = true;
+    o.sim = runtime::simulate(dev, plan);
+    o.fits = o.sim.fits;
+    o.latencyMs = o.sim.latencyMs();
+    o.gmacs = o.sim.gmacs();
+    o.operators = plan.operatorCount();
+    return o;
+}
+
+/** Compile (via the session's plan cache) + simulate SmartMem. */
+inline Outcome
+runSmartMem(core::CompileSession &session, const std::string &model,
+            const core::CompileOptions &opts = core::CompileOptions())
+{
+    return simulatePlan(*session.compileModel(model, opts),
+                        session.device());
 }
 
 /** "12.3" or "-" for unsupported / OOM cells. */

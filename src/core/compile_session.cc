@@ -1,0 +1,194 @@
+#include "core/compile_session.h"
+
+#include <utility>
+
+#include "models/models.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::core {
+
+namespace {
+
+/**
+ * Device side of the cache key.  The name alone would collide for
+ * hand-edited profile variants (the texture ablation flips hasTexture
+ * on a copy of adreno740), so every field the pipeline consults is
+ * encoded explicitly.
+ */
+std::string
+deviceFingerprint(const device::DeviceProfile &dev)
+{
+    std::string fp = "dev=" + dev.name;
+    fp += ";tex=" + std::to_string(dev.hasTexture ? 1 : 0);
+    fp += ";macs=" + formatFixed(dev.peakMacsPerSec, 0);
+    fp += ";gbw=" + formatFixed(dev.globalBwBytesPerSec, 0);
+    fp += ";tbw=" + formatFixed(dev.textureBwBytesPerSec, 0);
+    fp += ";line=" + std::to_string(dev.cacheLineBytes);
+    fp += ";ext=" + std::to_string(dev.maxTextureExtent);
+    fp += ";reg=" + std::to_string(dev.registersPerThread);
+    fp += ";launch=" + formatFixed(dev.kernelLaunchSec * 1e9, 3);
+    fp += ";relay=" + formatFixed(dev.relayoutElemsPerSec, 0);
+    fp += ";convpen=" + formatFixed(dev.bufferConvPenalty, 6);
+    return fp;
+}
+
+} // namespace
+
+std::string
+CompileOptions::fingerprint() const
+{
+    SM_REQUIRE(batch >= 1, "batch must be >= 1");
+    SM_REQUIRE(stage >= -1 && stage <= 3, "stage must be -1..3");
+    // Staged compiles override the toggles (compileStage); encode the
+    // effective configuration so stage presets and hand-built options
+    // that mean the same thing still key separately only via `stage`.
+    SmartMemOptions e = pipeline;
+    if (stage >= 0) {
+        e = SmartMemOptions();
+        e.enableLte = stage >= 1;
+        e.enableLayoutSelect = stage >= 2;
+        e.enableTextureMapping = stage >= 3;
+    }
+    std::string fp = "v1;batch=" + std::to_string(batch);
+    fp += ";stage=" + std::to_string(stage);
+    fp += ";lte=" + std::to_string(e.enableLte ? 1 : 0);
+    fp += ";idx=" + std::to_string(e.enableIndexSimplify ? 1 : 0);
+    fp += ";sel=" + std::to_string(e.enableLayoutSelect ? 1 : 0);
+    fp += ";texmap=" + std::to_string(e.enableTextureMapping ? 1 : 0);
+    fp += ";tuner=" + std::to_string(e.enableTuner ? 1 : 0);
+    fp += ";copies=" + std::to_string(e.allowRedundantCopies ? 1 : 0);
+    return fp;
+}
+
+CompileSession::CompileSession(device::DeviceProfile dev, int nThreads)
+    : dev_(std::move(dev)), devFingerprint_(deviceFingerprint(dev_))
+{
+    int n = nThreads > 0 ? nThreads : support::defaultThreadCount();
+    if (n > 1)
+        pool_ = std::make_unique<support::ThreadPool>(n);
+}
+
+int
+CompileSession::threadCount() const
+{
+    return pool_ ? pool_->size() : 1;
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileCached(const Job &job)
+{
+    const std::string key =
+        devFingerprint_ + "|model=" + job.model + "|" +
+        job.options.fingerprint();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++stats_.cacheHits;
+            return it->second;
+        }
+        ++stats_.cacheMisses;
+    }
+
+    // Compile outside the lock.  On pool workers the nested
+    // parallelism is already inline (onWorkerThread), so zoo-level
+    // sharding stays the only parallelism there; on the calling
+    // thread (compileModel, or a serial session) the session's thread
+    // count caps the intra-compile fan-out of layout_select/tuner --
+    // nThreads == 1 reproduces the fully serial pipeline.  Results
+    // are bit-identical either way.
+    support::ThreadBudgetGuard budget(threadCount());
+    ir::Graph g = models::buildModel(job.model, job.options.batch);
+    runtime::ExecutionPlan plan = job.options.stage >= 0
+        ? compileStage(g, dev_, job.options.stage)
+        : compileSmartMem(g, dev_, job.options.pipeline);
+    plan.cacheKey = key;
+
+    auto sp = std::make_shared<const runtime::ExecutionPlan>(
+        std::move(plan));
+    std::lock_guard<std::mutex> lock(mu_);
+    // Two threads may race to compile the same key; both plans are
+    // identical, keep the first inserted.
+    auto [it, inserted] = cache_.emplace(key, sp);
+    return it->second;
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileModel(const std::string &model,
+                             const CompileOptions &options)
+{
+    return compileCached({model, options});
+}
+
+std::vector<std::shared_ptr<const runtime::ExecutionPlan>>
+CompileSession::compileJobs(const std::vector<Job> &jobs)
+{
+    std::vector<std::shared_ptr<const runtime::ExecutionPlan>> plans(
+        jobs.size());
+    if (!pool_ || jobs.size() < 2) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            plans[i] = compileCached(jobs[i]);
+        return plans;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        futures.push_back(pool_->submit([this, &jobs, &plans, i] {
+            plans[i] = compileCached(jobs[i]);
+        }));
+    }
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+    return plans;
+}
+
+std::vector<std::shared_ptr<const runtime::ExecutionPlan>>
+CompileSession::compileZoo(const std::vector<std::string> &models,
+                           const CompileOptions &options)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(models.size());
+    for (const std::string &m : models)
+        jobs.push_back({m, options});
+    return compileJobs(jobs);
+}
+
+CompileStats
+CompileSession::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+CompileSession::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    stats_ = CompileStats();
+}
+
+std::vector<runtime::ExecutionPlan>
+compileZoo(const std::vector<std::string> &models,
+           const device::DeviceProfile &dev,
+           const CompileOptions &options, int nThreads)
+{
+    CompileSession session(dev, nThreads);
+    std::vector<runtime::ExecutionPlan> plans;
+    plans.reserve(models.size());
+    for (auto &sp : session.compileZoo(models, options))
+        plans.push_back(*sp);
+    return plans;
+}
+
+} // namespace smartmem::core

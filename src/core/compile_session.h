@@ -1,0 +1,147 @@
+/**
+ * @file
+ * CompileSession: parallel, cached compilation of the model zoo.
+ *
+ * The benchmark drivers compile the same (model, batch, device,
+ * options) tuples over and over -- every table/figure walks the zoo,
+ * and the ablations recompile identical configurations with one knob
+ * changed.  A session shards per-(model, batch, options) compilation
+ * jobs across a fixed-size support::ThreadPool and memoizes every
+ * ExecutionPlan under a canonical key, so repeated compilations hit
+ * the cache instead of re-running plan/select/tune.
+ *
+ * Determinism: compilation is a pure function of (model, batch,
+ * device, options) -- there are no mutable globals anywhere in the
+ * pipeline and the tuner RNG is seeded from the options -- so plans
+ * produced at any thread count are byte-identical to the serial
+ * path's (compileZoo collects results in submission order).  Worker
+ * threads compile with a thread budget of 1, which keeps the nested
+ * candidate-scoring/tuner parallelism of layout_select.cc and
+ * tuner.cc from re-entering a pool.
+ */
+#ifndef SMARTMEM_CORE_COMPILE_SESSION_H
+#define SMARTMEM_CORE_COMPILE_SESSION_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/smartmem_compiler.h"
+#include "device/device_profile.h"
+#include "runtime/plan.h"
+#include "support/thread_pool.h"
+
+namespace smartmem::core {
+
+/**
+ * Full specification of one SmartMem compilation, and the cache key
+ * domain: two CompileOptions with equal fingerprint() compile to the
+ * same plan on the same device.
+ */
+struct CompileOptions
+{
+    /** Per-stage pipeline toggles (ignored when stage >= 0). */
+    SmartMemOptions pipeline;
+
+    /** Input batch size the model is built with. */
+    int batch = 1;
+
+    /**
+     * Figure 8 staged pipeline: -1 compiles `pipeline` as given;
+     * 0..3 compiles via compileStage() (whose stage presets override
+     * `pipeline`, so the fingerprint canonicalizes the toggles).
+     */
+    int stage = -1;
+
+    /**
+     * Canonical, collision-free fingerprint of every field that
+     * influences the produced plan.  Explicit key=value encoding --
+     * never a hash -- so distinct configurations can never alias.
+     */
+    std::string fingerprint() const;
+};
+
+/** Plan-cache effectiveness counters. */
+struct CompileStats
+{
+    std::int64_t cacheHits = 0;
+    std::int64_t cacheMisses = 0;
+};
+
+/** Parallel zoo compiler with a keyed plan cache (see file header). */
+class CompileSession
+{
+  public:
+    /** One (model, options) compilation job. */
+    struct Job
+    {
+        std::string model;
+        CompileOptions options;
+    };
+
+    /**
+     * @param dev       Target device; part of every cache key.
+     * @param nThreads  Worker count for compileZoo()/compileJobs();
+     *                  0 = SMARTMEM_THREADS / hardware default, 1 =
+     *                  fully serial (no pool, today's behavior).
+     */
+    explicit CompileSession(device::DeviceProfile dev, int nThreads = 0);
+
+    const device::DeviceProfile &device() const { return dev_; }
+
+    /** Worker threads used for zoo compilation (>= 1). */
+    int threadCount() const;
+
+    /** Compile one zoo model on the calling thread (cached).  Plans
+     *  are shared out of the cache, never deep-copied: a hit costs a
+     *  lookup, not an ExecutionPlan+Graph copy. */
+    std::shared_ptr<const runtime::ExecutionPlan>
+    compileModel(const std::string &model,
+                 const CompileOptions &options = CompileOptions());
+
+    /** Compile arbitrary jobs across the pool; results are collected
+     *  in submission order (jobs[i] -> result[i]). */
+    std::vector<std::shared_ptr<const runtime::ExecutionPlan>>
+    compileJobs(const std::vector<Job> &jobs);
+
+    /** Compile a list of models under common options, in order. */
+    std::vector<std::shared_ptr<const runtime::ExecutionPlan>>
+    compileZoo(const std::vector<std::string> &models,
+               const CompileOptions &options = CompileOptions());
+
+    CompileStats stats() const;
+
+    void clearCache();
+
+  private:
+    std::shared_ptr<const runtime::ExecutionPlan>
+    compileCached(const Job &job);
+
+    device::DeviceProfile dev_;
+    std::string devFingerprint_;
+    std::unique_ptr<support::ThreadPool> pool_; // null when serial
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const runtime::ExecutionPlan>>
+        cache_;
+    CompileStats stats_;
+};
+
+/**
+ * One-shot convenience: compile `models` on `dev` across `nThreads`
+ * workers (0 = SMARTMEM_THREADS / hardware default), plans returned
+ * by value in the models' order.  Equivalent to the serial loop
+ * `for (m : models) compileSmartMem(buildModel(m, batch), dev, ...)`
+ * -- byte-identical plans, any thread count.
+ */
+std::vector<runtime::ExecutionPlan>
+compileZoo(const std::vector<std::string> &models,
+           const device::DeviceProfile &dev,
+           const CompileOptions &options = CompileOptions(),
+           int nThreads = 0);
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_COMPILE_SESSION_H

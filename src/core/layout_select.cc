@@ -11,6 +11,7 @@
 #include "opclass/opclass.h"
 #include "opclass/reduction_dims.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace smartmem::core {
 
@@ -619,8 +620,11 @@ assignSmart(ExecutionPlan &plan, const device::DeviceProfile &dev,
             auto cands = smartCandidates(out_shape, requested,
                                          allow_texture,
                                          texture_axis_mapping, dev);
-            double best_cost = -1;
-            for (const Layout &cand : cands) {
+            // Scoring a candidate only reads the plan/graph, so the
+            // candidates are scored on the pool and the winner picked
+            // serially below with the same first-strict-minimum rule
+            // -- bit-identical to the serial loop at any thread count.
+            auto scoreCandidate = [&](const Layout &cand) {
                 double total = 0;
                 // Write side (penalized mildly; see Section 3.2.2).
                 std::int64_t ws = writeStride(out_shape, cand);
@@ -658,9 +662,23 @@ assignSmart(ExecutionPlan &plan, const device::DeviceProfile &dev,
                                  dev.peakMacsPerSec;
                     }
                 }
-                if (best_cost < 0 || total < best_cost) {
-                    best_cost = total;
-                    chosen = cand;
+                return total;
+            };
+            std::vector<double> costs(cands.size());
+            if (cands.size() >= 4) {
+                support::parallelFor(
+                    cands.size(), [&](std::size_t ci, int) {
+                        costs[ci] = scoreCandidate(cands[ci]);
+                    });
+            } else {
+                for (std::size_t ci = 0; ci < cands.size(); ++ci)
+                    costs[ci] = scoreCandidate(cands[ci]);
+            }
+            double best_cost = -1;
+            for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+                if (best_cost < 0 || costs[ci] < best_cost) {
+                    best_cost = costs[ci];
+                    chosen = cands[ci];
                 }
             }
         }

@@ -9,6 +9,13 @@
  *
  * Every stage can be disabled independently, which is how the
  * optimization-breakdown experiments (Figures 8 and 9) are produced.
+ *
+ * Compilation is a pure function of (graph, device, options): there
+ * are no mutable globals and the tuner RNG is seeded from the
+ * options.  For compiling many (model, batch, options) tuples, prefer
+ * core/compile_session.h, which shards compilations across a thread
+ * pool and memoizes plans under a canonical key with byte-identical
+ * results at any thread count.
  */
 #ifndef SMARTMEM_CORE_SMARTMEM_COMPILER_H
 #define SMARTMEM_CORE_SMARTMEM_COMPILER_H

@@ -4,6 +4,7 @@
 
 #include "cost/kernel_cost.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace smartmem::core {
 
@@ -72,14 +73,40 @@ tunePlan(runtime::ExecutionPlan &plan, const device::DeviceProfile &dev,
                 static_cast<std::size_t>(options.configSpace)));
     }
 
+    // Fitness evaluations are independent per genome, so generations
+    // evaluate on the pool.  fitness() overwrites every kernel's
+    // tunedEfficiency before costing, so each parallel slot gets its
+    // own scratch copy of the plan and results match the serial loop
+    // bit for bit.
+    const int slots = support::effectiveParallelism(pop.size());
+    std::vector<runtime::ExecutionPlan> scratch;
+    if (slots > 1)
+        scratch.assign(static_cast<std::size_t>(slots), plan);
+    auto evaluatePopulation = [&](std::vector<double> &fit) {
+        fit.resize(pop.size());
+        if (slots > 1) {
+            support::parallelFor(
+                pop.size(), [&](std::size_t i, int slot) {
+                    fit[i] = fitness(
+                        scratch[static_cast<std::size_t>(slot)],
+                        pop[i], dev);
+                });
+        } else {
+            for (std::size_t i = 0; i < pop.size(); ++i)
+                fit[i] = fitness(plan, pop[i], dev);
+        }
+    };
+
     Genome best = pop[0];
     double best_fit = fitness(plan, best, dev);
 
     for (int gen = 0; gen < options.generations; ++gen) {
         // Evaluate and sort by fitness (lower is better).
+        std::vector<double> fit;
+        evaluatePopulation(fit);
         std::vector<std::pair<double, std::size_t>> ranked;
         for (std::size_t i = 0; i < pop.size(); ++i)
-            ranked.emplace_back(fitness(plan, pop[i], dev), i);
+            ranked.emplace_back(fit[i], i);
         std::sort(ranked.begin(), ranked.end());
         if (ranked[0].first < best_fit) {
             best_fit = ranked[0].first;

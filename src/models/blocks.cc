@@ -202,12 +202,14 @@ ValueId
 bottleneck(GraphBuilder &b, ValueId x, std::int64_t mid,
            std::int64_t out_ch, int stride, int groups)
 {
-    const Shape &s = b.graph().value(x).shape;
+    // Copy, not reference: the convBnAct calls below grow the value
+    // table and may reallocate it, dangling any held reference.
+    const std::int64_t in_ch = b.graph().value(x).shape.dim(1);
     ValueId skip = x;
     ValueId y = convBnAct(b, x, mid, 1, 1, 0, OpKind::Relu);
     y = convBnAct(b, y, mid, 3, stride, 1, OpKind::Relu, groups);
     y = convBnAct(b, y, out_ch, 1, 1, 0, OpKind::Identity);
-    if (s.dim(1) != out_ch || stride != 1)
+    if (in_ch != out_ch || stride != 1)
         skip = convBnAct(b, x, out_ch, 1, stride, 0, OpKind::Identity);
     y = b.binary(OpKind::Add, y, skip);
     return b.unary(OpKind::Relu, y);

@@ -189,7 +189,9 @@ buildYoloV8(int batch)
     std::vector<ValueId> outs;
     std::vector<ValueId> levels = {u3, u4, p5};
     for (ValueId lvl : levels) {
-        const Shape &ls = b.graph().value(lvl).shape;
+        // Copy, not reference: the convBnAct calls below may
+        // reallocate the builder's value table.
+        const Shape ls = b.graph().value(lvl).shape;
         ValueId box = convBnAct(b, lvl, 96, 3, 1, 1, OpKind::Silu);
         box = convBnAct(b, box, 144, 1, 1, 0, OpKind::Identity);
         ValueId flat = b.reshape(

@@ -324,7 +324,9 @@ buildConformer(int batch)
     // 2x conv subsampling -> [B, T/4, dim].
     ValueId t = convBnAct(b, x, 64, 3, 2, 1, OpKind::Silu);
     t = convBnAct(b, t, 64, 3, 2, 1, OpKind::Silu);
-    const Shape &s = b.graph().value(t).shape;
+    // Copy, not reference: transpose/reshape below may reallocate the
+    // builder's value table.
+    const Shape s = b.graph().value(t).shape;
     std::int64_t tlen = s.dim(3);
     t = b.transpose(t, {0, 3, 1, 2});
     t = b.reshape(t, {batch, tlen, 64 * s.dim(2)});

@@ -27,6 +27,15 @@ class Table
     /** Render as CSV. */
     std::string csv() const;
 
+    /** Column headers (for machine-readable emission). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Data rows in insertion order (for machine-readable emission). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

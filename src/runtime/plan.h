@@ -100,6 +100,17 @@ struct ExecutionPlan
      *  ..., or a Figure 8 stage name); labels benchmark/CLI rows. */
     std::string compilerName;
 
+    /**
+     * Canonical (device, model, options) key the plan was compiled
+     * under; set by core::CompileSession, empty for plans built
+     * outside a session.  Compilation is deterministic, so two plans
+     * with equal non-empty keys are interchangeable -- this is what
+     * makes the session's plan cache (and any future on-disk plan
+     * store) sound.  Excluded from toString(): the dump describes the
+     * compiled kernels, which do not depend on how the plan was keyed.
+     */
+    std::string cacheKey;
+
     /** The original (unoptimized) graph the kernels index into. */
     ir::Graph graph;
 

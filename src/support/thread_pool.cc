@@ -1,0 +1,185 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace smartmem::support {
+
+namespace {
+
+thread_local bool tl_on_worker = false;
+thread_local int tl_budget = 0; // 0 = unset
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    // Clamp to [1, 512]: worker counts beyond any real core count
+    // only add idle threads, and unbounded requests (a typo'd
+    // --threads) could make std::thread construction throw mid-way.
+    int n = std::min(std::max(threads, 1), 512);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tl_on_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_on_worker = true;
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the matching future
+    }
+}
+
+int
+parseThreadCount(const char *value)
+{
+    if (value == nullptr || *value == '\0')
+        return 0;
+    char *end = nullptr;
+    long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < 1)
+        return 0;
+    return static_cast<int>(std::min<long>(n, 1024));
+}
+
+int
+defaultThreadCount()
+{
+    static const int count = [] {
+        int env = parseThreadCount(std::getenv("SMARTMEM_THREADS"));
+        if (env > 0)
+            return env;
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }();
+    return count;
+}
+
+ThreadPool *
+globalPool()
+{
+    static ThreadPool *pool = defaultThreadCount() > 1
+        ? new ThreadPool(defaultThreadCount())
+        : nullptr; // leaked intentionally: lives for the process
+    return pool;
+}
+
+int
+currentThreadBudget()
+{
+    return tl_budget;
+}
+
+ThreadBudgetGuard::ThreadBudgetGuard(int budget) : prev_(tl_budget)
+{
+    tl_budget = std::max(budget, 1);
+}
+
+ThreadBudgetGuard::~ThreadBudgetGuard()
+{
+    tl_budget = prev_;
+}
+
+int
+effectiveParallelism(std::size_t n)
+{
+    if (n < 2 || ThreadPool::onWorkerThread())
+        return 1;
+    int budget = tl_budget > 0 ? tl_budget : defaultThreadCount();
+    ThreadPool *pool = globalPool();
+    int width = pool == nullptr ? 1 : pool->size();
+    return static_cast<int>(std::min<std::size_t>(
+        n, static_cast<std::size_t>(std::min(budget, width))));
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t, int)> &fn)
+{
+    const int chunks = effectiveParallelism(n);
+    if (chunks <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    // Contiguous chunks; chunk c covers [c*per + min(c,rem), ...).
+    const std::size_t per = n / static_cast<std::size_t>(chunks);
+    const std::size_t rem = n % static_cast<std::size_t>(chunks);
+    auto chunkBegin = [per, rem](int c) {
+        auto uc = static_cast<std::size_t>(c);
+        return uc * per + std::min(uc, rem);
+    };
+    auto runChunk = [&](int c) {
+        const std::size_t end = chunkBegin(c + 1);
+        for (std::size_t i = chunkBegin(c); i < end; ++i)
+            fn(i, c);
+    };
+
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(chunks));
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(chunks) - 1);
+    for (int c = 1; c < chunks; ++c)
+        futures.push_back(globalPool()->submit([&runChunk, c] {
+            runChunk(c);
+        }));
+    try {
+        runChunk(0);
+    } catch (...) {
+        errors[0] = std::current_exception();
+    }
+    for (int c = 1; c < chunks; ++c) {
+        try {
+            futures[static_cast<std::size_t>(c - 1)].get();
+        } catch (...) {
+            errors[static_cast<std::size_t>(c)] =
+                std::current_exception();
+        }
+    }
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace smartmem::support

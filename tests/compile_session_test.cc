@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the parallel compile session: options fingerprinting
+ * (collision-freedom), plan-cache hits and invalidation, and the
+ * tentpole guarantee that compileZoo produces byte-identical plans at
+ * every thread count.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compile_session.h"
+#include "core/smartmem_compiler.h"
+#include "models/models.h"
+#include "support/error.h"
+
+namespace smartmem::core {
+namespace {
+
+/** Small zoo slice covering ConvNet, transformer and hybrid models
+ *  (keeps the 1/2/8-thread determinism sweep fast). */
+std::vector<std::string>
+sampleModels()
+{
+    return {"Swin", "CSwin", "ViT", "ConvNext", "ResNext", "Pythia"};
+}
+
+TEST(CompileOptionsFingerprint, DistinctAcrossAllToggleCombinations)
+{
+    // Every combination of the six pipeline toggles, two batch sizes
+    // and all stages must fingerprint uniquely: the cache key may
+    // never alias two configurations that compile differently.
+    std::set<std::string> seen;
+    int count = 0;
+    for (int bits = 0; bits < 64; ++bits) {
+        for (int batch : {1, 4}) {
+            CompileOptions o;
+            o.batch = batch;
+            o.pipeline.enableLte = bits & 1;
+            o.pipeline.enableIndexSimplify = bits & 2;
+            o.pipeline.enableLayoutSelect = bits & 4;
+            o.pipeline.enableTextureMapping = bits & 8;
+            o.pipeline.enableTuner = bits & 16;
+            o.pipeline.allowRedundantCopies = bits & 32;
+            seen.insert(o.fingerprint());
+            ++count;
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), count);
+}
+
+TEST(CompileOptionsFingerprint, StagesKeySeparately)
+{
+    std::set<std::string> seen;
+    for (int stage = -1; stage <= 3; ++stage) {
+        CompileOptions o;
+        o.stage = stage;
+        seen.insert(o.fingerprint());
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(CompileOptionsFingerprint, StageCanonicalizesPipelineToggles)
+{
+    // compileStage() ignores the pipeline toggles, so two staged
+    // options differing only in (ignored) toggles must key equal.
+    CompileOptions a, b;
+    a.stage = 2;
+    b.stage = 2;
+    b.pipeline.enableLte = false;
+    b.pipeline.enableTextureMapping = false;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CompileOptionsFingerprint, IsStable)
+{
+    // The fingerprint is a persistence format (plan.cacheKey); keep
+    // it explicit and versioned.
+    CompileOptions o;
+    EXPECT_EQ(o.fingerprint(),
+              "v1;batch=1;stage=-1;lte=1;idx=1;sel=1;texmap=1;"
+              "tuner=1;copies=1");
+}
+
+TEST(CompileOptionsFingerprint, RejectsInvalidFields)
+{
+    CompileOptions bad_batch;
+    bad_batch.batch = 0;
+    EXPECT_THROW(bad_batch.fingerprint(), FatalError);
+    CompileOptions bad_stage;
+    bad_stage.stage = 4;
+    EXPECT_THROW(bad_stage.fingerprint(), FatalError);
+}
+
+TEST(CompileSessionCache, RepeatCompilationHits)
+{
+    CompileSession session(device::adreno740(), 1);
+    auto first = session.compileModel("Swin");
+    auto again = session.compileModel("Swin");
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 1);
+    EXPECT_EQ(st.cacheHits, 1);
+    EXPECT_EQ(first.get(), again.get()); // shared, not re-compiled
+    EXPECT_FALSE(first->cacheKey.empty());
+}
+
+TEST(CompileSessionCache, OptionChangesInvalidate)
+{
+    CompileSession session(device::adreno740(), 1);
+    CompileOptions full;
+    CompileOptions no_sel;
+    no_sel.pipeline.enableLayoutSelect = false;
+    CompileOptions batch2;
+    batch2.batch = 2;
+
+    auto a = session.compileModel("Swin", full);
+    auto b = session.compileModel("Swin", no_sel);
+    auto c = session.compileModel("Swin", batch2);
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 3);
+    EXPECT_EQ(st.cacheHits, 0);
+    EXPECT_NE(a->cacheKey, b->cacheKey);
+    EXPECT_NE(a->cacheKey, c->cacheKey);
+
+    // Same knobs again: all hits.
+    session.compileModel("Swin", no_sel);
+    session.compileModel("Swin", batch2);
+    st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 3);
+    EXPECT_EQ(st.cacheHits, 2);
+}
+
+TEST(CompileSessionCache, DeviceIsPartOfTheKey)
+{
+    CompileSession a(device::adreno740(), 1);
+    CompileSession b(device::maliG57(), 1);
+    auto pa = a.compileModel("ResNext");
+    auto pb = b.compileModel("ResNext");
+    EXPECT_NE(pa->cacheKey, pb->cacheKey);
+
+    // A hand-edited profile (texture ablation) must not alias its
+    // base profile even though the name is unchanged.
+    auto no_tex = device::adreno740();
+    no_tex.hasTexture = false;
+    CompileSession c(no_tex, 1);
+    auto pc = c.compileModel("ResNext");
+    EXPECT_NE(pa->cacheKey, pc->cacheKey);
+}
+
+TEST(CompileSessionCache, ClearCacheResets)
+{
+    CompileSession session(device::adreno740(), 1);
+    session.compileModel("ViT");
+    session.clearCache();
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheHits, 0);
+    EXPECT_EQ(st.cacheMisses, 0);
+    session.compileModel("ViT");
+    st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 1);
+}
+
+TEST(CompileSessionCache, StagedCompileMatchesCompileStage)
+{
+    auto dev = device::adreno740();
+    CompileSession session(dev, 1);
+    for (int stage = 0; stage <= 3; ++stage) {
+        CompileOptions o;
+        o.stage = stage;
+        auto cached = session.compileModel("CSwin", o);
+        auto direct = compileStage(
+            models::buildModel("CSwin", 1), dev, stage);
+        EXPECT_EQ(cached->toString(), direct.toString())
+            << "stage " << stage;
+        EXPECT_EQ(cached->compilerName, direct.compilerName);
+    }
+}
+
+TEST(CompileZoo, PlansAreByteIdenticalAtAnyThreadCount)
+{
+    // The acceptance criterion: 1-, 2- and 8-thread sessions must
+    // produce byte-identical plans, in input order.
+    auto dev = device::adreno740();
+    auto names = sampleModels();
+
+    std::vector<std::string> dumps1;
+    {
+        CompileSession s(dev, 1);
+        for (const auto &p : s.compileZoo(names))
+            dumps1.push_back(p->toString());
+    }
+    for (int threads : {2, 8}) {
+        CompileSession s(dev, threads);
+        auto plans = s.compileZoo(names);
+        ASSERT_EQ(plans.size(), names.size());
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            EXPECT_EQ(plans[i]->toString(), dumps1[i])
+                << names[i] << " differs at " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(CompileZoo, MatchesDirectSerialCompilation)
+{
+    // The session path (and the intra-compile parallelism active when
+    // compileSmartMem runs on the main thread) must reproduce the
+    // plain serial pipeline bit for bit.
+    auto dev = device::adreno740();
+    auto direct = compileSmartMem(models::buildModel("Swin", 1), dev);
+    auto zoo = compileZoo({"Swin"}, dev);
+    ASSERT_EQ(zoo.size(), 1u);
+    EXPECT_EQ(zoo[0].toString(), direct.toString());
+}
+
+TEST(CompileZoo, SharedCacheAcrossJobs)
+{
+    // 3 distinct jobs, each listed twice: 3 misses, 3 hits, and the
+    // duplicate results equal the originals.
+    CompileSession session(device::adreno740(), 4);
+    std::vector<std::string> names = {"ViT", "ConvNext", "ResNext",
+                                      "ViT", "ConvNext", "ResNext"};
+    auto plans = session.compileJobs([&] {
+        std::vector<CompileSession::Job> jobs;
+        for (const auto &n : names)
+            jobs.push_back({n, CompileOptions()});
+        return jobs;
+    }());
+    ASSERT_EQ(plans.size(), 6u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(plans[static_cast<std::size_t>(i)]->toString(),
+                  plans[static_cast<std::size_t>(i + 3)]->toString());
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheHits + st.cacheMisses, 6);
+    EXPECT_GE(st.cacheMisses, 3);
+}
+
+TEST(CompileSession, ThreadCountResolution)
+{
+    CompileSession serial(device::adreno740(), 1);
+    EXPECT_EQ(serial.threadCount(), 1);
+    CompileSession four(device::adreno740(), 4);
+    EXPECT_EQ(four.threadCount(), 4);
+    CompileSession def(device::adreno740(), 0);
+    EXPECT_GE(def.threadCount(), 1);
+}
+
+} // namespace
+} // namespace smartmem::core

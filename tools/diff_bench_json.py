@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Diff a bench --json report against checked-in golden numbers.
+
+Usage: diff_bench_json.py GOLDEN ACTUAL [--rtol FRACTION]
+
+Compares table structure exactly (titles, headers, row/column counts
+and non-numeric cells such as "-" and "OOM") and numeric cells within
+a relative tolerance, so cost-model regressions fail CI while benign
+floating-point drift across compilers does not.
+"""
+import argparse
+import json
+import sys
+
+
+def as_number(cell):
+    """Parse a numeric-looking cell ("12.3", "48", "3.1x", "14%")."""
+    text = cell.strip()
+    for suffix in ("x", "%"):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def is_exact_integer(cell):
+    """Integer-formatted cells (operator counts, batch sizes) come
+    from the deterministic planner, not the float cost model: they
+    must match the golden exactly, no tolerance."""
+    text = cell.strip()
+    if text.startswith("-") and len(text) > 1:
+        text = text[1:]
+    return text.isdigit()
+
+
+def compare_cells(golden, actual, rtol, where, errors):
+    if is_exact_integer(golden):
+        if golden != actual:
+            errors.append(f"{where}: expected exactly {golden!r}, "
+                          f"got {actual!r}")
+        return
+    g_num, a_num = as_number(golden), as_number(actual)
+    if g_num is None or a_num is None:
+        if golden != actual:
+            errors.append(f"{where}: expected {golden!r}, got {actual!r}")
+        return
+    scale = max(abs(g_num), 1e-9)
+    if abs(a_num - g_num) / scale > rtol:
+        errors.append(
+            f"{where}: expected {g_num} within {rtol * 100:.1f}%, "
+            f"got {a_num}")
+
+
+def compare(golden, actual, rtol):
+    errors = []
+    if golden.get("bench") != actual.get("bench"):
+        errors.append(
+            f"bench name: expected {golden.get('bench')!r}, "
+            f"got {actual.get('bench')!r}")
+    g_tables = golden.get("tables", [])
+    a_tables = actual.get("tables", [])
+    if len(g_tables) != len(a_tables):
+        errors.append(
+            f"table count: expected {len(g_tables)}, got {len(a_tables)}")
+        return errors
+    for t, (gt, at) in enumerate(zip(g_tables, a_tables)):
+        name = gt.get("title", f"table[{t}]")
+        if gt.get("title") != at.get("title"):
+            errors.append(
+                f"{name}: title mismatch: {at.get('title')!r}")
+        if gt.get("headers") != at.get("headers"):
+            errors.append(f"{name}: header mismatch")
+            continue
+        g_rows, a_rows = gt.get("rows", []), at.get("rows", [])
+        if len(g_rows) != len(a_rows):
+            errors.append(
+                f"{name}: row count: expected {len(g_rows)}, "
+                f"got {len(a_rows)}")
+            continue
+        for r, (g_row, a_row) in enumerate(zip(g_rows, a_rows)):
+            if len(g_row) != len(a_row):
+                errors.append(f"{name} row {r}: column count mismatch")
+                continue
+            label = g_row[0] if g_row else str(r)
+            for c, (g_cell, a_cell) in enumerate(zip(g_row, a_row)):
+                column = gt["headers"][c] if c < len(gt["headers"]) \
+                    else str(c)
+                compare_cells(g_cell, a_cell, rtol,
+                              f"{name} / {label} / {column}", errors)
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden", help="checked-in golden JSON")
+    parser.add_argument("actual", help="freshly produced JSON")
+    parser.add_argument("--rtol", type=float, default=0.05,
+                        help="relative tolerance for numeric cells "
+                             "(default 0.05)")
+    args = parser.parse_args()
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+    with open(args.actual) as f:
+        actual = json.load(f)
+
+    errors = compare(golden, actual, args.rtol)
+    if errors:
+        print(f"FAIL: {len(errors)} mismatches vs {args.golden}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"OK: {args.actual} matches {args.golden} "
+          f"(rtol {args.rtol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,13 @@
  *       List the model zoo with op/MAC characteristics.
  *   smartmem_cli compile <model> [--device <name>] [--compiler <name>]
  *                [--batch N] [--dump-plan] [--stages]
+ *                [--threads N] [--repeat K]
  *       Compile a zoo model and report kernels / latency / memory.
+ *       --repeat recompiles K times through the session plan cache
+ *       and reports per-iteration wall time plus cache hits.
+ *   smartmem_cli zoo [--device <name>] [--threads N]
+ *       Compile every evaluation model across the thread pool and
+ *       report kernels / latency per model plus total compile time.
  *   smartmem_cli classify
  *       Print the operator classification and pairwise action tables
  *       (the paper's Tables 3 and 5).
@@ -14,12 +20,17 @@
  * Devices: adreno740 (default), adreno540, mali-g57, v100.
  * Compilers: smartmem (default), mnn, ncnn, tflite, tvm, dnnf,
  *            inductor.
+ * Threads: 0 (default) = SMARTMEM_THREADS env or hardware threads.
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "baselines/baselines.h"
+#include "bench/bench_util.h"
+#include "core/compile_session.h"
 #include "core/smartmem_compiler.h"
 #include "ir/macs.h"
 #include "models/models.h"
@@ -29,6 +40,7 @@
 #include "runtime/simulated_executor.h"
 #include "support/error.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 
 using namespace smartmem;
 
@@ -40,7 +52,9 @@ usage()
     std::fprintf(stderr,
                  "usage: smartmem_cli list\n"
                  "       smartmem_cli compile <model> [--device D] "
-                 "[--compiler C] [--batch N] [--dump-plan] [--stages]\n"
+                 "[--compiler C] [--batch N] [--dump-plan] [--stages] "
+                 "[--threads N] [--repeat K]\n"
+                 "       smartmem_cli zoo [--device D] [--threads N]\n"
                  "       smartmem_cli classify\n");
     return 2;
 }
@@ -112,6 +126,49 @@ cmdClassify()
 }
 
 int
+cmdZoo(int argc, char **argv)
+{
+    std::string device_name = "adreno740";
+    int threads = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--device" && i + 1 < argc)
+            device_name = argv[++i];
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = bench::parseIntFlag("--threads", argv[++i], 0);
+        else
+            return usage();
+    }
+    auto dev = parseDevice(device_name);
+    auto names = models::evaluationModels();
+
+    core::CompileSession session(dev, threads);
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    auto plans = session.compileZoo(names);
+    double ms = std::chrono::duration<double, std::milli>(
+                    clock::now() - t0).count();
+
+    report::Table table({"Model", "#Kernels", "Relayouts",
+                         "Latency(ms)", "GMACS"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        auto sim = runtime::simulate(dev, *plans[i]);
+        table.addRow({
+            names[i],
+            std::to_string(plans[i]->operatorCount()),
+            std::to_string(plans[i]->layoutCopyCount()),
+            formatFixed(sim.latencyMs(), 1),
+            formatFixed(sim.gmacs(), 0),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("compiled %zu models in %.0f ms on %d threads (%s)\n",
+                names.size(), ms, session.threadCount(),
+                dev.name.c_str());
+    return 0;
+}
+
+int
 cmdCompile(int argc, char **argv)
 {
     if (argc < 3)
@@ -120,6 +177,8 @@ cmdCompile(int argc, char **argv)
     std::string device_name = "adreno740";
     std::string compiler = "smartmem";
     int batch = 1;
+    int threads = 0;
+    int repeat = 1;
     bool dump_plan = false;
     bool stages = false;
     for (int i = 3; i < argc; ++i) {
@@ -130,6 +189,10 @@ cmdCompile(int argc, char **argv)
             compiler = argv[++i];
         else if (arg == "--batch" && i + 1 < argc)
             batch = std::atoi(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = bench::parseIntFlag("--threads", argv[++i], 0);
+        else if (arg == "--repeat" && i + 1 < argc)
+            repeat = bench::parseIntFlag("--repeat", argv[++i], 1);
         else if (arg == "--dump-plan")
             dump_plan = true;
         else if (arg == "--stages")
@@ -165,7 +228,27 @@ cmdCompile(int argc, char **argv)
 
     runtime::ExecutionPlan plan;
     if (compiler == "smartmem") {
-        plan = core::compileSmartMem(g, dev);
+        core::CompileSession session(dev, threads);
+        core::CompileOptions copts;
+        copts.batch = batch;
+        using clock = std::chrono::steady_clock;
+        std::shared_ptr<const runtime::ExecutionPlan> compiled;
+        for (int r = 0; r < repeat; ++r) {
+            auto t0 = clock::now();
+            compiled = session.compileModel(model, copts);
+            double ms = std::chrono::duration<double, std::milli>(
+                            clock::now() - t0).count();
+            if (repeat > 1)
+                std::printf("compile %d/%d: %.2f ms\n", r + 1, repeat,
+                            ms);
+        }
+        plan = *compiled;
+        if (repeat > 1) {
+            auto st = session.stats();
+            std::printf("plan cache: %lld hits, %lld misses\n",
+                        static_cast<long long>(st.cacheHits),
+                        static_cast<long long>(st.cacheMisses));
+        }
     } else {
         std::unique_ptr<baselines::Framework> fw;
         if (compiler == "mnn") fw = baselines::makeMnnLike();
@@ -228,6 +311,8 @@ main(int argc, char **argv)
             return cmdClassify();
         if (cmd == "compile")
             return cmdCompile(argc, argv);
+        if (cmd == "zoo")
+            return cmdZoo(argc, argv);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
