@@ -3,14 +3,22 @@
  * Compilation-pipeline benchmark: wall time to compile the full
  * 18-model zoo serially (1 thread, the pre-session behavior) vs
  * thread-pooled (core::CompileSession), plus a cache-hit pass over
- * the same configurations.  Also verifies the tentpole guarantee:
- * plans from the parallel path are byte-identical to the serial
- * path's.  Exits non-zero on a determinism mismatch so the CI perf
- * job doubles as a correctness gate.
+ * the same configurations and -- with --plan-cache DIR -- a
+ * disk-warm pass served from the persistent plan cache by a fresh
+ * session.  Also verifies the tentpole guarantees: pooled plans are
+ * byte-identical to the serial path's, and disk-loaded plans are
+ * byte-identical (at serialize::serializePlan granularity, which is
+ * stricter than toString) to freshly compiled ones.  Exits non-zero
+ * on any mismatch so the CI perf and warm-cache jobs double as
+ * correctness gates.  --require-disk-hits additionally fails the run
+ * unless the populate pass itself was served entirely from disk --
+ * the cross-process warm-start assertion CI makes on its second
+ * invocation.
  */
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "serialize/plan_text.h"
 
 using namespace smartmem;
 
@@ -42,11 +50,17 @@ runOnce(const bench::BenchOptions &opts, bool print)
     int threads = opts.threads > 0 ? opts.threads
                                    : support::defaultThreadCount();
 
+    // The baselines must measure the compile pipeline itself: detach
+    // any SMARTMEM_PLAN_CACHE inherited from the environment so the
+    // serial row can't degenerate into a disk read and the
+    // serial-vs-pooled gate can't compare two disk loads.
     core::CompileSession serial(dev, 1);
+    serial.setPlanCacheDir("");
     PlanPtrs serial_plans;
     double serial_ms = timeZooMs(serial, names, &serial_plans);
 
     core::CompileSession pooled(dev, threads);
+    pooled.setPlanCacheDir("");
     PlanPtrs pooled_plans;
     double pooled_ms = timeZooMs(pooled, names, &pooled_plans);
 
@@ -58,6 +72,32 @@ runOnce(const bench::BenchOptions &opts, bool print)
     for (std::size_t i = 0; i < names.size(); ++i) {
         if (serial_plans[i]->toString() != pooled_plans[i]->toString())
             ++mismatches;
+    }
+
+    // Disk-warm pass: populate the persistent cache, then compile the
+    // zoo again through a *fresh* session (empty in-memory cache) so
+    // every plan comes off disk, and hold the loaded plans to the
+    // serializer-level byte-identity bar against the compiled ones.
+    double disk_ms = 0;
+    int disk_mismatches = 0;
+    core::CompileStats populate_stats, disk_stats;
+    const bool use_disk = !opts.planCacheDir.empty();
+    if (use_disk) {
+        core::CompileSession populate(dev, threads);
+        populate.setPlanCacheDir(opts.planCacheDir);
+        timeZooMs(populate, names);
+        populate_stats = populate.stats();
+
+        core::CompileSession disk(dev, threads);
+        disk.setPlanCacheDir(opts.planCacheDir);
+        PlanPtrs disk_plans;
+        disk_ms = timeZooMs(disk, names, &disk_plans);
+        disk_stats = disk.stats();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (serialize::serializePlan(*serial_plans[i]) !=
+                serialize::serializePlan(*disk_plans[i]))
+                ++disk_mismatches;
+        }
     }
 
     if (print) {
@@ -74,6 +114,11 @@ runOnce(const bench::BenchOptions &opts, bool print)
         table.addRow({"cached", std::to_string(threads),
                       formatFixed(cached_ms, 0),
                       report::formatSpeedup(serial_ms / cached_ms)});
+        if (use_disk) {
+            table.addRow({"disk-warm", std::to_string(threads),
+                          formatFixed(disk_ms, 0),
+                          report::formatSpeedup(serial_ms / disk_ms)});
+        }
         std::printf("%s\n", table.render().c_str());
         std::printf("models %zu | cache hits %lld misses %lld | "
                     "plans byte-identical: %s\n",
@@ -81,6 +126,18 @@ runOnce(const bench::BenchOptions &opts, bool print)
                     static_cast<long long>(stats.cacheHits),
                     static_cast<long long>(stats.cacheMisses),
                     mismatches == 0 ? "yes" : "NO");
+        if (use_disk) {
+            std::printf("plan cache %s | populate: %lld disk hits "
+                        "%lld misses | warm: %lld disk hits %lld "
+                        "misses | disk plans byte-identical: %s\n",
+                        opts.planCacheDir.c_str(),
+                        static_cast<long long>(populate_stats.diskHits),
+                        static_cast<long long>(
+                            populate_stats.diskMisses),
+                        static_cast<long long>(disk_stats.diskHits),
+                        static_cast<long long>(disk_stats.diskMisses),
+                        disk_mismatches == 0 ? "yes" : "NO");
+        }
         if (!opts.jsonPath.empty()) {
             bench::JsonReport json("bench_compile_speedup");
             json.add("Compile pipeline: serial vs thread-pooled zoo "
@@ -89,14 +146,40 @@ runOnce(const bench::BenchOptions &opts, bool print)
             json.writeTo(opts.jsonPath);
         }
     }
+    int rc = 0;
     if (mismatches != 0) {
         std::fprintf(stderr,
                      "error: %d plans differ between serial and "
                      "pooled compilation\n",
                      mismatches);
-        return 1;
+        rc = 1;
     }
-    return 0;
+    if (use_disk) {
+        if (disk_mismatches != 0) {
+            std::fprintf(stderr,
+                         "error: %d disk-loaded plans differ from "
+                         "freshly compiled ones\n",
+                         disk_mismatches);
+            rc = 1;
+        }
+        if (disk_stats.diskHits !=
+            static_cast<std::int64_t>(names.size())) {
+            std::fprintf(stderr,
+                         "error: disk-warm pass hit %lld/%zu entries\n",
+                         static_cast<long long>(disk_stats.diskHits),
+                         names.size());
+            rc = 1;
+        }
+        if (opts.requireDiskHits && populate_stats.diskMisses != 0) {
+            std::fprintf(stderr,
+                         "error: --require-disk-hits: populate pass "
+                         "missed %lld entries (cache was cold)\n",
+                         static_cast<long long>(
+                             populate_stats.diskMisses));
+            rc = 1;
+        }
+    }
+    return rc;
 }
 
 } // namespace
@@ -105,6 +188,11 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
+    if (opts.requireDiskHits && opts.planCacheDir.empty()) {
+        std::fprintf(stderr, "error: --require-disk-hits needs "
+                             "--plan-cache DIR\n");
+        return 2;
+    }
     int rc = 0;
     bench::runRepeated(opts, [&rc](const bench::BenchOptions &o,
                                    bool print) {

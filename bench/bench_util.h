@@ -45,25 +45,34 @@ struct BenchOptions
 
     /** When non-empty, also emit the tables as JSON to this path. */
     std::string jsonPath;
+
+    /** When non-empty, sessions persist plans here (the --plan-cache
+     *  flag; the SMARTMEM_PLAN_CACHE env var reaches every session
+     *  without it).  bench_compile_speedup adds a disk-warm row. */
+    std::string planCacheDir;
+
+    /** Fail (exit non-zero) unless the plan-cache warm-up pass was
+     *  served entirely from disk -- the CI warm-cache gate. */
+    bool requireDiskHits = false;
 };
 
-/** Strictly parse a non-negative integer flag value; exits(2) on
- *  anything else (no atoi coercion of typos to defaults). */
+/** Strictly parse a non-negative integer flag value via
+ *  support::parseInt64; exits(2) on anything else (no atoi coercion
+ *  of typos to defaults). */
 inline int
 parseIntFlag(const char *flag, const char *value, int min_value)
 {
-    char *end = nullptr;
-    long n = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || n < min_value || n > 100000) {
+    auto n = parseInt64(value);
+    if (!n || *n < min_value || *n > 100000) {
         std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
                      value);
         std::exit(2);
     }
-    return static_cast<int>(n);
+    return static_cast<int>(*n);
 }
 
-/** Parse --threads N / --repeat K / --json PATH; exits(2) on anything
- *  else so a typo'd flag can't silently run the wrong experiment. */
+/** Parse the shared bench flags; exits(2) on anything else so a
+ *  typo'd flag can't silently run the wrong experiment. */
 inline BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
@@ -76,10 +85,15 @@ parseBenchArgs(int argc, char **argv)
             o.repeat = parseIntFlag("--repeat", argv[++i], 1);
         } else if (arg == "--json" && i + 1 < argc) {
             o.jsonPath = argv[++i];
+        } else if (arg == "--plan-cache" && i + 1 < argc) {
+            o.planCacheDir = argv[++i];
+        } else if (arg == "--require-disk-hits") {
+            o.requireDiskHits = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--repeat K] "
-                         "[--json PATH]\n",
+                         "[--json PATH] [--plan-cache DIR] "
+                         "[--require-disk-hits]\n",
                          argv[0]);
             std::exit(2);
         }

@@ -1,5 +1,6 @@
 #include "core/compile_session.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "models/models.h"
@@ -67,6 +68,26 @@ CompileSession::CompileSession(device::DeviceProfile dev, int nThreads)
     int n = nThreads > 0 ? nThreads : support::defaultThreadCount();
     if (n > 1)
         pool_ = std::make_unique<support::ThreadPool>(n);
+    if (const char *env = std::getenv("SMARTMEM_PLAN_CACHE")) {
+        if (*env != '\0')
+            planCache_ = std::make_shared<const PlanCacheDir>(env);
+    }
+}
+
+void
+CompileSession::setPlanCacheDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    planCache_ = dir.empty()
+                     ? nullptr
+                     : std::make_shared<const PlanCacheDir>(dir);
+}
+
+std::shared_ptr<const PlanCacheDir>
+CompileSession::planCacheDir() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return planCache_;
 }
 
 int
@@ -81,6 +102,7 @@ CompileSession::compileCached(const Job &job)
     const std::string key =
         devFingerprint_ + "|model=" + job.model + "|" +
         job.options.fingerprint();
+    std::shared_ptr<const PlanCacheDir> disk;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = cache_.find(key);
@@ -89,6 +111,7 @@ CompileSession::compileCached(const Job &job)
             return it->second;
         }
         ++stats_.cacheMisses;
+        disk = planCache_;
     }
 
     // Compile outside the lock.  On pool workers the nested
@@ -100,10 +123,34 @@ CompileSession::compileCached(const Job &job)
     // are bit-identical either way.
     support::ThreadBudgetGuard budget(threadCount());
     ir::Graph g = models::buildModel(job.model, job.options.batch);
-    runtime::ExecutionPlan plan = job.options.stage >= 0
-        ? compileStage(g, dev_, job.options.stage)
-        : compileSmartMem(g, dev_, job.options.pipeline);
-    plan.cacheKey = key;
+
+    // In-memory miss: a warm on-disk entry replaces the whole
+    // plan/select/tune pass with a read.  The graph is rebuilt either
+    // way (the cheap, deterministic part); entries are validated
+    // against its *canonicalized* form, because that -- not the raw
+    // builder output -- is the graph compiled plans carry.
+    runtime::ExecutionPlan plan;
+    bool loaded = false;
+    if (disk) {
+        // contains() gates the canonicalization so a cold cache pays
+        // for an existence probe, not a graph rewrite, per model.
+        if (disk->contains(key)) {
+            if (auto cached = disk->load(key, canonicalizeGraph(g))) {
+                plan = std::move(*cached);
+                loaded = true;
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++(loaded ? stats_.diskHits : stats_.diskMisses);
+    }
+    if (!loaded) {
+        plan = job.options.stage >= 0
+            ? compileStage(g, dev_, job.options.stage)
+            : compileSmartMem(g, dev_, job.options.pipeline);
+        plan.cacheKey = key;
+        if (disk)
+            disk->store(plan);
+    }
 
     auto sp = std::make_shared<const runtime::ExecutionPlan>(
         std::move(plan));

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_cache_dir.h"
 #include "core/smartmem_compiler.h"
 #include "device/device_profile.h"
 #include "runtime/plan.h"
@@ -67,8 +68,14 @@ struct CompileOptions
 /** Plan-cache effectiveness counters. */
 struct CompileStats
 {
+    /** In-memory (per-session) plan cache. */
     std::int64_t cacheHits = 0;
     std::int64_t cacheMisses = 0;
+
+    /** On-disk plan cache (only counted while one is configured;
+     *  every in-memory miss is exactly one disk hit or disk miss). */
+    std::int64_t diskHits = 0;
+    std::int64_t diskMisses = 0;
 };
 
 /** Parallel zoo compiler with a keyed plan cache (see file header). */
@@ -87,10 +94,25 @@ class CompileSession
      * @param nThreads  Worker count for compileZoo()/compileJobs();
      *                  0 = SMARTMEM_THREADS / hardware default, 1 =
      *                  fully serial (no pool, today's behavior).
+     *
+     * A new session starts with the on-disk plan cache named by the
+     * SMARTMEM_PLAN_CACHE environment variable (disabled when unset
+     * or empty); setPlanCacheDir() overrides either way.
      */
     explicit CompileSession(device::DeviceProfile dev, int nThreads = 0);
 
     const device::DeviceProfile &device() const { return dev_; }
+
+    /**
+     * Point the session at a persistent plan-cache directory (empty
+     * disables).  Subsequent in-memory misses first try
+     * PlanCacheDir::load() and fall back to compiling + storing, so
+     * a warm directory turns every compile into a disk read.
+     */
+    void setPlanCacheDir(const std::string &dir);
+
+    /** The configured on-disk cache, or null. */
+    std::shared_ptr<const PlanCacheDir> planCacheDir() const;
 
     /** Worker threads used for zoo compilation (>= 1). */
     int threadCount() const;
@@ -123,6 +145,9 @@ class CompileSession
     device::DeviceProfile dev_;
     std::string devFingerprint_;
     std::unique_ptr<support::ThreadPool> pool_; // null when serial
+    /** Shared so a concurrent setPlanCacheDir() cannot free the store
+     *  under a worker mid-lookup; null when disabled. */
+    std::shared_ptr<const PlanCacheDir> planCache_;
     mutable std::mutex mu_;
     std::map<std::string, std::shared_ptr<const runtime::ExecutionPlan>>
         cache_;

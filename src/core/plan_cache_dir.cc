@@ -1,0 +1,139 @@
+#include "core/plan_cache_dir.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "serialize/plan_text.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/logging.h"
+
+namespace smartmem::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Filesystem- and shell-safe rendering of a cache key. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-';
+        out += safe ? c : '_';
+    }
+    constexpr std::size_t kMaxPrefix = 120;
+    if (out.size() > kMaxPrefix)
+        out.resize(kMaxPrefix);
+    return out;
+}
+
+} // namespace
+
+PlanCacheDir::PlanCacheDir(std::string dir) : dir_(std::move(dir))
+{
+    SM_REQUIRE(!dir_.empty(), "plan cache directory must be non-empty");
+}
+
+std::string
+PlanCacheDir::entryPath(const std::string &cacheKey) const
+{
+    return (fs::path(dir_) /
+            (sanitizeKey(cacheKey) + "-" + fnv1aHex(cacheKey) + ".plan"))
+        .string();
+}
+
+bool
+PlanCacheDir::contains(const std::string &cacheKey) const
+{
+    std::error_code ec;
+    return fs::exists(entryPath(cacheKey), ec);
+}
+
+std::optional<runtime::ExecutionPlan>
+PlanCacheDir::load(const std::string &cacheKey, ir::Graph graph) const
+{
+    const std::string path = entryPath(cacheKey);
+    std::ifstream f(path);
+    if (!f)
+        return std::nullopt; // plain miss: no entry on disk
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    try {
+        runtime::ExecutionPlan plan =
+            serialize::parsePlan(buf.str(), std::move(graph));
+        if (plan.cacheKey != cacheKey) {
+            SM_WARN("plan cache: " << path
+                    << " holds a different key; ignoring");
+            return std::nullopt;
+        }
+        return plan;
+    } catch (const std::exception &e) {
+        // Corrupt / stale-format / wrong-graph entries are recompiled,
+        // never trusted; the next store() overwrites them.
+        SM_WARN("plan cache: ignoring unreadable entry " << path << ": "
+                << e.what());
+        return std::nullopt;
+    }
+}
+
+bool
+PlanCacheDir::store(const runtime::ExecutionPlan &plan) const
+{
+    if (plan.cacheKey.empty()) {
+        SM_WARN("plan cache: refusing to store a plan without a "
+                "cache key");
+        return false;
+    }
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        SM_WARN("plan cache: cannot create " << dir_ << ": "
+                << ec.message());
+        return false;
+    }
+    const std::string path = entryPath(plan.cacheKey);
+    // Unique temp name per writer + atomic rename: concurrent writers
+    // (threads or processes) race benignly -- both write identical
+    // bytes and a reader only ever sees a complete file.
+    static const unsigned process_token = std::random_device{}();
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = path + ".tmp" +
+                            std::to_string(process_token) + "." +
+                            std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream f(tmp);
+        if (!f) {
+            SM_WARN("plan cache: cannot write " << tmp);
+            return false;
+        }
+        f << serialize::serializePlan(plan);
+        // Flush before checking: a close-time flush failure (disk
+        // full) must not let rename() publish a truncated entry.
+        f.flush();
+        if (!f.good()) {
+            SM_WARN("plan cache: short write to " << tmp);
+            f.close();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        SM_WARN("plan cache: cannot publish " << path << ": "
+                << ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace smartmem::core

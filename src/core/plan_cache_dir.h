@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PlanCacheDir: persistent on-disk plan cache.
+ *
+ * CompileSession's in-memory cache dies with the process; this is its
+ * cross-process counterpart.  Entries are serialize::serializePlan()
+ * text files keyed by the plan's canonical cache key (device
+ * fingerprint + model + options fingerprint -- see
+ * CompileSession::compileCached), one file per key:
+ *
+ *   <dir>/<sanitized-key-prefix>-<fnv64(key)>.plan
+ *
+ * The sanitized prefix keeps entries greppable; the appended FNV-1a
+ * hash of the *unsanitized* key keeps distinct keys from colliding
+ * after sanitization.  Every load is validated: format version, the
+ * embedded cache key (must equal the requested one), and the graph
+ * signature all have to match, so truncated, corrupt, stale-format,
+ * or hash-colliding files are treated as misses and recompiled --
+ * never trusted.  Writes go through a temp file + rename, so a
+ * concurrent reader (or a second process warming the same directory)
+ * never observes a half-written entry.
+ *
+ * Enabled via CompileSession::setPlanCacheDir(), the
+ * SMARTMEM_PLAN_CACHE environment variable, or the --plan-cache flag
+ * of the CLI and benches.
+ */
+#ifndef SMARTMEM_CORE_PLAN_CACHE_DIR_H
+#define SMARTMEM_CORE_PLAN_CACHE_DIR_H
+
+#include <optional>
+#include <string>
+
+#include "ir/graph.h"
+#include "runtime/plan.h"
+
+namespace smartmem::core {
+
+/** Directory-backed plan store (see file header). */
+class PlanCacheDir
+{
+  public:
+    /** The directory is created on first store(), not here. */
+    explicit PlanCacheDir(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Path the entry for `cacheKey` lives at. */
+    std::string entryPath(const std::string &cacheKey) const;
+
+    /** True when an entry file for `cacheKey` exists (it may still
+     *  fail load()-time validation).  Lets callers skip preparing
+     *  load() inputs -- e.g. graph canonicalization -- on a cold
+     *  cache. */
+    bool contains(const std::string &cacheKey) const;
+
+    /**
+     * Load and validate the entry for `cacheKey`, attaching `graph`
+     * (taken by value: pass an rvalue and a hit costs no graph
+     * copy).  Returns nullopt on a missing, corrupt, version-skewed,
+     * wrong-key, or graph-mismatched entry (logged at warn level for
+     * everything but a plain miss).
+     */
+    std::optional<runtime::ExecutionPlan>
+    load(const std::string &cacheKey, ir::Graph graph) const;
+
+    /**
+     * Persist `plan` under its cacheKey.  Returns false (and warns)
+     * when the plan has no cache key or the write fails; a failed
+     * store never corrupts an existing entry.
+     */
+    bool store(const runtime::ExecutionPlan &plan) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace smartmem::core
+
+#endif // SMARTMEM_CORE_PLAN_CACHE_DIR_H

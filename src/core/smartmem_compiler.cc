@@ -29,14 +29,20 @@ smartFusion(bool lte, bool simplify_maps)
 
 } // namespace
 
-runtime::ExecutionPlan
-compileSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
-                const SmartMemOptions &options)
+ir::Graph
+canonicalizeGraph(const ir::Graph &graph)
 {
     opt::PassManager pm;
     pm.add(std::make_unique<opt::IdentityElim>());
     pm.add(std::make_unique<opt::DeadCodeElim>());
-    ir::Graph g = pm.run(graph);
+    return pm.run(graph);
+}
+
+runtime::ExecutionPlan
+compileSmartMem(const ir::Graph &graph, const device::DeviceProfile &dev,
+                const SmartMemOptions &options)
+{
+    ir::Graph g = canonicalizeGraph(graph);
 
     runtime::ExecutionPlan plan = planGraph(
         g, smartFusion(options.enableLte, options.enableIndexSimplify));

@@ -73,6 +73,16 @@ runtime::ExecutionPlan
 compileStage(const ir::Graph &graph, const device::DeviceProfile &dev,
              int stage);
 
+/**
+ * The graph normalization (identity-elim + DCE) every compile above
+ * runs before planning.  The graph attached to a compiled plan is
+ * exactly canonicalizeGraph(input) -- which is what a caller
+ * revalidating a deserialized plan (serialize::parsePlan via
+ * PlanCacheDir) must supply, since kernels index into the normalized
+ * node/value ids, not the raw builder output's.
+ */
+ir::Graph canonicalizeGraph(const ir::Graph &graph);
+
 } // namespace smartmem::core
 
 #endif // SMARTMEM_CORE_SMARTMEM_COMPILER_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace smartmem::index {
 
@@ -470,9 +471,158 @@ exprToString(const Expr &e)
         return "(" + exprToString(e->lhs) + " % " +
                std::to_string(e->rhs->value) + ")";
       case ExprKind::Lookup:
-        return "lookup[" + exprToString(e->lhs) + "]";
+        return "lookup{" + joinInts(*e->table, ",") + "}[" +
+               exprToString(e->lhs) + "]";
     }
     return "?";
+}
+
+namespace {
+
+/** Cursor over exprToString() output; every dead end throws FatalError
+ *  with the offset, so corrupt plan files report where they broke. */
+struct ExprParser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        smFatal("malformed expr (" + why + " at offset " +
+                std::to_string(pos) + "): '" + text + "'");
+    }
+
+    void skipSpaces()
+    {
+        while (pos < text.size() && text[pos] == ' ')
+            ++pos;
+    }
+
+    void expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    /** Integer literal starting at the cursor, no leading spaces. */
+    std::int64_t integer()
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+        auto v = parseInt64(text.substr(start, pos - start));
+        if (!v)
+            fail("expected integer");
+        return *v;
+    }
+
+    Expr parse()
+    {
+        skipSpaces();
+        if (pos >= text.size())
+            fail("expected expression");
+        const char c = text[pos];
+        if (c == '(') {
+            ++pos;
+            Expr lhs = parse();
+            skipSpaces();
+            if (pos >= text.size())
+                fail("unterminated expression");
+            const char op = text[pos++];
+            Expr out;
+            if (op == '+' || op == '*') {
+                Expr rhs = parse();
+                out = op == '+' ? makeAdd(lhs, rhs) : makeMul(lhs, rhs);
+            } else if (op == '/' || op == '%') {
+                skipSpaces();
+                std::int64_t k = integer();
+                if (k <= 0)
+                    fail("non-positive divisor/modulus");
+                out = op == '/' ? makeDiv(lhs, k) : makeMod(lhs, k);
+            } else {
+                fail("unknown operator");
+            }
+            skipSpaces();
+            expect(')');
+            return out;
+        }
+        if (c == 'v') {
+            ++pos;
+            std::int64_t id = integer();
+            // Bounded before the narrowing cast: a corrupt id must
+            // fail, not wrap into a different (valid) variable.
+            if (id < 0 || id > (1 << 20))
+                fail("variable id out of range");
+            return makeVar(static_cast<int>(id));
+        }
+        if (text.compare(pos, 7, "lookup{") == 0) {
+            pos += 7;
+            auto table = std::make_shared<std::vector<std::int64_t>>();
+            while (true) {
+                skipSpaces();
+                table->push_back(integer());
+                skipSpaces();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                break;
+            }
+            expect('[');
+            Expr idx = parse();
+            skipSpaces();
+            expect(']');
+            return makeLookup(
+                std::shared_ptr<const std::vector<std::int64_t>>(table),
+                idx);
+        }
+        return makeConst(integer());
+    }
+};
+
+} // namespace
+
+Expr
+parseExpr(const std::string &text)
+{
+    ExprParser p{text};
+    Expr e = p.parse();
+    p.skipSpaces();
+    if (p.pos != text.size())
+        p.fail("trailing characters");
+    return e;
+}
+
+std::vector<Expr>
+parseExprList(const std::string &text)
+{
+    ExprParser p{text};
+    p.skipSpaces();
+    p.expect('[');
+    std::vector<Expr> out;
+    p.skipSpaces();
+    if (p.pos < text.size() && text[p.pos] == ']') {
+        ++p.pos;
+    } else {
+        while (true) {
+            out.push_back(p.parse());
+            p.skipSpaces();
+            if (p.pos < text.size() && text[p.pos] == ',') {
+                ++p.pos;
+                continue;
+            }
+            p.expect(']');
+            break;
+        }
+    }
+    p.skipSpaces();
+    if (p.pos != text.size())
+        p.fail("trailing characters");
+    return out;
 }
 
 bool

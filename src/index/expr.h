@@ -96,8 +96,29 @@ int exprOps(const Expr &e);
 /** Set of variable ids used. */
 std::set<int> usedVars(const Expr &e);
 
-/** Printable form, e.g. "((v0*8 + v1) / 4) % 8". */
+/** Printable form, e.g. "((v0*8 + v1) / 4) % 8".  Lookup nodes print
+ *  their full table ("lookup{0,2,1}[v1]") so the form is loss-free. */
 std::string exprToString(const Expr &e);
+
+/**
+ * Inverse of exprToString(): recursive-descent parse of the printed
+ * grammar
+ *
+ *   expr := INT | 'v' INT | '(' expr '+' expr ')' | '(' expr '*' expr ')'
+ *         | '(' expr '/' INT ')' | '(' expr '%' INT ')'
+ *         | 'lookup' '{' INT (',' INT)* '}' '[' expr ']'
+ *
+ * parseExpr(exprToString(e)) is structurally equal to e for every
+ * expression the library builds.  Throws FatalError on malformed
+ * input (trailing garbage, non-positive divisors, empty tables, ...).
+ */
+Expr parseExpr(const std::string &text);
+
+/** Parse a bracketed, comma-separated expression list "[e0, e1, ...]"
+ *  ("[]" yields an empty list).  Commas inside lookup tables are
+ *  handled by the grammar, not by naive splitting.  Throws FatalError
+ *  on malformed input. */
+std::vector<Expr> parseExprList(const std::string &text);
 
 /** Structural equality. */
 bool exprEquals(const Expr &a, const Expr &b);

@@ -288,6 +288,37 @@ IndexMap::isIdentity() const
     return true;
 }
 
+IndexMap
+IndexMap::parse(const std::string &text)
+{
+    // Split "<out> -> <in> : [exprs]" at the top-level markers; the
+    // shape grammar contains neither "->" nor ":", so the first hits
+    // are the real separators.
+    const std::size_t arrow = text.find(" -> ");
+    const std::size_t colon =
+        arrow == std::string::npos ? arrow : text.find(" : ", arrow + 4);
+    if (arrow == std::string::npos || colon == std::string::npos)
+        smFatal("malformed index map: '" + text + "'");
+    IndexMap m;
+    m.outputShape_ = Shape::parse(text.substr(0, arrow));
+    m.inputShape_ =
+        Shape::parse(text.substr(arrow + 4, colon - arrow - 4));
+    m.exprs_ = parseExprList(text.substr(colon + 3));
+    SM_REQUIRE(static_cast<int>(m.exprs_.size()) ==
+               m.inputShape_.rank(),
+               "index map arity mismatch: " +
+               std::to_string(m.exprs_.size()) + " exprs for input " +
+               m.inputShape_.toString());
+    for (const Expr &e : m.exprs_) {
+        for (int v : usedVars(e)) {
+            SM_REQUIRE(v < m.outputShape_.rank(),
+                       "index map references v" + std::to_string(v) +
+                       " outside output " + m.outputShape_.toString());
+        }
+    }
+    return m;
+}
+
 std::string
 IndexMap::toString() const
 {

@@ -87,6 +87,16 @@ class IndexMap
 
     std::string toString() const;
 
+    /**
+     * Inverse of toString(): parse "[out] -> [in] : [e0, e1, ...]".
+     * Throws FatalError when the text is malformed, the expression
+     * count differs from the input rank, or an expression references
+     * an output dimension that does not exist.  Together with
+     * parseExpr()/Layout::parse() this is what lets ExecutionPlan
+     * serialization embed the printed forms verbatim.
+     */
+    static IndexMap parse(const std::string &text);
+
   private:
     ir::Shape outputShape_; ///< domain (consumer-side coordinates)
     ir::Shape inputShape_;  ///< codomain (data-side coordinates)

@@ -135,6 +135,83 @@ Layout::toString() const
     return out;
 }
 
+Layout
+Layout::parse(const std::string &text)
+{
+    const auto fail = [&text]() -> void {
+        smFatal("malformed layout: '" + text + "'");
+    };
+    const auto parseField = [&](const std::string &s) -> int {
+        auto v = parseInt64(s);
+        if (!v || *v < -1 || *v > 1 << 20)
+            fail();
+        return static_cast<int>(*v);
+    };
+
+    Layout l;
+    if (text.size() < 5 || text.back() != '}')
+        fail();
+    std::string body = text.substr(4, text.size() - 5);
+    if (text.compare(0, 4, "tex{") == 0)
+        l.space_ = MemSpace::Texture;
+    else if (text.compare(0, 4, "buf{") != 0)
+        fail();
+
+    if (l.space_ == MemSpace::Texture) {
+        // "y:<Y> x:<X> <order>" -- both axis fields are mandatory.
+        std::size_t sp1 = body.find(' ');
+        std::size_t sp2 =
+            sp1 == std::string::npos ? sp1 : body.find(' ', sp1 + 1);
+        if (sp2 == std::string::npos ||
+            body.compare(0, 2, "y:") != 0 ||
+            body.compare(sp1 + 1, 2, "x:") != 0)
+            fail();
+        l.texDimY_ = parseField(body.substr(2, sp1 - 2));
+        l.texDimX_ = parseField(body.substr(sp1 + 3, sp2 - sp1 - 3));
+        body = body.substr(sp2 + 1);
+    }
+
+    std::size_t bar = body.find('|');
+    if (bar != std::string::npos) {
+        if (body.compare(bar + 1, 5, "pack:") != 0)
+            fail();
+        l.packedDim_ = parseField(body.substr(bar + 6));
+        if (l.packedDim_ < 0)
+            fail();
+        body = body.substr(0, bar);
+    }
+
+    if (!body.empty()) {
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t stop = body.find(',', pos);
+            if (stop == std::string::npos)
+                stop = body.size();
+            l.order_.push_back(parseField(body.substr(pos, stop - pos)));
+            if (stop == body.size())
+                break;
+            pos = stop + 1;
+        }
+    }
+
+    // The same invariants validate() asserts, reported as user error:
+    // parse input is external data, not an internal bug.
+    const int rank = l.rank();
+    std::vector<bool> seen(static_cast<std::size_t>(rank), false);
+    for (int d : l.order_) {
+        if (d < 0 || d >= rank || seen[static_cast<std::size_t>(d)])
+            fail();
+        seen[static_cast<std::size_t>(d)] = true;
+    }
+    if (l.packedDim_ >= rank)
+        fail();
+    if (l.space_ == MemSpace::Texture &&
+        (l.texDimX_ < 0 || l.texDimX_ >= rank || l.texDimY_ < 0 ||
+         l.texDimY_ >= rank || l.texDimX_ == l.texDimY_))
+        fail();
+    return l;
+}
+
 void
 Layout::validate(int rank) const
 {

@@ -92,8 +92,18 @@ class Layout
     bool operator==(const Layout &other) const;
     bool operator!=(const Layout &other) const { return !(*this == other); }
 
-    /** e.g. "buf{2,0,1|pack:1}" or "tex{y:0 x:2 pack:2}". */
+    /** e.g. "buf{2,0,1|pack:1}" or "tex{y:0 x:2 0,1,2|pack:2}". */
     std::string toString() const;
+
+    /**
+     * Inverse of toString(): accepts exactly the strings toString()
+     * produces ("buf{...}" / "tex{y:Y x:X ...}", optional "|pack:P").
+     * Throws FatalError on malformed text, non-permutation orders,
+     * out-of-range packed/texture dims, or y == x; the guarantee
+     * parse(toString()) == *this is what lets serialized plans embed
+     * layouts in their printed form.
+     */
+    static Layout parse(const std::string &text);
 
     /** Validity check against a rank; panics on malformed layouts. */
     void validate(int rank) const;

@@ -53,6 +53,34 @@ Shape::toString() const
     return "[" + joinInts(dims_, ", ") + "]";
 }
 
+Shape
+Shape::parse(const std::string &text)
+{
+    if (text.size() < 2 || text.front() != '[' || text.back() != ']')
+        smFatal("malformed shape: '" + text + "'");
+    const std::string body = text.substr(1, text.size() - 2);
+    std::vector<std::int64_t> dims;
+    std::size_t pos = 0;
+    while (pos < body.size() || (pos > 0 && pos == body.size())) {
+        std::size_t stop = body.find(',', pos);
+        if (stop == std::string::npos)
+            stop = body.size();
+        std::size_t lo = pos, hi = stop;
+        while (lo < hi && body[lo] == ' ')
+            ++lo;
+        while (hi > lo && body[hi - 1] == ' ')
+            --hi;
+        auto v = parseInt64(body.substr(lo, hi - lo));
+        if (!v || *v < 1)
+            smFatal("malformed shape extent in '" + text + "'");
+        dims.push_back(*v);
+        if (stop == body.size())
+            break;
+        pos = stop + 1;
+    }
+    return Shape(std::move(dims));
+}
+
 std::int64_t
 linearize(const std::vector<std::int64_t> &coord, const Shape &shape)
 {

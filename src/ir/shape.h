@@ -42,6 +42,14 @@ class Shape
     /** "[2, 256, 4]" */
     std::string toString() const;
 
+    /**
+     * Inverse of toString(): parse "[2, 256, 4]" (whitespace after
+     * commas optional) or "[]" for rank 0.  Throws FatalError on
+     * malformed text or non-positive extents; the plan deserializer
+     * relies on parse(toString()) == *this.
+     */
+    static Shape parse(const std::string &text);
+
   private:
     std::vector<std::int64_t> dims_;
 };

@@ -20,6 +20,8 @@ ExecutionPlan::toString() const
         for (const KernelInput &in : k.inputs) {
             os << "      reads %" << in.source << ":" << in.sourceCopy
                << " as %" << in.substitute << " " << in.layout.toString();
+            if (in.internalSource)
+                os << " (internal)";
             if (in.readMap && !in.readMap->isIdentity())
                 os << " via " << in.readMap->toString();
             os << "\n";

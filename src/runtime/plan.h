@@ -105,9 +105,10 @@ struct ExecutionPlan
      * under; set by core::CompileSession, empty for plans built
      * outside a session.  Compilation is deterministic, so two plans
      * with equal non-empty keys are interchangeable -- this is what
-     * makes the session's plan cache (and any future on-disk plan
-     * store) sound.  Excluded from toString(): the dump describes the
+     * makes the session's plan cache and the on-disk PlanCacheDir
+     * sound.  Excluded from toString(): the dump describes the
      * compiled kernels, which do not depend on how the plan was keyed.
+     * Preserved by serialize::serializePlan()/parsePlan().
      */
     std::string cacheKey;
 
@@ -134,7 +135,11 @@ struct ExecutionPlan
     }
 
     /** Multi-line dump of every kernel with inputs, layouts, and
-     *  read maps; what `smartmem_cli compile --dump-plan` prints. */
+     *  read maps; what `smartmem_cli compile --dump-plan` prints.
+     *  Human-oriented and lossy (no tuned efficiencies, fused node
+     *  ids, or cache key) -- the loss-free round-trip form is
+     *  serialize::serializePlan()/parsePlan(), which guarantees the
+     *  reparsed plan reproduces this dump byte for byte. */
     std::string toString() const;
 };
 

@@ -1,0 +1,304 @@
+#include "serialize/plan_text.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace smartmem::serialize {
+
+namespace {
+
+/** Doubles as loss-free hex floats ("0x1.b333333333333p-1"). */
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Parser scaffolding
+// ---------------------------------------------------------------------
+
+/** Line cursor over the serialized text with rewindable peeking. */
+class LineReader
+{
+  public:
+    explicit LineReader(const std::string &text) : text_(text) {}
+
+    int lineNumber() const { return lineNo_; }
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        smFatal("plan parse error at line " + std::to_string(lineNo_) +
+                ": " + why);
+    }
+
+    /** Next line; fails on end of input. */
+    std::string next()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of plan text");
+        std::size_t stop = text_.find('\n', pos_);
+        if (stop == std::string::npos)
+            fail("missing final newline");
+        std::string line = text_.substr(pos_, stop - pos_);
+        pos_ = stop + 1;
+        ++lineNo_;
+        return line;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    /** True if the next line starts with `keyword` + ' ' (or is
+     *  exactly `keyword`); does not consume. */
+    bool peekKeyword(const std::string &keyword) const
+    {
+        if (pos_ >= text_.size())
+            return false;
+        std::size_t stop = text_.find('\n', pos_);
+        std::size_t len = (stop == std::string::npos ? text_.size()
+                                                     : stop) - pos_;
+        if (len < keyword.size() ||
+            text_.compare(pos_, keyword.size(), keyword) != 0)
+            return false;
+        return len == keyword.size() ||
+               text_[pos_ + keyword.size()] == ' ';
+    }
+
+    /** Consume a line of the form "<keyword>" or "<keyword> <rest>"
+     *  and return <rest> (empty for the bare form). */
+    std::string restOf(const std::string &keyword)
+    {
+        std::string line = next();
+        if (line == keyword)
+            return "";
+        if (line.size() <= keyword.size() ||
+            line.compare(0, keyword.size(), keyword) != 0 ||
+            line[keyword.size()] != ' ')
+            fail("expected '" + keyword + " ...', got '" + line + "'");
+        return line.substr(keyword.size() + 1);
+    }
+
+    /** Consume "<keyword> f0 f1 ..." and return the fields, which
+     *  must number exactly `count` (count < 0: any number). */
+    std::vector<std::string> fieldsOf(const std::string &keyword,
+                                      int count)
+    {
+        std::string rest = restOf(keyword);
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        while (pos < rest.size()) {
+            std::size_t stop = rest.find(' ', pos);
+            if (stop == std::string::npos)
+                stop = rest.size();
+            if (stop == pos)
+                fail("empty field in '" + keyword + "' line");
+            fields.push_back(rest.substr(pos, stop - pos));
+            pos = stop + 1;
+        }
+        if (count >= 0 && static_cast<int>(fields.size()) != count)
+            fail("'" + keyword + "' expects " + std::to_string(count) +
+                 " fields, got " + std::to_string(fields.size()));
+        return fields;
+    }
+
+    std::int64_t asInt(const std::string &field, std::int64_t lo,
+                       std::int64_t hi) const
+    {
+        auto v = parseInt64(field);
+        if (!v || *v < lo || *v > hi)
+            fail("integer field '" + field + "' out of range [" +
+                 std::to_string(lo) + ", " + std::to_string(hi) + "]");
+        return *v;
+    }
+
+    bool asBool(const std::string &field) const
+    {
+        return asInt(field, 0, 1) == 1;
+    }
+
+    double asHexDouble(const std::string &field) const
+    {
+        char *end = nullptr;
+        double v = std::strtod(field.c_str(), &end);
+        if (field.empty() || end != field.c_str() + field.size())
+            fail("malformed float field '" + field + "'");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int lineNo_ = 0;
+};
+
+} // namespace
+
+std::string
+graphSignature(const ir::Graph &graph)
+{
+    Fnv1a f;
+    f.feed(static_cast<std::int64_t>(graph.nodes().size()));
+    f.feed(static_cast<std::int64_t>(graph.values().size()));
+    for (const ir::Node &n : graph.nodes()) {
+        f.feed(static_cast<std::int64_t>(n.id));
+        f.feed(ir::opKindName(n.kind));
+        f.feed(n.name);
+        for (ir::ValueId v : n.inputs)
+            f.feed(static_cast<std::int64_t>(v));
+        f.feed(static_cast<std::int64_t>(n.output));
+        f.feed(n.attrs.toString());
+    }
+    for (const ir::Value &v : graph.values()) {
+        f.feed(static_cast<std::int64_t>(v.id));
+        f.feed(v.name);
+        f.feed(v.shape.toString());
+        f.feed(static_cast<std::int64_t>(v.dtype));
+        f.feed(static_cast<std::int64_t>(v.producer));
+    }
+    for (ir::ValueId v : graph.inputIds())
+        f.feed(static_cast<std::int64_t>(v));
+    for (ir::ValueId v : graph.outputIds())
+        f.feed(static_cast<std::int64_t>(v));
+    return f.hex();
+}
+
+std::string
+serializePlan(const runtime::ExecutionPlan &plan)
+{
+    std::ostringstream os;
+    os << "smartmem-plan v" << kPlanFormatVersion << "\n";
+    os << "compiler";
+    if (!plan.compilerName.empty())
+        os << " " << plan.compilerName;
+    os << "\n";
+    os << "cachekey";
+    if (!plan.cacheKey.empty())
+        os << " " << plan.cacheKey;
+    os << "\n";
+    os << "graph " << plan.graph.nodes().size() << " "
+       << plan.graph.values().size() << " "
+       << graphSignature(plan.graph) << "\n";
+    os << "kernels " << plan.kernels.size() << "\n";
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+        const runtime::Kernel &k = plan.kernels[i];
+        os << "kernel " << i << "\n";
+        os << "name";
+        if (!k.name.empty())
+            os << " " << k.name;
+        os << "\n";
+        os << "fused " << k.fusedNodes.size();
+        for (ir::NodeId n : k.fusedNodes)
+            os << " " << n;
+        os << "\n";
+        os << "output " << k.output << " " << k.copyIndex << " "
+           << (k.isLayoutCopy ? 1 : 0) << "\n";
+        os << "outlayout " << k.outLayout.toString() << "\n";
+        os << "efficiency " << hexDouble(k.tunedEfficiency) << "\n";
+        os << "inputs " << k.inputs.size() << "\n";
+        for (const runtime::KernelInput &in : k.inputs) {
+            os << "input " << in.source << " " << in.sourceCopy << " "
+               << in.substitute << " " << (in.internalSource ? 1 : 0)
+               << "\n";
+            os << "layout " << in.layout.toString() << "\n";
+            if (in.readMap)
+                os << "readmap " << in.readMap->toString() << "\n";
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+runtime::ExecutionPlan
+parsePlan(const std::string &text, ir::Graph graph)
+{
+    LineReader r(text);
+
+    const std::string header = r.next();
+    if (header != "smartmem-plan v" + std::to_string(kPlanFormatVersion))
+        r.fail("unsupported plan format: '" + header + "'");
+
+    runtime::ExecutionPlan plan;
+    plan.compilerName = r.restOf("compiler");
+    plan.cacheKey = r.restOf("cachekey");
+
+    const auto gf = r.fieldsOf("graph", 3);
+    const auto n_nodes = static_cast<std::int64_t>(graph.nodes().size());
+    const auto n_values =
+        static_cast<std::int64_t>(graph.values().size());
+    if (r.asInt(gf[0], 0, 1 << 30) != n_nodes ||
+        r.asInt(gf[1], 0, 1 << 30) != n_values ||
+        gf[2] != graphSignature(graph))
+        r.fail("plan was serialized against a different graph");
+
+    const auto n_kernels =
+        r.asInt(r.fieldsOf("kernels", 1)[0], 0, 1 << 24);
+    plan.kernels.reserve(static_cast<std::size_t>(n_kernels));
+    for (std::int64_t i = 0; i < n_kernels; ++i) {
+        if (r.asInt(r.fieldsOf("kernel", 1)[0], 0, n_kernels - 1) != i)
+            r.fail("kernel records out of order");
+        runtime::Kernel k;
+        k.name = r.restOf("name");
+
+        const auto fused = r.fieldsOf("fused", -1);
+        if (fused.empty())
+            r.fail("'fused' expects a count");
+        const auto n_fused =
+            r.asInt(fused[0], 0, static_cast<std::int64_t>(n_nodes));
+        if (static_cast<std::int64_t>(fused.size()) != n_fused + 1)
+            r.fail("'fused' count disagrees with the id list");
+        for (std::int64_t j = 0; j < n_fused; ++j) {
+            k.fusedNodes.push_back(static_cast<ir::NodeId>(
+                r.asInt(fused[static_cast<std::size_t>(j + 1)], 0,
+                        n_nodes - 1)));
+        }
+
+        const auto out = r.fieldsOf("output", 3);
+        k.output =
+            static_cast<ir::ValueId>(r.asInt(out[0], -1, n_values - 1));
+        k.copyIndex = static_cast<int>(r.asInt(out[1], 0, 1 << 20));
+        k.isLayoutCopy = r.asBool(out[2]);
+        k.outLayout = ir::Layout::parse(r.restOf("outlayout"));
+        k.tunedEfficiency =
+            r.asHexDouble(r.fieldsOf("efficiency", 1)[0]);
+        if (!(k.tunedEfficiency > 0.0 && k.tunedEfficiency <= 1.0))
+            r.fail("tuned efficiency outside (0, 1]");
+
+        const auto n_inputs =
+            r.asInt(r.fieldsOf("inputs", 1)[0], 0, 1 << 24);
+        k.inputs.reserve(static_cast<std::size_t>(n_inputs));
+        for (std::int64_t j = 0; j < n_inputs; ++j) {
+            runtime::KernelInput in;
+            const auto fields = r.fieldsOf("input", 4);
+            in.source = static_cast<ir::ValueId>(
+                r.asInt(fields[0], -1, n_values - 1));
+            in.sourceCopy =
+                static_cast<int>(r.asInt(fields[1], 0, 1 << 20));
+            in.substitute = static_cast<ir::ValueId>(
+                r.asInt(fields[2], -1, n_values - 1));
+            in.internalSource = r.asBool(fields[3]);
+            in.layout = ir::Layout::parse(r.restOf("layout"));
+            if (r.peekKeyword("readmap"))
+                in.readMap = index::IndexMap::parse(r.restOf("readmap"));
+            k.inputs.push_back(std::move(in));
+        }
+        plan.kernels.push_back(std::move(k));
+    }
+
+    if (r.next() != "end")
+        r.fail("expected 'end'");
+    if (!r.atEnd())
+        r.fail("trailing text after 'end'");
+
+    plan.graph = std::move(graph);
+    return plan;
+}
+
+} // namespace smartmem::serialize

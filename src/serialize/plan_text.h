@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Round-trip text serialization of ExecutionPlan.
+ *
+ * ExecutionPlan::toString() is a human-oriented dump and drops fields
+ * (tuned efficiencies, internal-source flags, fused node ids, the
+ * cache key).  This module is the loss-free counterpart: a versioned,
+ * self-describing, line-oriented text format whose writer and
+ * tokenizing parser satisfy, for every plan the compilers produce,
+ *
+ *   parsePlan(serializePlan(p), g).toString()   == p.toString()
+ *   serializePlan(parsePlan(serializePlan(p), g)) == serializePlan(p)
+ *
+ * Layouts, index maps, and index expressions are embedded in their
+ * printed forms and re-read by Layout::parse / IndexMap::parse /
+ * parseExpr; doubles are written as hex floats so not a bit is lost.
+ *
+ * The graph is deliberately NOT serialized: plans are cached under a
+ * (device, model, options) key, and the graph is a cheap,
+ * deterministic function of (model, batch) -- the expensive part of
+ * compilation is plan/select/tune, not graph construction.  Instead
+ * the format records the graph's node/value counts plus a canonical
+ * signature, and parsePlan() verifies the caller-supplied graph
+ * matches before attaching it (core::PlanCacheDir treats a mismatch
+ * as a cache miss).
+ *
+ * Format v1 (one field per line; *name*, *cachekey* and *compiler*
+ * take the rest of the line, everything else is space-separated):
+ *
+ *   smartmem-plan v1
+ *   compiler <name>
+ *   cachekey <key>                      (may be empty)
+ *   graph <#nodes> <#values> <sig>
+ *   kernels <N>
+ *   kernel <i>
+ *   name <kernel name>
+ *   fused <count> <node-id>...
+ *   output <value-id> <copy-index> <is-layout-copy>
+ *   outlayout <Layout::toString()>
+ *   efficiency <hexfloat>
+ *   inputs <M>
+ *   input <source> <source-copy> <substitute> <internal>
+ *   layout <Layout::toString()>
+ *   readmap <IndexMap::toString()>      (only when present)
+ *   ...
+ *   end
+ */
+#ifndef SMARTMEM_SERIALIZE_PLAN_TEXT_H
+#define SMARTMEM_SERIALIZE_PLAN_TEXT_H
+
+#include <string>
+
+#include "ir/graph.h"
+#include "runtime/plan.h"
+
+namespace smartmem::serialize {
+
+/** Bumped whenever the on-disk grammar changes; parsePlan() rejects
+ *  every other version, which is what lets PlanCacheDir silently
+ *  recompile instead of misreading stale entries. */
+constexpr int kPlanFormatVersion = 1;
+
+/**
+ * Canonical FNV-1a signature over every graph field a plan depends on
+ * (node kinds/names/edges, value names/shapes/dtypes, graph inputs
+ * and outputs).  Two graphs with equal signatures are
+ * interchangeable as the `graph` argument of parsePlan().
+ */
+std::string graphSignature(const ir::Graph &graph);
+
+/** Write `plan` in format v1 (see file header).  Deterministic:
+ *  equal plans serialize to byte-identical text. */
+std::string serializePlan(const runtime::ExecutionPlan &plan);
+
+/**
+ * Parse text produced by serializePlan() and attach `graph` (which
+ * must match the recorded signature) as the plan's graph.  Throws
+ * FatalError on any malformed input: wrong version, truncated or
+ * reordered fields, unparsable layouts/index maps/numbers,
+ * out-of-range node or value ids, or a graph mismatch.
+ */
+runtime::ExecutionPlan parsePlan(const std::string &text,
+                                 ir::Graph graph);
+
+} // namespace smartmem::serialize
+
+#endif // SMARTMEM_SERIALIZE_PLAN_TEXT_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FNV-1a hashing shared by the plan-cache filename scheme and the
+ * graph signature in serialize/plan_text -- one implementation so the
+ * constants and the hex rendering cannot drift apart.
+ */
+#ifndef SMARTMEM_SUPPORT_HASH_H
+#define SMARTMEM_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace smartmem {
+
+/**
+ * Incremental 64-bit FNV-1a over length-delimited fields: a separator
+ * byte is folded in after every field, so feed("ab"), feed("c") and
+ * feed("a"), feed("bc") hash differently.  Not cryptographic -- used
+ * for cache filenames and graph signatures, both of which are
+ * verified against ground truth on every read.
+ */
+struct Fnv1a
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void feed(const std::string &s)
+    {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0xffu;
+        h *= 1099511628211ull;
+    }
+
+    void feed(std::int64_t v) { feed(std::to_string(v)); }
+
+    /** Canonical 16-digit lowercase hex rendering. */
+    std::string hex() const
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(h));
+        return buf;
+    }
+};
+
+/** One-shot hash of a single string field. */
+inline std::string
+fnv1aHex(const std::string &s)
+{
+    Fnv1a f;
+    f.feed(s);
+    return f.hex();
+}
+
+} // namespace smartmem
+
+#endif // SMARTMEM_SUPPORT_HASH_H

@@ -1,8 +1,30 @@
 #include "support/strings.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace smartmem {
+
+std::optional<std::int64_t>
+parseInt64(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    // Reject leading whitespace / '+' explicitly: strtoll accepts both,
+    // but flag values and serialized fields must be canonical.
+    char first = text[0];
+    if (first != '-' && (first < '0' || first > '9'))
+        return std::nullopt;
+    if (first == '-' && text.size() == 1)
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
 
 std::string
 joinInts(const std::vector<std::int64_t> &values, const std::string &sep)

@@ -6,6 +6,7 @@
 #define SMARTMEM_SUPPORT_STRINGS_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,15 @@ namespace smartmem {
 /** Join elements with a separator, e.g. joinInts({1,2,3}, "x") == "1x2x3". */
 std::string joinInts(const std::vector<std::int64_t> &values,
                      const std::string &sep);
+
+/**
+ * Strictly parse a base-10 integer: optional leading '-', digits, and
+ * nothing else.  Returns nullopt for empty input, trailing garbage,
+ * embedded whitespace, or values outside int64 -- never coerces a typo
+ * to 0 the way atoi does.  All numeric CLI/bench flags and the plan
+ * deserializer parse through this.
+ */
+std::optional<std::int64_t> parseInt64(const std::string &text);
 
 /** Join strings with a separator. */
 std::string joinStrings(const std::vector<std::string> &values,

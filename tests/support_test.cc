@@ -4,6 +4,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "support/error.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -133,6 +136,27 @@ TEST(Strings, FormatBytes)
 {
     EXPECT_EQ(formatBytes(512), "512.0 B");
     EXPECT_EQ(formatBytes(3u << 20), "3.0 MB");
+}
+
+TEST(Strings, ParseInt64AcceptsCanonicalIntegers)
+{
+    EXPECT_EQ(parseInt64("0"), 0);
+    EXPECT_EQ(parseInt64("42"), 42);
+    EXPECT_EQ(parseInt64("-7"), -7);
+    EXPECT_EQ(parseInt64("9223372036854775807"),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(parseInt64("-9223372036854775808"),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Strings, ParseInt64RejectsEverythingAtoiCoerces)
+{
+    // The --batch bug this replaced: atoi("4x") == 4, atoi("x") == 0.
+    for (const char *bad :
+         {"", "-", "x", "4x", "0.5", " 4", "4 ", "+4", "--4", "4-",
+          "0x10", "9223372036854775808", "-9223372036854775809"}) {
+        EXPECT_FALSE(parseInt64(bad).has_value()) << bad;
+    }
 }
 
 TEST(Strings, CeilDivAndRoundUp)

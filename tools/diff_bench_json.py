@@ -2,37 +2,46 @@
 """Diff a bench --json report against checked-in golden numbers.
 
 Usage: diff_bench_json.py GOLDEN ACTUAL [--rtol FRACTION]
+       diff_bench_json.py --self-test
 
 Compares table structure exactly (titles, headers, row/column counts
 and non-numeric cells such as "-" and "OOM") and numeric cells within
 a relative tolerance, so cost-model regressions fail CI while benign
-floating-point drift across compilers does not.
+floating-point drift across compilers does not.  Suffixed cells
+("3.1x", "14%") must agree on the suffix before their numbers are
+compared, and integer-formatted cells (deterministic planner outputs
+such as operator counts) must match exactly.
 """
 import argparse
 import json
+import re
 import sys
+
+# A numeric cell: optional sign, digits with optional fraction, and an
+# optional short unit suffix ("x", "%", "ms", "GB", ...).  Anchored on
+# both ends so "1.2.3" or "12 ms" stay non-numeric (exact-match) cells.
+_NUMERIC_RE = re.compile(r"^(-?\d+(?:\.\d+)?)([a-zA-Z%/]{0,3})$")
+
+# Integer-formatted, unsuffixed cells: see is_exact_integer().
+_INTEGER_RE = re.compile(r"^-?\d+$")
 
 
 def as_number(cell):
-    """Parse a numeric-looking cell ("12.3", "48", "3.1x", "14%")."""
-    text = cell.strip()
-    for suffix in ("x", "%"):
-        if text.endswith(suffix):
-            text = text[: -len(suffix)]
-    try:
-        return float(text)
-    except ValueError:
-        return None
+    """Split a numeric-looking cell ("12.3", "48", "-3.5", "3.1x",
+    "14%") into (value, suffix); (None, None) for everything else."""
+    m = _NUMERIC_RE.match(cell.strip())
+    if not m:
+        return None, None
+    return float(m.group(1)), m.group(2)
 
 
 def is_exact_integer(cell):
     """Integer-formatted cells (operator counts, batch sizes) come
     from the deterministic planner, not the float cost model: they
-    must match the golden exactly, no tolerance."""
-    text = cell.strip()
-    if text.startswith("-") and len(text) > 1:
-        text = text[1:]
-    return text.isdigit()
+    must match the golden exactly, no tolerance.  Only plain
+    (possibly negative) digit runs qualify -- "-3.5" and "48x" are
+    float-model cells and take the tolerance path."""
+    return _INTEGER_RE.match(cell.strip()) is not None
 
 
 def compare_cells(golden, actual, rtol, where, errors):
@@ -41,10 +50,15 @@ def compare_cells(golden, actual, rtol, where, errors):
             errors.append(f"{where}: expected exactly {golden!r}, "
                           f"got {actual!r}")
         return
-    g_num, a_num = as_number(golden), as_number(actual)
+    g_num, g_suffix = as_number(golden)
+    a_num, a_suffix = as_number(actual)
     if g_num is None or a_num is None:
         if golden != actual:
             errors.append(f"{where}: expected {golden!r}, got {actual!r}")
+        return
+    if g_suffix != a_suffix:
+        errors.append(f"{where}: unit mismatch: expected {golden!r}, "
+                      f"got {actual!r}")
         return
     scale = max(abs(g_num), 1e-9)
     if abs(a_num - g_num) / scale > rtol:
@@ -92,14 +106,67 @@ def compare(golden, actual, rtol):
     return errors
 
 
+def self_test():
+    """Assert the cell-comparison semantics; run by CI so a tooling
+    regression fails the build before it mis-judges bench output."""
+    cases = [
+        # (golden, actual, rtol, should_match)
+        ("48", "48", 0.05, True),           # exact integer
+        ("48", "49", 0.05, False),          # ... no tolerance
+        ("48", "48.0", 0.05, False),        # ... format matters
+        ("-3", "-3", 0.05, True),           # negative integer
+        ("12.3", "12.8", 0.05, True),       # float within rtol
+        ("12.3", "14.0", 0.05, False),      # float outside rtol
+        ("-3.5", "-3.4", 0.05, True),       # negative float: rtol path
+        ("-3.5", "-4.5", 0.05, False),
+        ("-3.5", "3.5", 0.05, False),       # sign flip is a mismatch
+        ("3.1x", "3.2x", 0.05, True),       # suffix agrees
+        ("3.1x", "3.1%", 0.05, False),      # suffix mismatch
+        ("3.1x", "3.1", 0.05, False),       # dropped suffix
+        ("14%", "14.1%", 0.05, True),
+        ("12.3ms", "12.4ms", 0.05, True),   # short unit suffixes
+        ("-", "-", 0.05, True),             # markers: exact
+        ("-", "OOM", 0.05, False),
+        ("OOM", "OOM", 0.05, True),
+        ("1.2.3", "1.2.3", 0.05, True),     # non-numeric: exact
+        ("1.2.3", "1.2.4", 0.05, False),
+    ]
+    failures = []
+    for golden, actual, rtol, should_match in cases:
+        errors = []
+        compare_cells(golden, actual, rtol, "self-test", errors)
+        if (not errors) != should_match:
+            verdict = "matched" if not errors else "mismatched"
+            failures.append(
+                f"  {golden!r} vs {actual!r} (rtol {rtol}): {verdict}, "
+                f"expected {'match' if should_match else 'mismatch'}")
+    if failures:
+        print(f"SELF-TEST FAIL: {len(failures)} cases:")
+        print("\n".join(failures))
+        return 1
+    print(f"SELF-TEST OK: {len(cases)} cell-comparison cases")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("golden", help="checked-in golden JSON")
-    parser.add_argument("actual", help="freshly produced JSON")
+    parser.add_argument("golden", nargs="?",
+                        help="checked-in golden JSON")
+    parser.add_argument("actual", nargs="?",
+                        help="freshly produced JSON")
     parser.add_argument("--rtol", type=float, default=0.05,
                         help="relative tolerance for numeric cells "
                              "(default 0.05)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in comparison self-test "
+                             "and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.golden is None or args.actual is None:
+        parser.error("GOLDEN and ACTUAL are required unless "
+                     "--self-test is given")
 
     with open(args.golden) as f:
         golden = json.load(f)

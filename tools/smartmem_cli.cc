@@ -6,11 +6,12 @@
  *       List the model zoo with op/MAC characteristics.
  *   smartmem_cli compile <model> [--device <name>] [--compiler <name>]
  *                [--batch N] [--dump-plan] [--stages]
- *                [--threads N] [--repeat K]
+ *                [--threads N] [--repeat K] [--plan-cache DIR]
  *       Compile a zoo model and report kernels / latency / memory.
  *       --repeat recompiles K times through the session plan cache
  *       and reports per-iteration wall time plus cache hits.
  *   smartmem_cli zoo [--device <name>] [--threads N]
+ *                [--plan-cache DIR]
  *       Compile every evaluation model across the thread pool and
  *       report kernels / latency per model plus total compile time.
  *   smartmem_cli classify
@@ -21,6 +22,9 @@
  * Compilers: smartmem (default), mnn, ncnn, tflite, tvm, dnnf,
  *            inductor.
  * Threads: 0 (default) = SMARTMEM_THREADS env or hardware threads.
+ * Plan cache: --plan-cache DIR (or the SMARTMEM_PLAN_CACHE env var)
+ *             persists compiled plans; warm entries replace the
+ *             plan/select/tune pass with a disk read.
  */
 #include <algorithm>
 #include <chrono>
@@ -53,8 +57,9 @@ usage()
                  "usage: smartmem_cli list\n"
                  "       smartmem_cli compile <model> [--device D] "
                  "[--compiler C] [--batch N] [--dump-plan] [--stages] "
-                 "[--threads N] [--repeat K]\n"
-                 "       smartmem_cli zoo [--device D] [--threads N]\n"
+                 "[--threads N] [--repeat K] [--plan-cache DIR]\n"
+                 "       smartmem_cli zoo [--device D] [--threads N] "
+                 "[--plan-cache DIR]\n"
                  "       smartmem_cli classify\n");
     return 2;
 }
@@ -129,6 +134,7 @@ int
 cmdZoo(int argc, char **argv)
 {
     std::string device_name = "adreno740";
+    std::string plan_cache;
     int threads = 0;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -136,6 +142,8 @@ cmdZoo(int argc, char **argv)
             device_name = argv[++i];
         else if (arg == "--threads" && i + 1 < argc)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
+        else if (arg == "--plan-cache" && i + 1 < argc)
+            plan_cache = argv[++i];
         else
             return usage();
     }
@@ -143,6 +151,8 @@ cmdZoo(int argc, char **argv)
     auto names = models::evaluationModels();
 
     core::CompileSession session(dev, threads);
+    if (!plan_cache.empty())
+        session.setPlanCacheDir(plan_cache);
     using clock = std::chrono::steady_clock;
     auto t0 = clock::now();
     auto plans = session.compileZoo(names);
@@ -165,6 +175,13 @@ cmdZoo(int argc, char **argv)
     std::printf("compiled %zu models in %.0f ms on %d threads (%s)\n",
                 names.size(), ms, session.threadCount(),
                 dev.name.c_str());
+    if (session.planCacheDir()) {
+        auto st = session.stats();
+        std::printf("plan cache %s: %lld disk hits, %lld disk misses\n",
+                    session.planCacheDir()->dir().c_str(),
+                    static_cast<long long>(st.diskHits),
+                    static_cast<long long>(st.diskMisses));
+    }
     return 0;
 }
 
@@ -176,6 +193,7 @@ cmdCompile(int argc, char **argv)
     std::string model = argv[2];
     std::string device_name = "adreno740";
     std::string compiler = "smartmem";
+    std::string plan_cache;
     int batch = 1;
     int threads = 0;
     int repeat = 1;
@@ -188,11 +206,13 @@ cmdCompile(int argc, char **argv)
         else if (arg == "--compiler" && i + 1 < argc)
             compiler = argv[++i];
         else if (arg == "--batch" && i + 1 < argc)
-            batch = std::atoi(argv[++i]);
+            batch = bench::parseIntFlag("--batch", argv[++i], 1);
         else if (arg == "--threads" && i + 1 < argc)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
         else if (arg == "--repeat" && i + 1 < argc)
             repeat = bench::parseIntFlag("--repeat", argv[++i], 1);
+        else if (arg == "--plan-cache" && i + 1 < argc)
+            plan_cache = argv[++i];
         else if (arg == "--dump-plan")
             dump_plan = true;
         else if (arg == "--stages")
@@ -211,14 +231,22 @@ cmdCompile(int argc, char **argv)
                 dev.name.c_str());
 
     if (stages) {
+        // Staged compiles go through a session too (CompileOptions
+        // carries the stage), so --plan-cache persists all four.
+        core::CompileSession session(dev, threads);
+        if (!plan_cache.empty())
+            session.setPlanCacheDir(plan_cache);
         report::Table table({"Stage", "#Kernels", "Latency(ms)",
                              "GMACS"});
         const char *names[] = {"DNNF", "+LTE", "+LayoutSel", "+Other"};
         for (int s = 0; s <= 3; ++s) {
-            auto plan = core::compileStage(g, dev, s);
-            auto sim = runtime::simulate(dev, plan);
+            core::CompileOptions copts;
+            copts.batch = batch;
+            copts.stage = s;
+            auto plan = session.compileModel(model, copts);
+            auto sim = runtime::simulate(dev, *plan);
             table.addRow({names[s],
-                          std::to_string(plan.operatorCount()),
+                          std::to_string(plan->operatorCount()),
                           formatFixed(sim.latencyMs(), 2),
                           formatFixed(sim.gmacs(), 0)});
         }
@@ -229,6 +257,8 @@ cmdCompile(int argc, char **argv)
     runtime::ExecutionPlan plan;
     if (compiler == "smartmem") {
         core::CompileSession session(dev, threads);
+        if (!plan_cache.empty())
+            session.setPlanCacheDir(plan_cache);
         core::CompileOptions copts;
         copts.batch = batch;
         using clock = std::chrono::steady_clock;
@@ -243,13 +273,27 @@ cmdCompile(int argc, char **argv)
                             ms);
         }
         plan = *compiled;
+        auto st = session.stats();
         if (repeat > 1) {
-            auto st = session.stats();
             std::printf("plan cache: %lld hits, %lld misses\n",
                         static_cast<long long>(st.cacheHits),
                         static_cast<long long>(st.cacheMisses));
         }
+        if (session.planCacheDir()) {
+            std::printf("plan cache %s: %lld disk hits, %lld disk "
+                        "misses\n",
+                        session.planCacheDir()->dir().c_str(),
+                        static_cast<long long>(st.diskHits),
+                        static_cast<long long>(st.diskMisses));
+        }
     } else {
+        if (!plan_cache.empty()) {
+            std::fprintf(stderr,
+                         "error: --plan-cache requires the smartmem "
+                         "compiler (baseline frameworks compile "
+                         "outside a session)\n");
+            return 2;
+        }
         std::unique_ptr<baselines::Framework> fw;
         if (compiler == "mnn") fw = baselines::makeMnnLike();
         else if (compiler == "ncnn") fw = baselines::makeNcnnLike();
