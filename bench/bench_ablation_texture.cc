@@ -23,7 +23,7 @@ run(const bench::BenchOptions &opts, bool print)
         std::printf("%s", report::banner(
             "Ablation: 2.5D texture mapping vs buffers").c_str());
 
-    for (auto dev : {device::adreno740(), device::maliG57()}) {
+    for (auto dev : bench::resolveDevices(opts, {"adreno740", "mali-g57"})) {
         // Buffer-only: pretend the device has no texture units.  The
         // session cache keys on the device fingerprint, so the
         // modified profile never aliases the real one.

@@ -45,7 +45,7 @@ timeZooMs(core::CompileSession &session,
 int
 runOnce(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     auto names = models::evaluationModels();
     int threads = opts.threads > 0 ? opts.threads
                                    : support::defaultThreadCount();

@@ -14,7 +14,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<int> batches = {1, 2, 4, 6, 8, 10, 12, 14, 16};
 
     // Per-batch jobs through the session: the zoo dimension here is

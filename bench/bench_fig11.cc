@@ -61,7 +61,7 @@ run(const bench::BenchOptions &opts, bool print)
     if (print)
         std::printf("%s", report::banner(
             "Figure 11: portability to older/smaller SoCs").c_str());
-    for (auto dev : {device::maliG57(), device::adreno540()}) {
+    for (auto dev : bench::resolveDevices(opts, {"mali-g57", "adreno540"})) {
         auto table = runDevice(dev, opts);
         if (print)
             std::printf("-- %s --\n%s\n", dev.name.c_str(),

@@ -17,7 +17,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
         "Swin", "ViT", "ResNext", "SD-VAEDecoder"};
 
@@ -47,8 +47,9 @@ run(const bench::BenchOptions &opts, bool print)
 
     if (!print)
         return;
-    std::printf("%s", report::banner(
-        "Figure 12: roofline analysis (Adreno 740)").c_str());
+    const std::string title =
+        "Figure 12: roofline analysis (" + dev.name + ")";
+    std::printf("%s", report::banner(title).c_str());
     std::printf("peak %.1f TMACs/s, global BW %.0f GB/s, texture BW "
                 "%.0f GB/s\n\n",
                 dev.peakMacsPerSec / 1e12,
@@ -61,7 +62,7 @@ run(const bench::BenchOptions &opts, bool print)
                 "intensity models get closer to the roof.\n");
     if (!opts.jsonPath.empty()) {
         bench::JsonReport json("bench_fig12");
-        json.add("Figure 12: roofline analysis (Adreno 740)", table);
+        json.add(title, table);
         json.writeTo(opts.jsonPath);
     }
 }

@@ -15,7 +15,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
         "AutoFormer", "BiFormer", "EfficientViT", "CSwin",
         "ViT",        "ConvNext", "RegNet",       "ResNext"};

@@ -17,7 +17,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     auto dnnf = baselines::makeDnnFusionLike();
     const std::vector<std::string> names = {
         "Swin", "ViT", "CSwin", "ResNext"};

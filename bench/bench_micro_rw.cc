@@ -87,11 +87,22 @@ kernelSeconds(const char *which, bool read_friendly,
     return cost::costKernel(dev, plan, k).seconds;
 }
 
+/** Target device, settable via the shared --device/--device-file
+ *  flags (main() resolves them after benchmark::Initialize has
+ *  consumed google-benchmark's own arguments). */
+device::DeviceProfile &
+targetDevice()
+{
+    static device::DeviceProfile dev =
+        device::DeviceRegistry::builtins().find("adreno740");
+    return dev;
+}
+
 void
 microBench(benchmark::State &state, const char *which,
            bool read_friendly)
 {
-    auto dev = device::adreno740();
+    const auto &dev = targetDevice();
     double seconds = 0;
     for (auto _ : state) {
         seconds = kernelSeconds(which, read_friendly, dev);
@@ -118,10 +129,14 @@ main(int argc, char **argv)
     benchmark::RegisterBenchmark("write_opt/Activation", microBench,
                                  "Activation", false);
     benchmark::Initialize(&argc, argv);
+    // Whatever google-benchmark did not consume must be the shared
+    // bench flags (--device/--device-file/...).
+    auto opts = bench::parseBenchArgs(argc, argv);
+    targetDevice() = bench::resolveDevice(opts, "adreno740");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
-    auto dev = device::adreno740();
+    const auto &dev = targetDevice();
     std::printf("\n%s", report::banner(
         "Section 3.2.2 micro: read-optimized vs write-optimized")
         .c_str());

@@ -17,7 +17,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     auto mnn = baselines::makeMnnLike();
 
     const std::vector<std::string> names = {
@@ -61,18 +61,17 @@ run(const bench::BenchOptions &opts, bool print)
 
     if (!print)
         return;
-    std::printf("%s", report::banner(
-        "Table 1: latency and transformation breakdown (MNN-like, "
-        "Adreno 740)").c_str());
+    const std::string title =
+        "Table 1: latency and transformation breakdown (MNN-like, " +
+        dev.name + ")";
+    std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: transformers spend ~43-70%% of time on\n"
                 "layout transformations and run ~10x slower (GMACS)\n"
                 "than ConvNets; ConvNets spend <20%%.\n");
     if (!opts.jsonPath.empty()) {
         bench::JsonReport json("bench_table1");
-        json.add("Table 1: latency and transformation breakdown "
-                 "(MNN-like, Adreno 740)",
-                 table);
+        json.add(title, table);
         json.writeTo(opts.jsonPath);
     }
 }

@@ -15,7 +15,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     auto frameworks = baselines::allMobileBaselines();
     auto names = models::evaluationModels();
 
@@ -53,16 +53,16 @@ run(const bench::BenchOptions &opts, bool print)
 
     if (!print)
         return;
-    std::printf("%s", report::banner(
-        "Table 7: #operators with optimizations (Adreno 740)").c_str());
+    const std::string title =
+        "Table 7: #operators with optimizations (" + dev.name + ")";
+    std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: Ours < DNNF < TVM < MNN on transformer\n"
                 "and hybrid models; NCNN/TFLite support only pure\n"
                 "ConvNets; for RegNet/ResNext/Yolo ours ~= DNNF.\n");
     if (!opts.jsonPath.empty()) {
         bench::JsonReport json("bench_table7");
-        json.add("Table 7: #operators with optimizations (Adreno 740)",
-                 table);
+        json.add(title, table);
         json.writeTo(opts.jsonPath);
     }
 }

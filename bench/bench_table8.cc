@@ -22,7 +22,7 @@ struct Row
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::adreno740();
+    auto dev = bench::resolveDevice(opts, "adreno740");
     auto frameworks = baselines::allMobileBaselines();
     auto names = models::evaluationModels();
 
@@ -75,8 +75,9 @@ run(const bench::BenchOptions &opts, bool print)
 
     if (!print)
         return;
-    std::printf("%s", report::banner(
-        "Table 8: end-to-end latency (ms) on Adreno 740").c_str());
+    const std::string title =
+        "Table 8: end-to-end latency (ms) on " + dev.name;
+    std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
 
     std::printf("Geo-mean speedup of SmartMem over each framework:\n");
@@ -92,8 +93,7 @@ run(const bench::BenchOptions &opts, bool print)
                 "1.2-1.3x on RegNet/Yolo-V8.\n");
     if (!opts.jsonPath.empty()) {
         bench::JsonReport json("bench_table8");
-        json.add("Table 8: end-to-end latency (ms) on Adreno 740",
-                 table);
+        json.add(title, table);
         json.writeTo(opts.jsonPath);
     }
 }

@@ -15,7 +15,7 @@ namespace {
 void
 run(const bench::BenchOptions &opts, bool print)
 {
-    auto dev = device::teslaV100();
+    auto dev = bench::resolveDevice(opts, "v100");
     auto inductor = baselines::makeInductorLike();
     const std::vector<std::string> names = {"Swin", "AutoFormer"};
 
@@ -46,16 +46,16 @@ run(const bench::BenchOptions &opts, bool print)
 
     if (!print)
         return;
-    std::printf("%s", report::banner(
-        "Table 9: desktop GPU (V100), TorchInductor vs Ours").c_str());
+    const std::string title = "Table 9: desktop GPU (" + dev.name +
+                              "), TorchInductor vs Ours";
+    std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper: 1.23x (Swin) and 1.11x (AutoFormer) -- modest\n"
                 "desktop gains because desktop GPUs have far more\n"
                 "bandwidth and no 2.5D texture path to exploit.\n");
     if (!opts.jsonPath.empty()) {
         bench::JsonReport json("bench_table9");
-        json.add("Table 9: desktop GPU (V100), TorchInductor vs Ours",
-                 table);
+        json.add(title, table);
         json.writeTo(opts.jsonPath);
     }
 }

@@ -22,6 +22,8 @@
 #include "core/compile_session.h"
 #include "core/smartmem_compiler.h"
 #include "device/device_profile.h"
+#include "device/device_registry.h"
+#include "support/error.h"
 #include "ir/macs.h"
 #include "models/models.h"
 #include "report/table.h"
@@ -54,6 +56,14 @@ struct BenchOptions
     /** Fail (exit non-zero) unless the plan-cache warm-up pass was
      *  served entirely from disk -- the CI warm-cache gate. */
     bool requireDiskHits = false;
+
+    /** Target override: a device::DeviceRegistry::builtins() name
+     *  (--device).  Empty = each bench's paper-default device(s). */
+    std::string device;
+
+    /** Target override: a .smdev profile file (--device-file); wins
+     *  over --device. */
+    std::string deviceFile;
 };
 
 /** Strictly parse a non-negative integer flag value via
@@ -89,16 +99,56 @@ parseBenchArgs(int argc, char **argv)
             o.planCacheDir = argv[++i];
         } else if (arg == "--require-disk-hits") {
             o.requireDiskHits = true;
+        } else if (arg == "--device" && i + 1 < argc) {
+            o.device = argv[++i];
+        } else if (arg == "--device-file" && i + 1 < argc) {
+            o.deviceFile = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--threads N] [--repeat K] "
-                         "[--json PATH] [--plan-cache DIR] "
-                         "[--require-disk-hits]\n",
+                         "usage: %s [--device NAME] "
+                         "[--device-file FILE] [--threads N] "
+                         "[--repeat K] [--json PATH] "
+                         "[--plan-cache DIR] [--require-disk-hits]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     return o;
+}
+
+/**
+ * Resolve the shared --device/--device-file flags against the
+ * built-in registry, defaulting to `fallback` (each bench's paper
+ * device).  An unknown name or unloadable file exits(2) listing the
+ * registered profiles -- the same contract as smartmem_cli.
+ */
+inline device::DeviceProfile
+resolveDevice(const BenchOptions &o, const std::string &fallback)
+{
+    try {
+        if (!o.deviceFile.empty())
+            return device::loadProfileFile(o.deviceFile);
+        return device::DeviceRegistry::builtins().find(
+            o.device.empty() ? fallback : o.device);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/** Multi-device benches: the paper's device list by default; a
+ *  --device/--device-file flag narrows the sweep to that target. */
+inline std::vector<device::DeviceProfile>
+resolveDevices(const BenchOptions &o,
+               const std::vector<std::string> &fallbacks)
+{
+    if (!o.device.empty() || !o.deviceFile.empty())
+        return {resolveDevice(o, fallbacks.front())};
+    std::vector<device::DeviceProfile> devs;
+    devs.reserve(fallbacks.size());
+    for (const std::string &name : fallbacks)
+        devs.push_back(resolveDevice(o, name));
+    return devs;
 }
 
 /**

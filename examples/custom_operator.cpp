@@ -12,7 +12,7 @@
 
 #include "core/planner.h"
 #include "core/smartmem_compiler.h"
-#include "device/device_profile.h"
+#include "device/device_registry.h"
 #include "exec/executor.h"
 #include "opclass/opclass.h"
 #include "runtime/functional_runner.h"
@@ -58,7 +58,7 @@ main()
                 "(DepthToSpace + Slice fold into consumer reads)\n",
                 eliminated.size());
 
-    auto dev = device::adreno740();
+    auto dev = device::DeviceRegistry::builtins().find("adreno740");
     auto plan = core::compileSmartMem(g, dev);
     std::printf("plan: %d kernels for %d graph operators\n",
                 plan.operatorCount(), g.operatorCount());

@@ -12,7 +12,7 @@
 
 #include "core/layout_select.h"
 #include "core/planner.h"
-#include "device/device_profile.h"
+#include "device/device_registry.h"
 #include "index/index_map.h"
 #include "ir/graph.h"
 
@@ -65,7 +65,7 @@ main()
     core::FusionPolicy pol;
     pol.eliminateTransforms = true;
     auto plan = core::planGraph(b2.finish(), pol);
-    auto dev = device::adreno740();
+    auto dev = device::DeviceRegistry::builtins().find("adreno740");
     core::assignLayouts(plan, core::LayoutStrategy::SmartSelect, dev);
     std::printf("\nproducer->consumer layout selection:\n");
     for (const auto &k : plan.kernels) {

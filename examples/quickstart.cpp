@@ -11,7 +11,7 @@
 
 #include "core/planner.h"
 #include "core/smartmem_compiler.h"
-#include "device/device_profile.h"
+#include "device/device_registry.h"
 #include "exec/executor.h"
 #include "ir/graph.h"
 #include "runtime/functional_runner.h"
@@ -43,7 +43,7 @@ main()
                 graph.operatorCount(), graph.layoutTransformCount());
 
     // 2. Compile with SmartMem.
-    auto dev = device::adreno740();
+    auto dev = device::DeviceRegistry::builtins().find("adreno740");
     auto plan = core::compileSmartMem(graph, dev);
     std::printf("SmartMem plan: %d kernels\n\n%s\n",
                 plan.operatorCount(), plan.toString().c_str());

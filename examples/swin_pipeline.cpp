@@ -10,6 +10,7 @@
 #include <string>
 
 #include "baselines/baselines.h"
+#include "device/device_registry.h"
 #include "core/smartmem_compiler.h"
 #include "ir/macs.h"
 #include "models/models.h"
@@ -24,7 +25,10 @@ int
 main(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "Swin";
-    auto dev = device::adreno740();
+    // Second argument selects any registered device profile
+    // ("swin_pipeline Swin apple-m2"); see `smartmem_cli devices`.
+    auto dev = device::DeviceRegistry::builtins().find(
+        argc > 2 ? argv[2] : "adreno740");
     auto graph = models::buildModel(name, 1);
 
     std::printf("%s: %d operators, %d layout transforms, %.1f GMACs\n\n",

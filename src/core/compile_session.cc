@@ -9,33 +9,6 @@
 
 namespace smartmem::core {
 
-namespace {
-
-/**
- * Device side of the cache key.  The name alone would collide for
- * hand-edited profile variants (the texture ablation flips hasTexture
- * on a copy of adreno740), so every field the pipeline consults is
- * encoded explicitly.
- */
-std::string
-deviceFingerprint(const device::DeviceProfile &dev)
-{
-    std::string fp = "dev=" + dev.name;
-    fp += ";tex=" + std::to_string(dev.hasTexture ? 1 : 0);
-    fp += ";macs=" + formatFixed(dev.peakMacsPerSec, 0);
-    fp += ";gbw=" + formatFixed(dev.globalBwBytesPerSec, 0);
-    fp += ";tbw=" + formatFixed(dev.textureBwBytesPerSec, 0);
-    fp += ";line=" + std::to_string(dev.cacheLineBytes);
-    fp += ";ext=" + std::to_string(dev.maxTextureExtent);
-    fp += ";reg=" + std::to_string(dev.registersPerThread);
-    fp += ";launch=" + formatFixed(dev.kernelLaunchSec * 1e9, 3);
-    fp += ";relay=" + formatFixed(dev.relayoutElemsPerSec, 0);
-    fp += ";convpen=" + formatFixed(dev.bufferConvPenalty, 6);
-    return fp;
-}
-
-} // namespace
-
 std::string
 CompileOptions::fingerprint() const
 {
@@ -62,8 +35,13 @@ CompileOptions::fingerprint() const
     return fp;
 }
 
+// The device side of the cache key is DeviceProfile::fingerprint():
+// every field the pipeline consults, never the display name, so a
+// hand-edited or file-loaded profile variant (the texture ablation
+// flips hasTexture on a copy of adreno740) can never alias its base
+// profile's cached or on-disk plans.
 CompileSession::CompileSession(device::DeviceProfile dev, int nThreads)
-    : dev_(std::move(dev)), devFingerprint_(deviceFingerprint(dev_))
+    : dev_(std::move(dev)), devFingerprint_(dev_.fingerprint())
 {
     int n = nThreads > 0 ? nThreads : support::defaultThreadCount();
     if (n > 1)

@@ -1,6 +1,319 @@
 #include "device/device_profile.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "support/error.h"
+#include "support/strings.h"
+
 namespace smartmem::device {
+
+namespace {
+
+/**
+ * Shortest decimal that strtod()s back to exactly `v` -- loss-free
+ * like plan_text's hex floats, but readable in hand-edited .smdev
+ * files ("2e+12" instead of "0x1.d1a94a2p+40").
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** Field descriptor tying one .smdev key to one DeviceProfile member;
+ *  toString() and parse() walk the same table so the writer and the
+ *  parser can never drift apart. */
+struct Field
+{
+    const char *key;
+    enum Kind { Double, Int, Bool } kind;
+    double DeviceProfile::*d = nullptr;
+    std::int64_t DeviceProfile::*i = nullptr;
+    bool DeviceProfile::*b = nullptr;
+    int DeviceProfile::*n = nullptr;
+    /** Doubles/ints must be >= 0; strictly > 0 when set (quantities
+     *  the cost model divides by or packs with). */
+    bool positive = false;
+};
+
+const std::vector<Field> &
+fields()
+{
+    static const std::vector<Field> f = [] {
+        std::vector<Field> v;
+        auto dbl = [&](const char *key, double DeviceProfile::*m,
+                       bool positive) {
+            Field fd;
+            fd.key = key;
+            fd.kind = Field::Double;
+            fd.d = m;
+            fd.positive = positive;
+            v.push_back(fd);
+        };
+        auto i64 = [&](const char *key, std::int64_t DeviceProfile::*m,
+                       bool positive) {
+            Field fd;
+            fd.key = key;
+            fd.kind = Field::Int;
+            fd.i = m;
+            fd.positive = positive;
+            v.push_back(fd);
+        };
+        auto bol = [&](const char *key, bool DeviceProfile::*m) {
+            Field fd;
+            fd.key = key;
+            fd.kind = Field::Bool;
+            fd.b = m;
+            v.push_back(fd);
+        };
+        auto i32 = [&](const char *key, int DeviceProfile::*m,
+                       bool positive) {
+            Field fd;
+            fd.key = key;
+            fd.kind = Field::Int;
+            fd.n = m;
+            fd.positive = positive;
+            v.push_back(fd);
+        };
+        dbl("peak_macs_per_sec", &DeviceProfile::peakMacsPerSec, true);
+        dbl("global_bw_bytes_per_sec",
+            &DeviceProfile::globalBwBytesPerSec, true);
+        dbl("texture_bw_bytes_per_sec",
+            &DeviceProfile::textureBwBytesPerSec, false);
+        bol("has_texture", &DeviceProfile::hasTexture);
+        i64("texture_cache_bytes", &DeviceProfile::textureCacheBytes,
+            false);
+        i64("l2_cache_bytes", &DeviceProfile::l2CacheBytes, false);
+        i64("cache_line_bytes", &DeviceProfile::cacheLineBytes, true);
+        i32("simd_width", &DeviceProfile::simdWidth, true);
+        dbl("kernel_launch_sec", &DeviceProfile::kernelLaunchSec,
+            false);
+        i64("memory_capacity_bytes",
+            &DeviceProfile::memoryCapacityBytes, false);
+        i64("max_texture_extent", &DeviceProfile::maxTextureExtent,
+            false);
+        i32("registers_per_thread",
+            &DeviceProfile::registersPerThread, true);
+        dbl("relayout_elems_per_sec",
+            &DeviceProfile::relayoutElemsPerSec, false);
+        dbl("buffer_conv_penalty", &DeviceProfile::bufferConvPenalty,
+            true);
+        return v;
+    }();
+    return f;
+}
+
+[[noreturn]] void
+parseFail(int line, const std::string &why)
+{
+    smFatal("device profile parse error at line " +
+            std::to_string(line) + ": " + why);
+}
+
+} // namespace
+
+std::string
+DeviceProfile::toString() const
+{
+    std::string out = "smartmem-device v" +
+                      std::to_string(kProfileFormatVersion) + "\n";
+    out += "name " + name + "\n";
+    for (const Field &f : fields()) {
+        out += f.key;
+        out += ' ';
+        switch (f.kind) {
+          case Field::Double:
+            out += formatDouble(this->*(f.d));
+            break;
+          case Field::Int:
+            out += std::to_string(f.i ? this->*(f.i)
+                                      : static_cast<std::int64_t>(
+                                            this->*(f.n)));
+            break;
+          case Field::Bool:
+            out += this->*(f.b) ? '1' : '0';
+            break;
+        }
+        out += '\n';
+    }
+    out += "end\n";
+    return out;
+}
+
+DeviceProfile
+DeviceProfile::parse(const std::string &text)
+{
+    DeviceProfile p;
+    std::set<std::string> seen;
+    bool sawHeader = false, sawName = false, sawEnd = false;
+
+    int lineNo = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t stop = text.find('\n', pos);
+        if (stop == std::string::npos) {
+            if (pos >= text.size())
+                break;
+            stop = text.size(); // tolerate a missing final newline
+        }
+        std::string line = text.substr(pos, stop - pos);
+        pos = stop + 1;
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+
+        // Blank lines and '#' comments are legal anywhere in
+        // hand-written files; toString() never emits them.
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        if (sawEnd)
+            parseFail(lineNo, "content after 'end'");
+
+        std::size_t space = line.find(' ', first);
+        std::string key = line.substr(
+            first, (space == std::string::npos ? line.size() : space) -
+                       first);
+        std::string value = space == std::string::npos
+                                ? ""
+                                : line.substr(space + 1);
+
+        if (!sawHeader) {
+            const std::string want =
+                "v" + std::to_string(kProfileFormatVersion);
+            if (key != "smartmem-device")
+                parseFail(lineNo, "expected 'smartmem-device " + want +
+                                      "' header, got '" + line + "'");
+            if (value != want)
+                parseFail(lineNo, "unsupported profile version '" +
+                                      value + "' (expected " + want +
+                                      ")");
+            sawHeader = true;
+            continue;
+        }
+        if (key == "end") {
+            sawEnd = true;
+            continue;
+        }
+        if (key == "name") {
+            if (sawName)
+                parseFail(lineNo, "duplicate field 'name'");
+            if (value.empty())
+                parseFail(lineNo, "empty device name");
+            p.name = value;
+            sawName = true;
+            continue;
+        }
+
+        const Field *field = nullptr;
+        for (const Field &f : fields()) {
+            if (key == f.key) {
+                field = &f;
+                break;
+            }
+        }
+        if (!field)
+            parseFail(lineNo, "unknown key '" + key + "'");
+        if (!seen.insert(key).second)
+            parseFail(lineNo, "duplicate field '" + key + "'");
+
+        switch (field->kind) {
+          case Field::Double: {
+            char *end = nullptr;
+            double v = std::strtod(value.c_str(), &end);
+            if (value.empty() ||
+                end != value.c_str() + value.size() ||
+                !std::isfinite(v))
+                parseFail(lineNo, "malformed number '" + value +
+                                      "' for '" + key + "'");
+            if (v < 0 || (field->positive && v <= 0))
+                parseFail(lineNo, "'" + key + "' must be " +
+                                      (field->positive ? "> 0"
+                                                       : ">= 0"));
+            p.*(field->d) = v;
+            break;
+          }
+          case Field::Int: {
+            auto v = parseInt64(value);
+            if (!v)
+                parseFail(lineNo, "malformed integer '" + value +
+                                      "' for '" + key + "'");
+            if (*v < 0 || (field->positive && *v <= 0))
+                parseFail(lineNo, "'" + key + "' must be " +
+                                      (field->positive ? "> 0"
+                                                       : ">= 0"));
+            if (field->n) {
+                if (*v > INT32_MAX)
+                    parseFail(lineNo, "'" + key + "' out of range");
+                p.*(field->n) = static_cast<int>(*v);
+            } else {
+                p.*(field->i) = *v;
+            }
+            break;
+          }
+          case Field::Bool: {
+            if (value != "0" && value != "1")
+                parseFail(lineNo, "'" + key + "' must be 0 or 1, got '"
+                                      + value + "'");
+            p.*(field->b) = value == "1";
+            break;
+          }
+        }
+    }
+
+    if (!sawHeader)
+        parseFail(lineNo, "missing 'smartmem-device' header");
+    if (!sawEnd)
+        parseFail(lineNo, "missing 'end' trailer");
+    if (!sawName)
+        parseFail(lineNo, "missing field 'name'");
+    for (const Field &f : fields()) {
+        if (!seen.count(f.key))
+            parseFail(lineNo,
+                      "missing field '" + std::string(f.key) + "'");
+    }
+    // Cross-field consistency: a texture-capable device with a zero
+    // texture roof or extent would silently degrade to buffer-only
+    // everywhere downstream -- fail loudly instead.
+    if (p.hasTexture && p.textureBwBytesPerSec <= 0)
+        parseFail(lineNo, "'has_texture 1' requires "
+                          "texture_bw_bytes_per_sec > 0");
+    if (p.hasTexture && p.maxTextureExtent <= 0)
+        parseFail(lineNo,
+                  "'has_texture 1' requires max_texture_extent > 0");
+    return p;
+}
+
+std::string
+DeviceProfile::fingerprint() const
+{
+    std::string fp = "devv1";
+    fp += ";macs=" + formatDouble(peakMacsPerSec);
+    fp += ";gbw=" + formatDouble(globalBwBytesPerSec);
+    fp += ";tbw=" + formatDouble(textureBwBytesPerSec);
+    fp += ";tex=" + std::to_string(hasTexture ? 1 : 0);
+    fp += ";texcache=" + std::to_string(textureCacheBytes);
+    fp += ";l2=" + std::to_string(l2CacheBytes);
+    fp += ";line=" + std::to_string(cacheLineBytes);
+    fp += ";simd=" + std::to_string(simdWidth);
+    fp += ";launch=" + formatDouble(kernelLaunchSec);
+    fp += ";mem=" + std::to_string(memoryCapacityBytes);
+    fp += ";ext=" + std::to_string(maxTextureExtent);
+    fp += ";reg=" + std::to_string(registersPerThread);
+    fp += ";relay=" + formatDouble(relayoutElemsPerSec);
+    fp += ";convpen=" + formatDouble(bufferConvPenalty);
+    return fp;
+}
 
 DeviceProfile
 adreno740()
@@ -79,6 +392,87 @@ teslaV100()
     p.memoryCapacityBytes = 16LL << 30;
     p.registersPerThread = 255;
     p.relayoutElemsPerSec = 40e9;
+    return p;
+}
+
+DeviceProfile
+appleM2()
+{
+    DeviceProfile p;
+    p.name = "Apple M2 GPU (10-core)";
+    p.peakMacsPerSec = 1.8e12;       // 3.6 TFLOPS FP32
+    p.globalBwBytesPerSec = 100e9;   // unified LPDDR5
+    p.textureBwBytesPerSec = 400e9;  // TBDR texture path
+    p.hasTexture = true;
+    p.textureCacheBytes = 256 << 10;
+    p.l2CacheBytes = 8 << 20;        // system-level cache
+    p.cacheLineBytes = 128;
+    p.simdWidth = 32;
+    p.kernelLaunchSec = 8e-6;
+    p.memoryCapacityBytes = 16LL << 30;
+    p.registersPerThread = 96;
+    p.relayoutElemsPerSec = 4e9;
+    p.bufferConvPenalty = 0.6;
+    return p;
+}
+
+DeviceProfile
+rtx4090()
+{
+    DeviceProfile p;
+    p.name = "GeForce RTX 4090";
+    p.peakMacsPerSec = 41e12;        // 82.6 TFLOPS FP32
+    p.globalBwBytesPerSec = 1008e9;  // GDDR6X
+    p.textureBwBytesPerSec = 0;
+    p.hasTexture = false;            // desktop path uses buffers only
+    p.textureCacheBytes = 0;
+    p.l2CacheBytes = 72LL << 20;
+    p.cacheLineBytes = 128;
+    p.simdWidth = 32;
+    p.kernelLaunchSec = 4e-6;
+    p.memoryCapacityBytes = 24LL << 30;
+    p.registersPerThread = 255;
+    p.relayoutElemsPerSec = 90e9;
+    return p;
+}
+
+DeviceProfile
+a100()
+{
+    DeviceProfile p;
+    p.name = "NVIDIA A100 (SXM4 40GB)";
+    p.peakMacsPerSec = 9.7e12;       // 19.5 TFLOPS FP32
+    p.globalBwBytesPerSec = 1555e9;  // HBM2e
+    p.textureBwBytesPerSec = 0;
+    p.hasTexture = false;
+    p.textureCacheBytes = 0;
+    p.l2CacheBytes = 40LL << 20;
+    p.cacheLineBytes = 128;
+    p.simdWidth = 32;
+    p.kernelLaunchSec = 4e-6;
+    p.memoryCapacityBytes = 40LL << 30;
+    p.registersPerThread = 255;
+    p.relayoutElemsPerSec = 70e9;
+    return p;
+}
+
+DeviceProfile
+edgeNpu()
+{
+    DeviceProfile p;
+    p.name = "EdgeNPU (shared LPDDR bus)";
+    p.peakMacsPerSec = 4.0e12;       // dense MAC array
+    p.globalBwBytesPerSec = 34e9;    // shared LPDDR5
+    p.textureBwBytesPerSec = 0;
+    p.hasTexture = false;            // no texture units at all
+    p.textureCacheBytes = 0;
+    p.l2CacheBytes = 2 << 20;        // scratchpad
+    p.cacheLineBytes = 64;
+    p.simdWidth = 16;
+    p.kernelLaunchSec = 60e-6;       // heavy command-queue dispatch
+    p.memoryCapacityBytes = 2LL << 30;
+    p.registersPerThread = 16;
+    p.relayoutElemsPerSec = 0.08e9;  // relayout is the NPU's weakness
     return p;
 }
 

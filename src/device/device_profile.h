@@ -8,7 +8,22 @@
  * bandwidths, compute roof, cache geometry and capacity; the analytic
  * cost model (src/cost) and the cache simulator consume these numbers.
  * Roofline constants for Adreno 740 match Figure 12 (global 55 GB/s,
- * texture 511 GB/s, peak 2.0 TMACs/s).
+ * texture 511 GB/s, peak 2.0 TMACs/s).  Beyond the paper's four
+ * platforms the catalog carries extrapolated tiers (Apple-M2-class
+ * GPU, RTX 4090, A100, an NPU-like accelerator) for open-world
+ * evaluation; device_registry.h exposes all of them by name and loads
+ * additional profiles from .smdev files.
+ *
+ * A profile is also a *persistence format*: toString() writes a
+ * versioned, line-oriented text form (the .smdev file format, see
+ * docs/DEVICES.md) and parse() reads it back loss-free, the same
+ * writer + tokenizing-parser idiom as serialize/plan_text.  Doubles
+ * are written as shortest round-trip decimals, so
+ *
+ *   parse(p.toString()).toString() == p.toString()   (byte-identical)
+ *
+ * holds for every profile, while hand-written files can use plain
+ * "2.0e12"-style numbers.
  */
 #ifndef SMARTMEM_DEVICE_DEVICE_PROFILE_H
 #define SMARTMEM_DEVICE_DEVICE_PROFILE_H
@@ -17,6 +32,10 @@
 #include <string>
 
 namespace smartmem::device {
+
+/** Version of the .smdev profile text grammar; parse() rejects every
+ *  other version so stale files fail loudly instead of misreading. */
+constexpr int kProfileFormatVersion = 1;
 
 /** Static description of one (simulated) execution platform. */
 struct DeviceProfile
@@ -76,6 +95,33 @@ struct DeviceProfile
      * reports up to 3.5x conv latency reduction from texture memory).
      */
     double bufferConvPenalty = 0.45;
+
+    /**
+     * Versioned .smdev text form (one "key value" line per field
+     * between a "smartmem-device v1" header and an "end" trailer).
+     * Deterministic: equal profiles serialize byte-identically.
+     */
+    std::string toString() const;
+
+    /**
+     * Parse text produced by toString() (or hand-written in the same
+     * grammar: fields in any order, '#' comments and blank lines
+     * allowed).  Throws FatalError on a version mismatch, an unknown
+     * or duplicated key, a missing field, a malformed or out-of-range
+     * number, or a missing "end" trailer.
+     */
+    static DeviceProfile parse(const std::string &text);
+
+    /**
+     * Canonical, collision-free cache-key encoding of every field
+     * that influences compilation -- key=value like
+     * core::CompileOptions::fingerprint(), never a hash.  The display
+     * `name` is deliberately excluded: plans are a function of the
+     * profile's *values*, so a file-loaded profile that matches a
+     * built-in's numbers shares its cached plans, while a copy with
+     * one tweaked field can never alias them.
+     */
+    std::string fingerprint() const;
 };
 
 /** Snapdragon 8 Gen 2 / Adreno 740 (primary platform). */
@@ -89,6 +135,24 @@ DeviceProfile maliG57();
 
 /** Tesla V100 (desktop, Table 9; buffer memory only, FP32). */
 DeviceProfile teslaV100();
+
+/** Apple-M2-class integrated GPU: unified memory, texture units,
+ *  large system-level cache (not a paper platform; extrapolated). */
+DeviceProfile appleM2();
+
+/** Desktop RTX 4090 tier: buffer memory only, huge compute roof and
+ *  L2 (not a paper platform; extrapolated). */
+DeviceProfile rtx4090();
+
+/** Server A100 tier: HBM2e bandwidth, buffer memory only (not a
+ *  paper platform; extrapolated). */
+DeviceProfile a100();
+
+/** NPU-like edge accelerator: dense MAC array behind a narrow shared
+ *  LPDDR bus, no texture path, scratchpad instead of a deep cache
+ *  hierarchy, and very slow data relayout -- the profile that makes
+ *  layout-transformation elimination matter most. */
+DeviceProfile edgeNpu();
 
 } // namespace smartmem::device
 

@@ -1,0 +1,83 @@
+#include "device/device_registry.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::device {
+
+const DeviceRegistry &
+DeviceRegistry::builtins()
+{
+    static const DeviceRegistry reg = [] {
+        DeviceRegistry r;
+        r.add("adreno740", adreno740());
+        r.add("adreno540", adreno540());
+        r.add("mali-g57", maliG57());
+        r.add("v100", teslaV100());
+        r.add("apple-m2", appleM2());
+        r.add("rtx4090", rtx4090());
+        r.add("a100", a100());
+        r.add("edge-npu", edgeNpu());
+        return r;
+    }();
+    return reg;
+}
+
+void
+DeviceRegistry::add(const std::string &name, DeviceProfile profile)
+{
+    SM_REQUIRE(!name.empty(), "device registry name must be non-empty");
+    auto [it, inserted] =
+        profiles_.emplace(name, std::move(profile));
+    (void)it;
+    if (!inserted)
+        smFatal("device '" + name + "' is already registered");
+}
+
+bool
+DeviceRegistry::contains(const std::string &name) const
+{
+    return profiles_.count(name) != 0;
+}
+
+const DeviceProfile &
+DeviceRegistry::find(const std::string &name) const
+{
+    auto it = profiles_.find(name);
+    if (it == profiles_.end()) {
+        smFatal("unknown device '" + name + "' (registered: " +
+                joinStrings(names(), ", ") + ")");
+    }
+    return it->second;
+}
+
+std::vector<std::string>
+DeviceRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(profiles_.size());
+    for (const auto &[name, profile] : profiles_)
+        out.push_back(name);
+    return out;
+}
+
+DeviceProfile
+loadProfileFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        smFatal("cannot read device profile file: " + path);
+    std::ostringstream text;
+    text << f.rdbuf();
+    try {
+        return DeviceProfile::parse(text.str());
+    } catch (const FatalError &e) {
+        throw FatalError(std::string(e.what()) + " (in " + path + ")");
+    }
+}
+
+} // namespace smartmem::device

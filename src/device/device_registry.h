@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DeviceRegistry: the name-keyed catalog of device profiles.
+ *
+ * Every driver (smartmem_cli, the 16 benches, the examples) resolves
+ * its target through this registry instead of calling a profile
+ * factory directly, so the set of evaluable devices is open: the
+ * built-in catalog covers the paper's four platforms plus the
+ * extrapolated tiers, and loadProfileFile() turns any .smdev text
+ * file (DeviceProfile::toString()'s format, see docs/DEVICES.md) into
+ * a target without recompiling anything.
+ *
+ * Lookup failures are FatalErrors that list the registered names --
+ * a typo'd --device tells the user what exists rather than dumping
+ * usage.
+ */
+#ifndef SMARTMEM_DEVICE_DEVICE_REGISTRY_H
+#define SMARTMEM_DEVICE_DEVICE_REGISTRY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/device_profile.h"
+
+namespace smartmem::device {
+
+/** Name-keyed catalog of device profiles (see file header). */
+class DeviceRegistry
+{
+  public:
+    /**
+     * The built-in catalog: the paper's platforms under their
+     * canonical CLI names (adreno740, adreno540, mali-g57, v100)
+     * plus the extrapolated tiers (apple-m2, rtx4090, a100,
+     * edge-npu).  Constructed once, immutable.
+     */
+    static const DeviceRegistry &builtins();
+
+    /** An empty catalog; add() profiles to build a custom one. */
+    DeviceRegistry() = default;
+
+    /** Register `profile` under `name`; re-registering a name is a
+     *  FatalError (catalogs are append-only by design). */
+    void add(const std::string &name, DeviceProfile profile);
+
+    bool contains(const std::string &name) const;
+
+    /** Look up a profile by registered name; FatalError naming every
+     *  registered profile on an unknown name. */
+    const DeviceProfile &find(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, DeviceProfile> profiles_;
+};
+
+/**
+ * Read and parse one .smdev profile file.  FatalError (naming the
+ * path) on an unreadable file or any DeviceProfile::parse() failure.
+ */
+DeviceProfile loadProfileFile(const std::string &path);
+
+} // namespace smartmem::device
+
+#endif // SMARTMEM_DEVICE_DEVICE_REGISTRY_H

@@ -7,11 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/compile_session.h"
+#include "core/plan_cache_dir.h"
 #include "core/smartmem_compiler.h"
 #include "models/models.h"
 #include "support/error.h"
@@ -147,6 +150,88 @@ TEST(CompileSessionCache, DeviceIsPartOfTheKey)
     CompileSession c(no_tex, 1);
     auto pc = c.compileModel("ResNext");
     EXPECT_NE(pa->cacheKey, pc->cacheKey);
+}
+
+TEST(CompileSessionCache, PerturbedDeviceFieldsNeverShareCacheEntries)
+{
+    // Regression for the device side of the cache key: it must
+    // encode every DeviceProfile field (not the name), so a profile
+    // differing in any single field -- including the ones a
+    // name-keyed or partial fingerprint would miss, like L2 size or
+    // SIMD width -- can never be served another profile's plan, in
+    // memory or from the on-disk cache.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   "smartmem-dev-fingerprint";
+    fs::remove_all(dir);
+
+    const auto base = device::adreno740();
+    CompileSession seed(base, 1);
+    seed.setPlanCacheDir(dir.string());
+    auto base_plan = seed.compileModel("ResNext");
+    ASSERT_EQ(seed.stats().diskMisses, 1);
+
+    const std::vector<std::function<void(device::DeviceProfile &)>>
+        mutators = {
+            [](device::DeviceProfile &p) { p.peakMacsPerSec *= 2; },
+            [](device::DeviceProfile &p) {
+                p.globalBwBytesPerSec *= 2;
+            },
+            [](device::DeviceProfile &p) {
+                p.textureBwBytesPerSec += 1e9;
+            },
+            [](device::DeviceProfile &p) {
+                p.hasTexture = !p.hasTexture;
+            },
+            [](device::DeviceProfile &p) {
+                p.textureCacheBytes += 1024;
+            },
+            [](device::DeviceProfile &p) { p.l2CacheBytes += 1024; },
+            [](device::DeviceProfile &p) { p.cacheLineBytes *= 2; },
+            [](device::DeviceProfile &p) { p.simdWidth *= 2; },
+            [](device::DeviceProfile &p) {
+                p.kernelLaunchSec += 1e-6;
+            },
+            [](device::DeviceProfile &p) {
+                p.memoryCapacityBytes /= 2;
+            },
+            [](device::DeviceProfile &p) { p.maxTextureExtent /= 2; },
+            [](device::DeviceProfile &p) {
+                p.registersPerThread += 1;
+            },
+            [](device::DeviceProfile &p) {
+                p.relayoutElemsPerSec *= 2;
+            },
+            [](device::DeviceProfile &p) {
+                p.bufferConvPenalty *= 0.5;
+            },
+        };
+    for (std::size_t i = 0; i < mutators.size(); ++i) {
+        auto tweaked = base;
+        mutators[i](tweaked);
+        CompileSession session(tweaked, 1);
+        session.setPlanCacheDir(dir.string());
+        auto plan = session.compileModel("ResNext");
+        EXPECT_NE(plan->cacheKey, base_plan->cacheKey)
+            << "field mutation #" << i << " aliased the cache key";
+        // The shared directory must miss: the perturbed profile may
+        // never be handed the base profile's persisted plan.
+        EXPECT_EQ(session.stats().diskHits, 0)
+            << "field mutation #" << i;
+        EXPECT_EQ(session.stats().diskMisses, 1)
+            << "field mutation #" << i;
+    }
+
+    // Same values under a different display name: by design the SAME
+    // entry (the fingerprint keys on field values, not the name).
+    auto renamed = base;
+    renamed.name = "Adreno740 (file-loaded twin)";
+    CompileSession twin(renamed, 1);
+    twin.setPlanCacheDir(dir.string());
+    auto twin_plan = twin.compileModel("ResNext");
+    EXPECT_EQ(twin_plan->cacheKey, base_plan->cacheKey);
+    EXPECT_EQ(twin.stats().diskHits, 1);
+    fs::remove_all(dir);
 }
 
 TEST(CompileSessionCache, ClearCacheResets)

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the device registry and the .smdev profile format: the
+ * toString()/parse() round-trip for every built-in, malformed-file
+ * rejection, name lookup diagnostics, loadProfileFile() (including
+ * the shipped examples/profiles sample), and the profile fingerprint
+ * that keys the plan caches.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compile_session.h"
+#include "device/device_profile.h"
+#include "device/device_registry.h"
+#include "serialize/plan_text.h"
+#include "support/error.h"
+
+namespace smartmem::device {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("smartmem-" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+std::string
+writeFile(const std::string &dir, const std::string &name,
+          const std::string &text)
+{
+    std::string path = dir + "/" + name;
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+/** Every mutation of one non-name field; the fingerprint (and so the
+ *  plan-cache key) must be sensitive to each of them. */
+std::vector<std::function<void(DeviceProfile &)>>
+fieldMutators()
+{
+    return {
+        [](DeviceProfile &p) { p.peakMacsPerSec *= 2; },
+        [](DeviceProfile &p) { p.globalBwBytesPerSec *= 2; },
+        [](DeviceProfile &p) { p.textureBwBytesPerSec += 1e9; },
+        [](DeviceProfile &p) { p.hasTexture = !p.hasTexture; },
+        [](DeviceProfile &p) { p.textureCacheBytes += 1024; },
+        [](DeviceProfile &p) { p.l2CacheBytes += 1024; },
+        [](DeviceProfile &p) { p.cacheLineBytes *= 2; },
+        [](DeviceProfile &p) { p.simdWidth *= 2; },
+        [](DeviceProfile &p) { p.kernelLaunchSec += 1e-6; },
+        [](DeviceProfile &p) { p.memoryCapacityBytes /= 2; },
+        [](DeviceProfile &p) { p.maxTextureExtent /= 2; },
+        [](DeviceProfile &p) { p.registersPerThread += 1; },
+        [](DeviceProfile &p) { p.relayoutElemsPerSec *= 2; },
+        [](DeviceProfile &p) { p.bufferConvPenalty *= 0.5; },
+    };
+}
+
+// ---------------------------------------------------------------------
+// toString()/parse() round-trip
+// ---------------------------------------------------------------------
+
+TEST(DeviceProfileText, RoundTripsEveryBuiltinByteIdentically)
+{
+    const auto &reg = DeviceRegistry::builtins();
+    for (const auto &name : reg.names()) {
+        const DeviceProfile &p = reg.find(name);
+        std::string text = p.toString();
+        DeviceProfile q = DeviceProfile::parse(text);
+        EXPECT_EQ(q.toString(), text) << name;
+        EXPECT_EQ(q.fingerprint(), p.fingerprint()) << name;
+        EXPECT_EQ(q.name, p.name) << name;
+    }
+}
+
+TEST(DeviceProfileText, ParseAcceptsHandWrittenStyle)
+{
+    // Fields in a different order, decimal numbers, comments and
+    // blank lines -- the hand-authored dialect of the same grammar.
+    std::string text = adreno740().toString();
+    DeviceProfile p = DeviceProfile::parse(
+        "# hand-written profile\n"
+        "smartmem-device v1\n"
+        "\n"
+        "name Adreno740 (Snapdragon 8 Gen 2)\n"
+        "peak_macs_per_sec 2.0e12\n"
+        "texture_bw_bytes_per_sec 511e9\n"
+        "global_bw_bytes_per_sec 55e9\n"
+        "has_texture 1\n"
+        "texture_cache_bytes 131072\n"
+        "l2_cache_bytes 1048576\n"
+        "cache_line_bytes 64\n"
+        "simd_width 4\n"
+        "kernel_launch_sec 18e-6\n"
+        "memory_capacity_bytes 17179869184\n"
+        "max_texture_extent 16384\n"
+        "registers_per_thread 64\n"
+        "relayout_elems_per_sec 0.35e9\n"
+        "buffer_conv_penalty 0.45\n"
+        "end\n");
+    EXPECT_EQ(p.toString(), text);
+    EXPECT_EQ(p.fingerprint(), adreno740().fingerprint());
+}
+
+TEST(DeviceProfileText, RejectsMissingField)
+{
+    std::string text = adreno740().toString();
+    // Drop the l2_cache_bytes line.
+    auto pos = text.find("l2_cache_bytes");
+    auto stop = text.find('\n', pos);
+    text.erase(pos, stop - pos + 1);
+    EXPECT_THROW(DeviceProfile::parse(text), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsBadNumber)
+{
+    std::string text = adreno740().toString();
+    auto pos = text.find("simd_width 4");
+    text.replace(pos, std::string("simd_width 4").size(),
+                 "simd_width four");
+    EXPECT_THROW(DeviceProfile::parse(text), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsUnknownKey)
+{
+    std::string text = adreno740().toString();
+    text.insert(text.find("end\n"), "warp_size 32\n");
+    EXPECT_THROW(DeviceProfile::parse(text), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsVersionMismatch)
+{
+    std::string text = adreno740().toString();
+    text.replace(0, std::string("smartmem-device v1").size(),
+                 "smartmem-device v2");
+    EXPECT_THROW(DeviceProfile::parse(text), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsDuplicateField)
+{
+    std::string text = adreno740().toString();
+    text.insert(text.find("end\n"), "simd_width 8\n");
+    EXPECT_THROW(DeviceProfile::parse(text), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsMissingEndAndTrailingContent)
+{
+    std::string text = adreno740().toString();
+    EXPECT_THROW(
+        DeviceProfile::parse(text.substr(0, text.find("end\n"))),
+        FatalError);
+    EXPECT_THROW(DeviceProfile::parse(text + "simd_width 8\n"),
+                 FatalError);
+    EXPECT_THROW(DeviceProfile::parse(""), FatalError);
+}
+
+TEST(DeviceProfileText, RejectsTextureDeviceWithoutTextureRoof)
+{
+    // has_texture 1 with a zero texture bandwidth or extent would
+    // silently behave as buffer-only; the parser must refuse.
+    for (const char *contradiction :
+         {"texture_bw_bytes_per_sec 0", "max_texture_extent 0"}) {
+        std::string bad(contradiction);
+        std::string key = bad.substr(0, bad.find(' '));
+        std::string text = adreno740().toString();
+        auto pos = text.find(key + " ");
+        auto stop = text.find('\n', pos);
+        text.replace(pos, stop - pos, bad);
+        EXPECT_THROW(DeviceProfile::parse(text), FatalError)
+            << contradiction;
+    }
+}
+
+TEST(DeviceProfileText, RejectsOutOfRangeValues)
+{
+    std::string base = adreno740().toString();
+    for (const char *bad :
+         {"peak_macs_per_sec 0", "peak_macs_per_sec -1",
+          "peak_macs_per_sec inf", "cache_line_bytes 0",
+          "texture_cache_bytes -4"}) {
+        std::string key(bad, std::string(bad).find(' '));
+        std::string text = base;
+        auto pos = text.find(key + " ");
+        auto stop = text.find('\n', pos);
+        text.replace(pos, stop - pos, bad);
+        EXPECT_THROW(DeviceProfile::parse(text), FatalError) << bad;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry lookup
+// ---------------------------------------------------------------------
+
+TEST(DeviceRegistryLookup, BuiltinsCoverPaperAndExtrapolatedTiers)
+{
+    const auto &reg = DeviceRegistry::builtins();
+    for (const char *name :
+         {"adreno740", "adreno540", "mali-g57", "v100", "apple-m2",
+          "rtx4090", "a100", "edge-npu"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+    }
+    EXPECT_EQ(reg.names().size(), 8u);
+    EXPECT_EQ(reg.find("adreno740").fingerprint(),
+              adreno740().fingerprint());
+}
+
+TEST(DeviceRegistryLookup, UnknownNameListsRegisteredProfiles)
+{
+    try {
+        DeviceRegistry::builtins().find("adreno999");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("adreno999"), std::string::npos);
+        EXPECT_NE(msg.find("adreno740"), std::string::npos);
+        EXPECT_NE(msg.find("edge-npu"), std::string::npos);
+    }
+}
+
+TEST(DeviceRegistryLookup, RejectsDuplicateRegistration)
+{
+    DeviceRegistry reg;
+    reg.add("dev", adreno740());
+    EXPECT_THROW(reg.add("dev", maliG57()), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// loadProfileFile
+// ---------------------------------------------------------------------
+
+TEST(LoadProfileFile, ReadsWrittenProfileBack)
+{
+    auto dir = scratchDir("load-profile");
+    auto path = writeFile(dir, "v100.smdev", teslaV100().toString());
+    DeviceProfile p = loadProfileFile(path);
+    EXPECT_EQ(p.toString(), teslaV100().toString());
+}
+
+TEST(LoadProfileFile, ErrorsNameThePath)
+{
+    auto dir = scratchDir("load-profile-bad");
+    EXPECT_THROW(loadProfileFile(dir + "/missing.smdev"), FatalError);
+    auto path = writeFile(dir, "bad.smdev", "not a profile\n");
+    try {
+        loadProfileFile(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad.smdev"),
+                  std::string::npos);
+    }
+}
+
+TEST(LoadProfileFile, ShippedSampleMatchesBuiltinAppleM2)
+{
+    // examples/profiles/apple-m2.smdev is documentation *and* a
+    // fixture: it must stay byte-identical to the built-in profile's
+    // toString(), so `--device-file` on it is provably equivalent to
+    // `--device apple-m2`.
+    std::string path = std::string(SMARTMEM_SOURCE_DIR) +
+                       "/examples/profiles/apple-m2.smdev";
+    DeviceProfile p = loadProfileFile(path);
+    EXPECT_EQ(p.toString(), appleM2().toString());
+    EXPECT_EQ(p.fingerprint(), appleM2().fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------
+
+TEST(DeviceFingerprint, CoversEveryFieldExceptName)
+{
+    const DeviceProfile base = adreno740();
+    std::set<std::string> seen = {base.fingerprint()};
+    for (std::size_t i = 0; i < fieldMutators().size(); ++i) {
+        DeviceProfile p = base;
+        fieldMutators()[i](p);
+        EXPECT_TRUE(seen.insert(p.fingerprint()).second)
+            << "field mutation #" << i
+            << " did not change the fingerprint";
+    }
+
+    // The display name is *not* part of the key: a renamed copy with
+    // identical numbers shares its plans by design.
+    DeviceProfile renamed = base;
+    renamed.name = "Adreno740 (hand-loaded copy)";
+    EXPECT_EQ(renamed.fingerprint(), base.fingerprint());
+}
+
+TEST(DeviceFingerprint, DistinctAcrossAllBuiltins)
+{
+    std::set<std::string> seen;
+    const auto &reg = DeviceRegistry::builtins();
+    for (const auto &name : reg.names())
+        seen.insert(reg.find(name).fingerprint());
+    EXPECT_EQ(seen.size(), reg.names().size());
+}
+
+// ---------------------------------------------------------------------
+// File-loaded profiles vs the compile pipeline
+// ---------------------------------------------------------------------
+
+TEST(FileLoadedProfiles, ByteMatchedFileCompilesByteIdenticalPlans)
+{
+    // The open-world acceptance contract: a profile loaded from a
+    // file that byte-matches a built-in's toString() produces
+    // byte-identical plans (serializer granularity), while a
+    // one-field-perturbed copy can never share a cache key.
+    auto dir = scratchDir("file-profile-compile");
+    auto path =
+        writeFile(dir, "adreno740.smdev", adreno740().toString());
+    DeviceProfile loaded = loadProfileFile(path);
+
+    core::CompileSession builtin(adreno740(), 2);
+    core::CompileSession fromFile(loaded, 2);
+    for (const std::string model : {"Swin", "ViT", "ResNext"}) {
+        auto a = builtin.compileModel(model);
+        auto b = fromFile.compileModel(model);
+        EXPECT_EQ(serialize::serializePlan(*a),
+                  serialize::serializePlan(*b))
+            << model;
+    }
+
+    DeviceProfile perturbed = loaded;
+    perturbed.l2CacheBytes += 1;
+    core::CompileSession tweaked(perturbed, 1);
+    auto a = builtin.compileModel("ViT");
+    auto c = tweaked.compileModel("ViT");
+    EXPECT_NE(a->cacheKey, c->cacheKey);
+}
+
+} // namespace
+} // namespace smartmem::device

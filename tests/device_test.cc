@@ -132,5 +132,36 @@ TEST(Profiles, DesktopHasNoTexturePath)
     EXPECT_GT(v100.peakMacsPerSec, adreno740().peakMacsPerSec);
 }
 
+TEST(Profiles, ExtrapolatedTiersAreOrdered)
+{
+    // The non-paper tiers must slot plausibly into the catalog: the
+    // desktop/server parts outrun V100, the Apple GPU sits in the
+    // mobile-to-desktop gap with a texture path, and the NPU pairs a
+    // big MAC array with a narrow bus and no texture units.
+    EXPECT_GT(rtx4090().peakMacsPerSec, teslaV100().peakMacsPerSec);
+    EXPECT_GT(a100().globalBwBytesPerSec,
+              teslaV100().globalBwBytesPerSec);
+    EXPECT_FALSE(rtx4090().hasTexture);
+    EXPECT_FALSE(a100().hasTexture);
+
+    EXPECT_TRUE(appleM2().hasTexture);
+    EXPECT_GT(appleM2().peakMacsPerSec, maliG57().peakMacsPerSec);
+    EXPECT_LT(appleM2().peakMacsPerSec, teslaV100().peakMacsPerSec);
+}
+
+TEST(Profiles, EdgeNpuStressesRelayoutElimination)
+{
+    DeviceProfile npu = edgeNpu();
+    EXPECT_FALSE(npu.hasTexture);
+    EXPECT_EQ(npu.textureBwBytesPerSec, 0);
+    // High compute roof behind a narrow bus and very slow relayout:
+    // the profile where eliminating transformations matters most.
+    EXPECT_GT(npu.peakMacsPerSec, adreno740().peakMacsPerSec);
+    EXPECT_LT(npu.globalBwBytesPerSec,
+              adreno740().globalBwBytesPerSec * 0.7);
+    EXPECT_LT(npu.relayoutElemsPerSec,
+              adreno740().relayoutElemsPerSec);
+}
+
 } // namespace
 } // namespace smartmem::device

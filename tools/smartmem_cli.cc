@@ -4,23 +4,31 @@
  *
  *   smartmem_cli list
  *       List the model zoo with op/MAC characteristics.
- *   smartmem_cli compile <model> [--device <name>] [--compiler <name>]
- *                [--batch N] [--dump-plan] [--stages]
- *                [--threads N] [--repeat K] [--plan-cache DIR]
+ *   smartmem_cli devices
+ *       List the registered device profiles (the open-world target
+ *       catalog; see docs/DEVICES.md for the .smdev file format).
+ *   smartmem_cli compilers
+ *       List the registered compilers (SmartMem, the Figure-8 stage
+ *       presets, and the baseline framework proxies).
+ *   smartmem_cli compile <model> [--device <name>|--device-file <f>]
+ *                [--compiler <name>] [--batch N] [--dump-plan]
+ *                [--stages] [--threads N] [--repeat K]
+ *                [--plan-cache DIR]
  *       Compile a zoo model and report kernels / latency / memory.
  *       --repeat recompiles K times through the session plan cache
  *       and reports per-iteration wall time plus cache hits.
- *   smartmem_cli zoo [--device <name>] [--threads N]
- *                [--plan-cache DIR]
+ *   smartmem_cli zoo [--device <name>|--device-file <f>]
+ *                [--threads N] [--plan-cache DIR]
  *       Compile every evaluation model across the thread pool and
  *       report kernels / latency per model plus total compile time.
  *   smartmem_cli classify
  *       Print the operator classification and pairwise action tables
  *       (the paper's Tables 3 and 5).
  *
- * Devices: adreno740 (default), adreno540, mali-g57, v100.
- * Compilers: smartmem (default), mnn, ncnn, tflite, tvm, dnnf,
- *            inductor.
+ * Devices and compilers resolve through device::DeviceRegistry and
+ * core::CompilerRegistry; an unknown name exits 2 listing what is
+ * registered.  --device-file loads a .smdev profile, so new targets
+ * need no recompile.
  * Threads: 0 (default) = SMARTMEM_THREADS env or hardware threads.
  * Plan cache: --plan-cache DIR (or the SMARTMEM_PLAN_CACHE env var)
  *             persists compiled plans; warm entries replace the
@@ -32,10 +40,11 @@
 #include <cstring>
 #include <string>
 
-#include "baselines/baselines.h"
 #include "bench/bench_util.h"
 #include "core/compile_session.h"
+#include "core/compiler_registry.h"
 #include "core/smartmem_compiler.h"
+#include "device/device_registry.h"
 #include "ir/macs.h"
 #include "models/models.h"
 #include "opclass/opclass.h"
@@ -55,28 +64,43 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: smartmem_cli list\n"
+                 "       smartmem_cli devices\n"
+                 "       smartmem_cli compilers\n"
                  "       smartmem_cli compile <model> [--device D] "
-                 "[--compiler C] [--batch N] [--dump-plan] [--stages] "
-                 "[--threads N] [--repeat K] [--plan-cache DIR]\n"
-                 "       smartmem_cli zoo [--device D] [--threads N] "
+                 "[--device-file F] [--compiler C] [--batch N] "
+                 "[--dump-plan] [--stages] [--threads N] [--repeat K] "
                  "[--plan-cache DIR]\n"
+                 "       smartmem_cli zoo [--device D] "
+                 "[--device-file F] [--threads N] [--plan-cache DIR]\n"
                  "       smartmem_cli classify\n");
     return 2;
 }
 
+/** Resolve --device/--device-file; exits(2) with the registered
+ *  names (not a usage dump) on an unknown name or a bad file. */
 device::DeviceProfile
-parseDevice(const std::string &name)
+resolveDevice(const std::string &name, const std::string &file)
 {
-    if (name == "adreno740")
-        return device::adreno740();
-    if (name == "adreno540")
-        return device::adreno540();
-    if (name == "mali-g57")
-        return device::maliG57();
-    if (name == "v100")
-        return device::teslaV100();
-    smFatal("unknown device: " + name +
-            " (adreno740|adreno540|mali-g57|v100)");
+    try {
+        if (!file.empty())
+            return device::loadProfileFile(file);
+        return device::DeviceRegistry::builtins().find(name);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/** Resolve --compiler; exits(2) with the registered names. */
+const core::Compiler &
+resolveCompiler(const std::string &name)
+{
+    try {
+        return core::CompilerRegistry::builtins().find(name);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 int
@@ -93,6 +117,46 @@ cmdList()
             std::to_string(g.layoutTransformCount()),
             formatFixed(static_cast<double>(ir::graphMacs(g)) / 1e9, 1),
         });
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDevices()
+{
+    const auto &reg = device::DeviceRegistry::builtins();
+    report::Table table({"Name", "Device", "TMACs/s", "Buf GB/s",
+                         "Tex GB/s", "Texture", "Memory"});
+    for (const auto &name : reg.names()) {
+        const auto &p = reg.find(name);
+        table.addRow({
+            name, p.name,
+            formatFixed(p.peakMacsPerSec / 1e12, 2),
+            formatFixed(p.globalBwBytesPerSec / 1e9, 0),
+            p.hasTexture
+                ? formatFixed(p.textureBwBytesPerSec / 1e9, 0)
+                : "-",
+            p.hasTexture ? "yes" : "no",
+            formatBytes(static_cast<std::uint64_t>(
+                p.memoryCapacityBytes)),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("load additional profiles with --device-file FILE "
+                "(.smdev format, see docs/DEVICES.md)\n");
+    return 0;
+}
+
+int
+cmdCompilers()
+{
+    const auto &reg = core::CompilerRegistry::builtins();
+    report::Table table({"Name", "Plan cache", "Description"});
+    for (const auto &name : reg.names()) {
+        const auto &c = reg.find(name);
+        table.addRow({name, c.usesPlanCache() ? "yes" : "no",
+                      c.description()});
     }
     std::printf("%s", table.render().c_str());
     return 0;
@@ -134,12 +198,15 @@ int
 cmdZoo(int argc, char **argv)
 {
     std::string device_name = "adreno740";
+    std::string device_file;
     std::string plan_cache;
     int threads = 0;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--device" && i + 1 < argc)
             device_name = argv[++i];
+        else if (arg == "--device-file" && i + 1 < argc)
+            device_file = argv[++i];
         else if (arg == "--threads" && i + 1 < argc)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
         else if (arg == "--plan-cache" && i + 1 < argc)
@@ -147,7 +214,7 @@ cmdZoo(int argc, char **argv)
         else
             return usage();
     }
-    auto dev = parseDevice(device_name);
+    auto dev = resolveDevice(device_name, device_file);
     auto names = models::evaluationModels();
 
     core::CompileSession session(dev, threads);
@@ -192,6 +259,7 @@ cmdCompile(int argc, char **argv)
         return usage();
     std::string model = argv[2];
     std::string device_name = "adreno740";
+    std::string device_file;
     std::string compiler = "smartmem";
     std::string plan_cache;
     int batch = 1;
@@ -203,6 +271,8 @@ cmdCompile(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--device" && i + 1 < argc)
             device_name = argv[++i];
+        else if (arg == "--device-file" && i + 1 < argc)
+            device_file = argv[++i];
         else if (arg == "--compiler" && i + 1 < argc)
             compiler = argv[++i];
         else if (arg == "--batch" && i + 1 < argc)
@@ -221,7 +291,28 @@ cmdCompile(int argc, char **argv)
             return usage();
     }
 
-    auto dev = parseDevice(device_name);
+    auto dev = resolveDevice(device_name, device_file);
+    const core::Compiler &comp = resolveCompiler(compiler);
+    if (stages && compiler != "smartmem") {
+        // The --stages sweep compiles via smartmem-stage0..3; a
+        // different --compiler would be silently ignored.
+        std::fprintf(stderr,
+                     "error: --stages sweeps the smartmem-stage0..3 "
+                     "presets and cannot be combined with --compiler "
+                     "%s\n",
+                     compiler.c_str());
+        return 2;
+    }
+    if (!stages && !plan_cache.empty() && !comp.usesPlanCache()) {
+        std::fprintf(stderr,
+                     "error: --plan-cache requires a compiler that "
+                     "flows through the session plan cache ('%s' "
+                     "compiles outside it; see smartmem_cli "
+                     "compilers)\n",
+                     compiler.c_str());
+        return 2;
+    }
+
     auto g = models::buildModel(model, batch);
     std::printf("%s (batch %d): %d operators, %d transforms, %.1f "
                 "GMACs on %s\n",
@@ -230,23 +321,30 @@ cmdCompile(int argc, char **argv)
                 static_cast<double>(ir::graphMacs(g)) / 1e9,
                 dev.name.c_str());
 
+    core::CompileSession session(dev, threads);
+    if (!plan_cache.empty())
+        session.setPlanCacheDir(plan_cache);
+    else if (!stages && !comp.usesPlanCache())
+        session.setPlanCacheDir(""); // detach SMARTMEM_PLAN_CACHE:
+                                     // baselines never touch it, so
+                                     // don't report it as active
+
     if (stages) {
-        // Staged compiles go through a session too (CompileOptions
-        // carries the stage), so --plan-cache persists all four.
-        core::CompileSession session(dev, threads);
-        if (!plan_cache.empty())
-            session.setPlanCacheDir(plan_cache);
+        // The four Figure-8 presets through the compiler registry;
+        // each flows through the session, so --plan-cache persists
+        // all four.
         report::Table table({"Stage", "#Kernels", "Latency(ms)",
                              "GMACS"});
         const char *names[] = {"DNNF", "+LTE", "+LayoutSel", "+Other"};
         for (int s = 0; s <= 3; ++s) {
+            const core::Compiler &staged = resolveCompiler(
+                "smartmem-stage" + std::to_string(s));
             core::CompileOptions copts;
             copts.batch = batch;
-            copts.stage = s;
-            auto plan = session.compileModel(model, copts);
-            auto sim = runtime::simulate(dev, *plan);
+            auto res = staged.compile(session, model, copts);
+            auto sim = runtime::simulate(dev, *res.plan);
             table.addRow({names[s],
-                          std::to_string(plan->operatorCount()),
+                          std::to_string(res.plan->operatorCount()),
                           formatFixed(sim.latencyMs(), 2),
                           formatFixed(sim.gmacs(), 0)});
         }
@@ -254,64 +352,38 @@ cmdCompile(int argc, char **argv)
         return 0;
     }
 
-    runtime::ExecutionPlan plan;
-    if (compiler == "smartmem") {
-        core::CompileSession session(dev, threads);
-        if (!plan_cache.empty())
-            session.setPlanCacheDir(plan_cache);
-        core::CompileOptions copts;
-        copts.batch = batch;
-        using clock = std::chrono::steady_clock;
-        std::shared_ptr<const runtime::ExecutionPlan> compiled;
-        for (int r = 0; r < repeat; ++r) {
-            auto t0 = clock::now();
-            compiled = session.compileModel(model, copts);
-            double ms = std::chrono::duration<double, std::milli>(
-                            clock::now() - t0).count();
-            if (repeat > 1)
-                std::printf("compile %d/%d: %.2f ms\n", r + 1, repeat,
-                            ms);
-        }
-        plan = *compiled;
-        auto st = session.stats();
-        if (repeat > 1) {
-            std::printf("plan cache: %lld hits, %lld misses\n",
-                        static_cast<long long>(st.cacheHits),
-                        static_cast<long long>(st.cacheMisses));
-        }
-        if (session.planCacheDir()) {
-            std::printf("plan cache %s: %lld disk hits, %lld disk "
-                        "misses\n",
-                        session.planCacheDir()->dir().c_str(),
-                        static_cast<long long>(st.diskHits),
-                        static_cast<long long>(st.diskMisses));
-        }
-    } else {
-        if (!plan_cache.empty()) {
-            std::fprintf(stderr,
-                         "error: --plan-cache requires the smartmem "
-                         "compiler (baseline frameworks compile "
-                         "outside a session)\n");
-            return 2;
-        }
-        std::unique_ptr<baselines::Framework> fw;
-        if (compiler == "mnn") fw = baselines::makeMnnLike();
-        else if (compiler == "ncnn") fw = baselines::makeNcnnLike();
-        else if (compiler == "tflite") fw = baselines::makeTfliteLike();
-        else if (compiler == "tvm") fw = baselines::makeTvmLike();
-        else if (compiler == "dnnf") fw = baselines::makeDnnFusionLike();
-        else if (compiler == "inductor")
-            fw = baselines::makeInductorLike();
-        else
-            return usage();
-        auto r = fw->compile(g, dev);
-        if (!r.supported) {
+    core::CompileOptions copts;
+    copts.batch = batch;
+    using clock = std::chrono::steady_clock;
+    std::shared_ptr<const runtime::ExecutionPlan> compiled;
+    for (int r = 0; r < repeat; ++r) {
+        auto t0 = clock::now();
+        auto res = comp.compile(session, model, copts);
+        double ms = std::chrono::duration<double, std::milli>(
+                        clock::now() - t0).count();
+        if (!res.supported) {
             std::printf("%s does not support %s: %s\n",
-                        fw->name().c_str(), model.c_str(),
-                        r.reason.c_str());
+                        compiler.c_str(), model.c_str(),
+                        res.reason.c_str());
             return 1;
         }
-        plan = std::move(r.plan);
+        compiled = res.plan;
+        if (repeat > 1)
+            std::printf("compile %d/%d: %.2f ms\n", r + 1, repeat, ms);
+    }
+    runtime::ExecutionPlan plan = *compiled;
+    auto st = session.stats();
+    if (repeat > 1 && comp.usesPlanCache()) {
+        std::printf("plan cache: %lld hits, %lld misses\n",
+                    static_cast<long long>(st.cacheHits),
+                    static_cast<long long>(st.cacheMisses));
+    }
+    if (session.planCacheDir()) {
+        std::printf("plan cache %s: %lld disk hits, %lld disk "
+                    "misses\n",
+                    session.planCacheDir()->dir().c_str(),
+                    static_cast<long long>(st.diskHits),
+                    static_cast<long long>(st.diskMisses));
     }
 
     auto sim = runtime::simulate(dev, plan);
@@ -351,6 +423,10 @@ main(int argc, char **argv)
         std::string cmd = argv[1];
         if (cmd == "list")
             return cmdList();
+        if (cmd == "devices")
+            return cmdDevices();
+        if (cmd == "compilers")
+            return cmdCompilers();
         if (cmd == "classify")
             return cmdClassify();
         if (cmd == "compile")
