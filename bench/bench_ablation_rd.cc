@@ -14,7 +14,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
@@ -61,6 +62,8 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
+    json.add("Ablation: reduction-dimension layout selection",
+             table);
     if (!print)
         return;
     std::printf("%s", report::banner(
@@ -70,12 +73,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "bulk of the selection gain; redundant copies only\n"
                 "help when consumers demand conflicting layouts\n"
                 "(paper Section 3.2.2 'global' step).\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_ablation_rd");
-        json.add("Ablation: reduction-dimension layout selection",
-                 table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -84,5 +81,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_ablation_rd", run);
 }

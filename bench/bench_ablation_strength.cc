@@ -14,7 +14,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
@@ -64,6 +65,7 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
+    json.add("Ablation: index strength reduction on/off", table);
     if (!print)
         return;
     std::printf("%s", report::banner(
@@ -73,11 +75,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "that stacked Reshape/Transpose chains leave in the\n"
                 "composed access functions (paper: contributes\n"
                 "1.1-1.3x on transformers).\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_ablation_strength");
-        json.add("Ablation: index strength reduction on/off", table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -86,5 +83,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_ablation_strength", run);
 }

@@ -13,12 +13,12 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     const std::vector<std::string> names = {
         "Swin", "ViT", "ResNext", "FST"};
 
-    bench::JsonReport json("bench_ablation_texture");
     if (print)
         std::printf("%s", report::banner(
             "Ablation: 2.5D texture mapping vs buffers").c_str());
@@ -78,8 +78,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "(Section 2.3 cites up to 3.5x for convolutions); the\n"
                 "axis mapping of Section 3.3 adds on top of flat\n"
                 "residency.\n");
-    if (!opts.jsonPath.empty())
-        json.writeTo(opts.jsonPath);
 }
 
 } // namespace
@@ -88,5 +86,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_ablation_texture", run);
 }

@@ -43,7 +43,8 @@ timeZooMs(core::CompileSession &session,
 }
 
 int
-runOnce(const bench::BenchOptions &opts, bool print)
+runOnce(const bench::BenchOptions &opts, bool print,
+        bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto names = models::evaluationModels();
@@ -100,25 +101,32 @@ runOnce(const bench::BenchOptions &opts, bool print)
         }
     }
 
+    // The table is recorded on EVERY run: this bench's cells are raw
+    // wall-clock timings, so --repeat relies on JsonReport's
+    // per-cell median aggregation to be runner-stable.
+    report::Table table({"Mode", "Threads", "Wall(ms)",
+                         "Speedup"});
+    table.addRow({"serial", "1", formatFixed(serial_ms, 0),
+                  "1.0x"});
+    table.addRow({"pooled", std::to_string(threads),
+                  formatFixed(pooled_ms, 0),
+                  report::formatSpeedup(serial_ms / pooled_ms)});
+    table.addRow({"cached", std::to_string(threads),
+                  formatFixed(cached_ms, 0),
+                  report::formatSpeedup(serial_ms / cached_ms)});
+    if (use_disk) {
+        table.addRow({"disk-warm", std::to_string(threads),
+                      formatFixed(disk_ms, 0),
+                      report::formatSpeedup(serial_ms / disk_ms)});
+    }
+    json.add("Compile pipeline: serial vs thread-pooled zoo "
+             "compilation",
+             table);
+
     if (print) {
         std::printf("%s", report::banner(
             "Compile pipeline: serial vs thread-pooled zoo "
             "compilation").c_str());
-        report::Table table({"Mode", "Threads", "Wall(ms)",
-                             "Speedup"});
-        table.addRow({"serial", "1", formatFixed(serial_ms, 0),
-                      "1.0x"});
-        table.addRow({"pooled", std::to_string(threads),
-                      formatFixed(pooled_ms, 0),
-                      report::formatSpeedup(serial_ms / pooled_ms)});
-        table.addRow({"cached", std::to_string(threads),
-                      formatFixed(cached_ms, 0),
-                      report::formatSpeedup(serial_ms / cached_ms)});
-        if (use_disk) {
-            table.addRow({"disk-warm", std::to_string(threads),
-                          formatFixed(disk_ms, 0),
-                          report::formatSpeedup(serial_ms / disk_ms)});
-        }
         std::printf("%s\n", table.render().c_str());
         std::printf("models %zu | cache hits %lld misses %lld | "
                     "plans byte-identical: %s\n",
@@ -137,13 +145,6 @@ runOnce(const bench::BenchOptions &opts, bool print)
                         static_cast<long long>(disk_stats.diskHits),
                         static_cast<long long>(disk_stats.diskMisses),
                         disk_mismatches == 0 ? "yes" : "NO");
-        }
-        if (!opts.jsonPath.empty()) {
-            bench::JsonReport json("bench_compile_speedup");
-            json.add("Compile pipeline: serial vs thread-pooled zoo "
-                     "compilation",
-                     table);
-            json.writeTo(opts.jsonPath);
         }
     }
     int rc = 0;
@@ -194,9 +195,10 @@ main(int argc, char **argv)
         return 2;
     }
     int rc = 0;
-    bench::runRepeated(opts, [&rc](const bench::BenchOptions &o,
-                                   bool print) {
-        rc |= runOnce(o, print);
+    bench::runRepeated(opts, "bench_compile_speedup",
+                       [&rc](const bench::BenchOptions &o, bool print,
+                             bench::JsonReport &json) {
+        rc |= runOnce(o, print, json);
     });
     return rc;
 }

@@ -12,7 +12,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<int> batches = {1, 2, 4, 6, 8, 10, 12, 14, 16};
@@ -63,6 +64,8 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
+    json.add("Figure 10: Swin speedup over baselines vs batch size",
+             table);
     if (!print)
         return;
     std::printf("%s", report::banner(
@@ -72,12 +75,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "size (11.6-13.2x over MNN, 4.8-5.9x over TVM,\n"
                 "4.1-4.7x over DNNF); baselines hit OOM first at\n"
                 "large batches.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_fig10");
-        json.add("Figure 10: Swin speedup over baselines vs batch size",
-                 table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -86,5 +83,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig10", run);
 }

@@ -55,9 +55,9 @@ runDevice(const device::DeviceProfile &dev,
 }
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
-    bench::JsonReport json("bench_fig11");
     if (print)
         std::printf("%s", report::banner(
             "Figure 11: portability to older/smaller SoCs").c_str());
@@ -74,8 +74,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "SmartMem is less sensitive to reduced resources\n"
                 "because elimination lowers memory/cache pressure;\n"
                 "some baselines OOM on the 4 GB device.\n");
-    if (!opts.jsonPath.empty())
-        json.writeTo(opts.jsonPath);
 }
 
 } // namespace
@@ -84,5 +82,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig11", run);
 }

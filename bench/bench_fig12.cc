@@ -15,7 +15,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
@@ -45,10 +46,11 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
-    if (!print)
-        return;
     const std::string title =
         "Figure 12: roofline analysis (" + dev.name + ")";
+    json.add(title, table);
+    if (!print)
+        return;
     std::printf("%s", report::banner(title).c_str());
     std::printf("peak %.1f TMACs/s, global BW %.0f GB/s, texture BW "
                 "%.0f GB/s\n\n",
@@ -60,11 +62,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "ResNext < SD-VAEDecoder (149/204/271/360 GMACS),\n"
                 "reaching 24-35%% of the texture roof; higher\n"
                 "intensity models get closer to the roof.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_fig12");
-        json.add(title, table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -73,5 +70,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig12", run);
 }

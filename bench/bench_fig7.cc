@@ -12,7 +12,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto frameworks = baselines::allMobileBaselines();
@@ -21,7 +22,6 @@ run(const bench::BenchOptions &opts, bool print)
     core::CompileSession session(dev, opts.threads);
     session.compileZoo(names);
 
-    bench::JsonReport json("bench_fig7");
     if (print)
         std::printf("%s", report::banner(
             "Figure 7: memory accesses & cache misses (normalized by "
@@ -67,8 +67,6 @@ run(const bench::BenchOptions &opts, bool print)
     std::printf("Paper shape: other frameworks average ~1.8x more\n"
                 "memory accesses and ~2.0x more cache misses than\n"
                 "SmartMem; gaps larger on CSwin than ResNext.\n");
-    if (!opts.jsonPath.empty())
-        json.writeTo(opts.jsonPath);
 }
 
 } // namespace
@@ -77,5 +75,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig7", run);
 }

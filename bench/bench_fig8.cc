@@ -13,7 +13,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {
@@ -58,6 +59,8 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
+    json.add("Figure 8: speedup over DNNF per added optimization",
+             table);
     if (!print)
         return;
     std::printf("%s", report::banner(
@@ -67,12 +70,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "shape: for transformers LTE contributes 1.5-2.7x,\n"
                 "layout selection a further 1.4-1.9x, texture/tuning\n"
                 "1.2-1.4x; ConvNet stages contribute 1.1-1.7x each.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_fig8");
-        json.add("Figure 8: speedup over DNNF per added optimization",
-                 table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -81,5 +78,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig8", run);
 }

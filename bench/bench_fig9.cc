@@ -13,7 +13,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     const std::vector<std::string> names = {"CSwin", "ResNext"};
@@ -29,7 +30,6 @@ run(const bench::BenchOptions &opts, bool print)
     }
     session.compileJobs(jobs);
 
-    bench::JsonReport json("bench_fig9");
     if (print)
         std::printf("%s", report::banner(
             "Figure 9: memory/cache counts per optimization stage")
@@ -74,8 +74,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "cache misses (it removes data reorganization);\n"
                 "layout selection reduces cache misses more than\n"
                 "accesses (it improves access patterns).\n");
-    if (!opts.jsonPath.empty())
-        json.writeTo(opts.jsonPath);
 }
 
 } // namespace
@@ -84,5 +82,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_fig9", run);
 }

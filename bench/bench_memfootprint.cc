@@ -15,7 +15,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto dnnf = baselines::makeDnnFusionLike();
@@ -60,6 +61,8 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
+    json.add("Section 4.6: redundant copies & memory footprint",
+             table);
     if (!print)
         return;
     std::printf("%s", report::banner(
@@ -69,12 +72,6 @@ run(const bench::BenchOptions &opts, bool print)
                 "single-MB range (Swin 3.0 MB, ViT 2.3 MB); kernel\n"
                 "elimination cuts memory consumption ~14-15%% vs\n"
                 "DNNFusion.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_memfootprint");
-        json.add("Section 4.6: redundant copies & memory footprint",
-                 table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -83,5 +80,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_memfootprint", run);
 }

@@ -15,7 +15,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto mnn = baselines::makeMnnLike();
@@ -59,21 +60,17 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
-    if (!print)
-        return;
     const std::string title =
         "Table 1: latency and transformation breakdown (MNN-like, " +
         dev.name + ")";
+    json.add(title, table);
+    if (!print)
+        return;
     std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: transformers spend ~43-70%% of time on\n"
                 "layout transformations and run ~10x slower (GMACS)\n"
                 "than ConvNets; ConvNets spend <20%%.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_table1");
-        json.add(title, table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -82,5 +79,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_table1", run);
 }

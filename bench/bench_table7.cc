@@ -13,7 +13,8 @@ using namespace smartmem;
 namespace {
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto frameworks = baselines::allMobileBaselines();
@@ -51,20 +52,16 @@ run(const bench::BenchOptions &opts, bool print)
     for (auto &row : rows)
         table.addRow(std::move(row));
 
-    if (!print)
-        return;
     const std::string title =
         "Table 7: #operators with optimizations (" + dev.name + ")";
+    json.add(title, table);
+    if (!print)
+        return;
     std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape: Ours < DNNF < TVM < MNN on transformer\n"
                 "and hybrid models; NCNN/TFLite support only pure\n"
                 "ConvNets; for RegNet/ResNext/Yolo ours ~= DNNF.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_table7");
-        json.add(title, table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -73,5 +70,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_table7", run);
 }

@@ -20,7 +20,8 @@ struct Row
 };
 
 void
-run(const bench::BenchOptions &opts, bool print)
+run(const bench::BenchOptions &opts, bool print,
+    bench::JsonReport &json)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
     auto frameworks = baselines::allMobileBaselines();
@@ -73,10 +74,11 @@ run(const bench::BenchOptions &opts, bool print)
         table.addRow(std::move(r.cells));
     }
 
-    if (!print)
-        return;
     const std::string title =
         "Table 8: end-to-end latency (ms) on " + dev.name;
+    json.add(title, table);
+    if (!print)
+        return;
     std::printf("%s", report::banner(title).c_str());
     std::printf("%s\n", table.render().c_str());
 
@@ -91,11 +93,6 @@ run(const bench::BenchOptions &opts, bool print)
     std::printf("\nPaper: 2.8x geo-mean over DNNF, 6.9x over TVM, 7.9x\n"
                 "over MNN; largest gains on transformer/hybrid models,\n"
                 "1.2-1.3x on RegNet/Yolo-V8.\n");
-    if (!opts.jsonPath.empty()) {
-        bench::JsonReport json("bench_table8");
-        json.add(title, table);
-        json.writeTo(opts.jsonPath);
-    }
 }
 
 } // namespace
@@ -104,5 +101,5 @@ int
 main(int argc, char **argv)
 {
     auto opts = bench::parseBenchArgs(argc, argv);
-    return bench::runRepeated(opts, run);
+    return bench::runRepeated(opts, "bench_table8", run);
 }

@@ -8,7 +8,9 @@
 #ifndef SMARTMEM_BENCH_BENCH_UTIL_H
 #define SMARTMEM_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -153,9 +155,17 @@ resolveDevices(const BenchOptions &o,
 
 /**
  * Machine-readable mirror of the printed tables:
- *   {"bench": ..., "tables": [{"title", "headers", "rows"}...]}
+ *   {"bench": ..., "repeat": K, "spread_pct": ..., "tables":
+ *    [{"title", "headers", "rows"}...]}
  * Cells stay the formatted strings the table prints ("12.3", "-",
  * "OOM"), so golden-number diffing sees exactly what the reader sees.
+ *
+ * Under --repeat, runRepeated() feeds every run's tables into the
+ * same report (add() with a title seen before starts a new sample);
+ * emitted numeric cells are the per-cell *median sample* -- not the
+ * last run -- and "spread_pct" reports the worst relative max-min
+ * spread observed, so goldened numbers are runner-stable and a noisy
+ * run is visible in the report itself.
  */
 class JsonReport
 {
@@ -164,28 +174,50 @@ class JsonReport
 
     void add(const std::string &title, const report::Table &table)
     {
-        tables_.push_back({title, table.headers(), table.rows()});
+        for (Entry &e : tables_) {
+            if (e.title == title) {
+                e.runs.push_back(table.rows());
+                return;
+            }
+        }
+        tables_.push_back({title, table.headers(), {table.rows()}});
+    }
+
+    /** Number of samples recorded per table (= runs completed). */
+    int runCount() const
+    {
+        std::size_t n = 1;
+        for (const Entry &e : tables_)
+            n = std::max(n, e.runs.size());
+        return static_cast<int>(n);
     }
 
     std::string str() const
     {
-        std::string out = "{\"bench\": " + quote(bench_) +
-                          ", \"tables\": [";
+        double spread_pct = 0;
+        std::string body;
         for (std::size_t t = 0; t < tables_.size(); ++t) {
             const Entry &e = tables_[t];
             if (t)
-                out += ", ";
-            out += "{\"title\": " + quote(e.title) + ", \"headers\": ";
-            out += cells(e.headers);
-            out += ", \"rows\": [";
-            for (std::size_t r = 0; r < e.rows.size(); ++r) {
+                body += ", ";
+            body += "{\"title\": " + quote(e.title) +
+                    ", \"headers\": ";
+            body += cells(e.headers);
+            body += ", \"rows\": [";
+            const auto rows = aggregatedRows(e, &spread_pct);
+            for (std::size_t r = 0; r < rows.size(); ++r) {
                 if (r)
-                    out += ", ";
-                out += cells(e.rows[r]);
+                    body += ", ";
+                body += cells(rows[r]);
             }
-            out += "]}";
+            body += "]}";
         }
-        out += "]}\n";
+        std::string out = "{\"bench\": " + quote(bench_) +
+                          ", \"repeat\": " +
+                          std::to_string(runCount()) +
+                          ", \"spread_pct\": \"" +
+                          formatFixed(spread_pct, 1) + "\"" +
+                          ", \"tables\": [" + body + "]}\n";
         return out;
     }
 
@@ -207,8 +239,89 @@ class JsonReport
     {
         std::string title;
         std::vector<std::string> headers;
-        std::vector<std::vector<std::string>> rows;
+        /** One row-set per recorded run. */
+        std::vector<std::vector<std::vector<std::string>>> runs;
     };
+
+    /** Parse a numeric cell ("12.3", "-3", "3.1x", "14%"): value plus
+     *  a <= 3-char unit suffix; false for "-", "OOM", "1.2.3", ... --
+     *  mirroring tools/diff_bench_json.py's cell grammar. */
+    static bool parseNumericCell(const std::string &cell, double *value)
+    {
+        std::size_t i = 0;
+        if (i < cell.size() && cell[i] == '-')
+            ++i;
+        std::size_t digits_begin = i;
+        while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9')
+            ++i;
+        if (i == digits_begin)
+            return false;
+        if (i < cell.size() && cell[i] == '.') {
+            ++i;
+            std::size_t frac_begin = i;
+            while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9')
+                ++i;
+            if (i == frac_begin)
+                return false;
+        }
+        if (cell.size() - i > 3)
+            return false;
+        for (std::size_t s = i; s < cell.size(); ++s) {
+            char c = cell[s];
+            bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+            if (!alpha && c != '%' && c != '/')
+                return false;
+        }
+        *value = std::strtod(cell.substr(0, i).c_str(), nullptr);
+        return true;
+    }
+
+    /** Median-aggregated rows of an entry; accumulates the worst
+     *  relative spread over numeric cells into *spread_pct. */
+    std::vector<std::vector<std::string>>
+    aggregatedRows(const Entry &e, double *spread_pct) const
+    {
+        std::vector<std::vector<std::string>> out = e.runs.back();
+        if (e.runs.size() < 2)
+            return out;
+        // Aggregate only when every run has the same table structure;
+        // deterministic benches always do.
+        for (const auto &run : e.runs) {
+            if (run.size() != out.size())
+                return out;
+            for (std::size_t r = 0; r < run.size(); ++r)
+                if (run[r].size() != out[r].size())
+                    return out;
+        }
+        for (std::size_t r = 0; r < out.size(); ++r) {
+            for (std::size_t c = 0; c < out[r].size(); ++c) {
+                std::vector<std::pair<double, std::size_t>> samples;
+                bool numeric = true;
+                for (std::size_t k = 0; k < e.runs.size(); ++k) {
+                    double v = 0;
+                    if (!parseNumericCell(e.runs[k][r][c], &v)) {
+                        numeric = false;
+                        break;
+                    }
+                    samples.push_back({v, k});
+                }
+                if (!numeric)
+                    continue; // markers ("-", "OOM"): keep last run
+                std::sort(samples.begin(), samples.end());
+                // The *observed* median sample (lower median for even
+                // counts) keeps the cell's original formatting.
+                const auto &med = samples[(samples.size() - 1) / 2];
+                out[r][c] = e.runs[med.second][r][c];
+                const double lo = samples.front().first;
+                const double hi = samples.back().first;
+                const double scale = std::max(std::fabs(med.first),
+                                              1e-9);
+                *spread_pct = std::max(*spread_pct,
+                                       (hi - lo) / scale * 100.0);
+            }
+        }
+        return out;
+    }
 
     static std::string quote(const std::string &s)
     {
@@ -241,18 +354,23 @@ class JsonReport
 /**
  * Run `body` opts.repeat times, printing only on the last run, and
  * report per-iteration wall time when repeating.  Bench bodies are
- * deterministic, so repeated runs measure the compile pipeline's
- * wall time rather than changing the tables.
+ * deterministic, so repeated runs measure the pipeline's wall time
+ * rather than changing the tables.  Every run records its tables into
+ * one shared JsonReport (named `bench_name`); when --json is given
+ * the report -- median cells across runs, see JsonReport -- is
+ * written after the last run.
  */
 inline int
-runRepeated(const BenchOptions &opts,
-            const std::function<void(const BenchOptions &, bool)> &body)
+runRepeated(const BenchOptions &opts, const std::string &bench_name,
+            const std::function<void(const BenchOptions &, bool,
+                                     JsonReport &)> &body)
 {
     using clock = std::chrono::steady_clock;
+    JsonReport json(bench_name);
     double best_ms = 0, total_ms = 0;
     for (int r = 0; r < opts.repeat; ++r) {
         auto t0 = clock::now();
-        body(opts, r + 1 == opts.repeat);
+        body(opts, r + 1 == opts.repeat, json);
         double ms = std::chrono::duration<double, std::milli>(
                         clock::now() - t0).count();
         total_ms += ms;
@@ -264,6 +382,8 @@ runRepeated(const BenchOptions &opts,
                     opts.repeat, best_ms,
                     total_ms / static_cast<double>(opts.repeat));
     }
+    if (!opts.jsonPath.empty())
+        json.writeTo(opts.jsonPath);
     return 0;
 }
 

@@ -17,6 +17,33 @@ maxAbsDiff(const Tensor &a, const Tensor &b)
     return mx;
 }
 
+std::map<ir::ValueId, Tensor>
+makeSeededInputs(const ir::Graph &graph, const Executor &ex)
+{
+    std::map<ir::ValueId, Tensor> inputs;
+    for (std::size_t i = 0; i < graph.inputIds().size(); ++i) {
+        const ir::ValueId id = graph.inputIds()[i];
+        inputs[id] = ex.randomTensor(graph.value(id).shape, 100 + i);
+    }
+    return inputs;
+}
+
+float
+maxRelDiff(const std::vector<Tensor> &ref, const std::vector<Tensor> &got)
+{
+    SM_REQUIRE(ref.size() == got.size(),
+               "maxRelDiff output count mismatch");
+    float worst = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        float mx = 0;
+        for (std::int64_t e = 0; e < ref[i].numElements(); ++e)
+            mx = std::max(mx, std::fabs(ref[i].at(e)));
+        worst = std::max(worst,
+                         maxAbsDiff(ref[i], got[i]) / (mx + 1e-30f));
+    }
+    return worst;
+}
+
 Tensor
 Executor::randomTensor(const ir::Shape &shape, std::uint64_t salt) const
 {

@@ -54,6 +54,23 @@ class Executor
 Tensor evalNode(const ir::Graph &graph, const ir::Node &node,
                 const std::vector<const Tensor *> &inputs);
 
+/**
+ * Deterministic input tensors for every graph input (salted 100+i by
+ * position) -- the one seeding convention shared by the parity tests,
+ * the CI `--check` gate, and `smartmem_cli run --verify`, so all
+ * three agree on what execution they compare.
+ */
+std::map<ir::ValueId, Tensor> makeSeededInputs(const ir::Graph &graph,
+                                               const Executor &ex);
+
+/**
+ * Worst relative difference over output pairs:
+ * max_i ( maxAbsDiff(ref[i], got[i]) / max|ref[i]| ).  The backend
+ * parity tolerance (1e-4, docs/EXECUTION.md) is checked against this.
+ */
+float maxRelDiff(const std::vector<Tensor> &ref,
+                 const std::vector<Tensor> &got);
+
 } // namespace smartmem::exec
 
 #endif // SMARTMEM_EXEC_EXECUTOR_H

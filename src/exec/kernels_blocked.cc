@@ -1,0 +1,534 @@
+#include "exec/kernels_blocked.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "runtime/memory_pool.h"
+#include "support/error.h"
+
+namespace smartmem::exec {
+
+// -------------------------------------------------------------------
+// ParallelRunner
+// -------------------------------------------------------------------
+
+ParallelRunner::ParallelRunner(int threads)
+{
+    threads_ = threads > 0 ? threads : support::defaultThreadCount();
+    threads_ = std::max(threads_, 1);
+    if (threads_ > 1)
+        pool_ = std::make_unique<support::ThreadPool>(threads_ - 1);
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+void
+ParallelRunner::run(std::int64_t n, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>
+                        &fn) const
+{
+    if (n <= 0)
+        return;
+    grain = std::max<std::int64_t>(grain, 1);
+    const std::int64_t max_chunks = std::max<std::int64_t>(
+        std::min<std::int64_t>(threads_, (n + grain - 1) / grain), 1);
+    if (max_chunks == 1 || !pool_) {
+        fn(0, n);
+        return;
+    }
+    // Static partition: chunk boundaries depend only on (n, chunks),
+    // so every element is processed by the same chunk at any thread
+    // count -- the backend's determinism guarantee.
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(max_chunks) - 1);
+    const std::int64_t base = n / max_chunks;
+    const std::int64_t extra = n % max_chunks;
+    std::int64_t begin = 0;
+    std::int64_t first_end = 0;
+    for (std::int64_t cidx = 0; cidx < max_chunks; ++cidx) {
+        std::int64_t len = base + (cidx < extra ? 1 : 0);
+        std::int64_t end = begin + len;
+        if (cidx == 0) {
+            first_end = end; // run on the calling thread below
+        } else {
+            futures.push_back(pool_->submit(
+                [&fn, begin, end] { fn(begin, end); }));
+        }
+        begin = end;
+    }
+    std::exception_ptr first;
+    try {
+        fn(0, first_end);
+    } catch (...) {
+        first = std::current_exception();
+    }
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+// -------------------------------------------------------------------
+// Scalar op bodies (formulas identical to the reference kernels so
+// parity with exec/kernels.cc is exact up to float associativity)
+// -------------------------------------------------------------------
+
+float
+applyUnaryScalar(ir::OpKind kind, float x, const ir::Node &node)
+{
+    switch (kind) {
+      case ir::OpKind::Relu:    return x > 0 ? x : 0;
+      case ir::OpKind::Gelu:
+        return 0.5f * x * (1.0f + std::tanh(0.7978845608f *
+                                            (x + 0.044715f * x * x * x)));
+      case ir::OpKind::Silu:    return x / (1.0f + std::exp(-x));
+      case ir::OpKind::Sigmoid: return 1.0f / (1.0f + std::exp(-x));
+      case ir::OpKind::Tanh:    return std::tanh(x);
+      case ir::OpKind::Exp:     return std::exp(x);
+      case ir::OpKind::Sqrt:    return std::sqrt(std::max(x, 0.0f));
+      case ir::OpKind::Neg:     return -x;
+      case ir::OpKind::Identity: return x;
+      case ir::OpKind::Scale: {
+        float s = static_cast<float>(
+            node.attrs.getInt("scale_milli", 1000)) / 1000.0f;
+        return x * s;
+      }
+      default:
+        smPanic("applyUnaryScalar on non-unary kind");
+    }
+}
+
+float
+applyBinaryScalar(ir::OpKind kind, float a, float b)
+{
+    switch (kind) {
+      case ir::OpKind::Add: return a + b;
+      case ir::OpKind::Sub: return a - b;
+      case ir::OpKind::Mul: return a * b;
+      case ir::OpKind::Div: return a / b;
+      default:
+        smPanic("applyBinaryScalar on non-binary kind");
+    }
+}
+
+// -------------------------------------------------------------------
+// MatMul
+// -------------------------------------------------------------------
+
+namespace {
+
+/** Row tile height: B panel rows are reused kRowTile times from L1. */
+constexpr std::int64_t kRowTile = 8;
+
+/** K panel width: one A row tile's panel footprint stays in L1. */
+constexpr std::int64_t kKBlock = 256;
+
+/** C[m x n] += A[m x k] * B[k x n], row-major, single thread. */
+void
+gemmRowMajor(const float *a, const float *b, float *c, std::int64_t m,
+             std::int64_t n, std::int64_t k)
+{
+    for (std::int64_t i0 = 0; i0 < m; i0 += kRowTile) {
+        const std::int64_t i1 = std::min(i0 + kRowTile, m);
+        for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+            const std::int64_t k1 = std::min(k0 + kKBlock, k);
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * n;
+                for (std::int64_t i = i0; i < i1; ++i) {
+                    const float av = a[i * k + kk];
+                    float *crow = c + i * n;
+                    for (std::int64_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/** C[m x n] = A[m x k] * B[n x k]^T: blocked dot products. */
+void
+gemmTransB(const float *a, const float *b, float *c, std::int64_t m,
+           std::int64_t n, std::int64_t k)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+blockedMatMul(const float *a, const float *b, float *c,
+              std::int64_t batch, bool bBatched, std::int64_t m,
+              std::int64_t n, std::int64_t k, bool transB,
+              const ParallelRunner &par)
+{
+    // Parallel grain: whole batch items when the batch is large
+    // (attention's windowed BatchMatMuls), row blocks otherwise.
+    const std::int64_t row_blocks = (m + kRowTile - 1) / kRowTile;
+    const std::int64_t tasks = batch * row_blocks;
+    par.run(tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+            const std::int64_t bi = t / row_blocks;
+            const std::int64_t i0 = (t % row_blocks) * kRowTile;
+            const std::int64_t rows = std::min(kRowTile, m - i0);
+            const float *ap = a + (bi * m + i0) * k;
+            const float *bp = b + (bBatched ? bi * k * n : 0);
+            float *cp = c + (bi * m + i0) * n;
+            if (transB) {
+                gemmTransB(ap, bp, cp, rows, n, k);
+            } else {
+                std::memset(cp, 0,
+                            static_cast<std::size_t>(rows * n) *
+                                sizeof(float));
+                gemmRowMajor(ap, bp, cp, rows, n, k);
+            }
+        }
+    });
+}
+
+// -------------------------------------------------------------------
+// Convolution
+// -------------------------------------------------------------------
+
+void
+blockedConv2d(const float *x, const float *w, float *out,
+              std::int64_t n_batch, std::int64_t ic, std::int64_t h,
+              std::int64_t wdim, std::int64_t oc, std::int64_t oh,
+              std::int64_t ow, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad, std::int64_t groups,
+              const ParallelRunner &par, runtime::BufferPool &scratch)
+{
+    const std::int64_t icg = ic / groups;
+    const std::int64_t ocg = oc / groups;
+    const std::int64_t cols = oh * ow;
+    const std::int64_t col_rows = icg * kh * kw;
+    float *col = scratch.allocateFloats(col_rows * cols);
+
+    for (std::int64_t n = 0; n < n_batch; ++n) {
+        for (std::int64_t g = 0; g < groups; ++g) {
+            const float *xg = x + (n * ic + g * icg) * h * wdim;
+            // im2col: row r = (c, dy, dx) over output pixels.
+            par.run(col_rows, 4, [&](std::int64_t r0, std::int64_t r1) {
+                for (std::int64_t r = r0; r < r1; ++r) {
+                    const std::int64_t c = r / (kh * kw);
+                    const std::int64_t dy = (r / kw) % kh;
+                    const std::int64_t dx = r % kw;
+                    const float *xplane = xg + c * h * wdim;
+                    float *crow = col + r * cols;
+                    for (std::int64_t y = 0; y < oh; ++y) {
+                        const std::int64_t iy = y * stride + dy - pad;
+                        float *dst = crow + y * ow;
+                        if (iy < 0 || iy >= h) {
+                            std::memset(dst, 0,
+                                        static_cast<std::size_t>(ow) *
+                                            sizeof(float));
+                            continue;
+                        }
+                        const float *xrow = xplane + iy * wdim;
+                        if (stride == 1) {
+                            // Contiguous middle, zero-padded edges.
+                            for (std::int64_t xo = 0; xo < ow; ++xo) {
+                                const std::int64_t ix = xo + dx - pad;
+                                dst[xo] = (ix < 0 || ix >= wdim)
+                                              ? 0.0f
+                                              : xrow[ix];
+                            }
+                        } else {
+                            for (std::int64_t xo = 0; xo < ow; ++xo) {
+                                const std::int64_t ix =
+                                    xo * stride + dx - pad;
+                                dst[xo] = (ix < 0 || ix >= wdim)
+                                              ? 0.0f
+                                              : xrow[ix];
+                            }
+                        }
+                    }
+                }
+            });
+            // GEMM: out[g-channels][pixels] = W[ocg x col_rows] * col.
+            const float *wg = w + g * ocg * col_rows;
+            float *og = out + (n * oc + g * ocg) * cols;
+            par.run(ocg, 1, [&](std::int64_t o0, std::int64_t o1) {
+                std::memset(og + o0 * cols, 0,
+                            static_cast<std::size_t>((o1 - o0) * cols) *
+                                sizeof(float));
+                gemmRowMajor(wg + o0 * col_rows, col, og + o0 * cols,
+                             o1 - o0, cols, col_rows);
+            });
+        }
+    }
+    scratch.release(col);
+}
+
+void
+blockedDepthwiseConv2d(const float *x, const float *w, float *out,
+                       std::int64_t n_batch, std::int64_t c,
+                       std::int64_t h, std::int64_t wdim, std::int64_t oh,
+                       std::int64_t ow, std::int64_t kh, std::int64_t kw,
+                       std::int64_t stride, std::int64_t pad,
+                       const ParallelRunner &par)
+{
+    par.run(n_batch * c, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const float *xp = x + p * h * wdim;
+            const float *wp = w + (p % c) * kh * kw;
+            float *op = out + p * oh * ow;
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xo = 0; xo < ow; ++xo) {
+                    float acc = 0;
+                    for (std::int64_t dy = 0; dy < kh; ++dy) {
+                        const std::int64_t iy = y * stride + dy - pad;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        const float *xrow = xp + iy * wdim;
+                        const float *wrow = wp + dy * kw;
+                        for (std::int64_t dx = 0; dx < kw; ++dx) {
+                            const std::int64_t ix =
+                                xo * stride + dx - pad;
+                            if (ix < 0 || ix >= wdim)
+                                continue;
+                            acc += xrow[ix] * wrow[dx];
+                        }
+                    }
+                    op[y * ow + xo] = acc;
+                }
+            }
+        }
+    });
+}
+
+// -------------------------------------------------------------------
+// Element-wise
+// -------------------------------------------------------------------
+
+void
+blockedUnary(ir::OpKind kind, const ir::Node &node, const float *x,
+             float *y, std::int64_t n, const ParallelRunner &par)
+{
+    par.run(n, 4096, [&](std::int64_t i0, std::int64_t i1) {
+        switch (kind) {
+          case ir::OpKind::Relu:
+            for (std::int64_t i = i0; i < i1; ++i)
+                y[i] = x[i] > 0 ? x[i] : 0;
+            break;
+          case ir::OpKind::Identity:
+            if (y != x)
+                std::memcpy(y + i0, x + i0,
+                            static_cast<std::size_t>(i1 - i0) *
+                                sizeof(float));
+            break;
+          default:
+            for (std::int64_t i = i0; i < i1; ++i)
+                y[i] = applyUnaryScalar(kind, x[i], node);
+        }
+    });
+}
+
+namespace {
+
+/** Row-major strides of `s` broadcast against outShape: 0 where s has
+ *  extent 1 or lacks the (leading) dimension. */
+std::vector<std::int64_t>
+broadcastStrides(const ir::Shape &outShape, const ir::Shape &s)
+{
+    const int orank = outShape.rank();
+    const int srank = s.rank();
+    std::vector<std::int64_t> own = s.rowMajorStrides();
+    std::vector<std::int64_t> strides(static_cast<std::size_t>(orank), 0);
+    for (int d = 0; d < srank; ++d) {
+        if (s.dim(d) != 1)
+            strides[static_cast<std::size_t>(d + orank - srank)] =
+                own[static_cast<std::size_t>(d)];
+    }
+    return strides;
+}
+
+} // namespace
+
+void
+blockedBinary(ir::OpKind kind, const float *a, const float *b, float *out,
+              const ir::Shape &outShape, const ir::Shape &aShape,
+              const ir::Shape &bShape, const ParallelRunner &par)
+{
+    const std::int64_t n = outShape.numElements();
+
+    // Fast path: both operands elementwise-identical to the output.
+    if (aShape == outShape && bShape == outShape) {
+        par.run(n, 4096, [&](std::int64_t i0, std::int64_t i1) {
+            switch (kind) {
+              case ir::OpKind::Add:
+                for (std::int64_t i = i0; i < i1; ++i)
+                    out[i] = a[i] + b[i];
+                break;
+              case ir::OpKind::Sub:
+                for (std::int64_t i = i0; i < i1; ++i)
+                    out[i] = a[i] - b[i];
+                break;
+              case ir::OpKind::Mul:
+                for (std::int64_t i = i0; i < i1; ++i)
+                    out[i] = a[i] * b[i];
+                break;
+              default:
+                for (std::int64_t i = i0; i < i1; ++i)
+                    out[i] = applyBinaryScalar(kind, a[i], b[i]);
+            }
+        });
+        return;
+    }
+
+    // General broadcast: odometer over output coordinates with
+    // zero-stride dims on the broadcast operand(s).
+    const auto astr = broadcastStrides(outShape, aShape);
+    const auto bstr = broadcastStrides(outShape, bShape);
+    const int rank = outShape.rank();
+    par.run(n, 4096, [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<std::int64_t> coord = ir::delinearize(i0, outShape);
+        std::int64_t aoff = 0, boff = 0;
+        for (int d = 0; d < rank; ++d) {
+            aoff += coord[static_cast<std::size_t>(d)] *
+                    astr[static_cast<std::size_t>(d)];
+            boff += coord[static_cast<std::size_t>(d)] *
+                    bstr[static_cast<std::size_t>(d)];
+        }
+        for (std::int64_t i = i0; i < i1; ++i) {
+            out[i] = applyBinaryScalar(kind, a[aoff], b[boff]);
+            for (int d = rank - 1; d >= 0; --d) {
+                const auto di = static_cast<std::size_t>(d);
+                aoff += astr[di];
+                boff += bstr[di];
+                if (++coord[di] < outShape.dim(d))
+                    break;
+                aoff -= astr[di] * outShape.dim(d);
+                boff -= bstr[di] * outShape.dim(d);
+                coord[di] = 0;
+            }
+        }
+    });
+}
+
+// -------------------------------------------------------------------
+// Normalizations / softmax
+// -------------------------------------------------------------------
+
+void
+blockedSoftmax(const float *x, float *out, const ir::Shape &shape,
+               int axis, const ParallelRunner &par)
+{
+    std::int64_t inner = 1;
+    for (int i = axis + 1; i < shape.rank(); ++i)
+        inner *= shape.dim(i);
+    const std::int64_t extent = shape.dim(axis);
+    const std::int64_t outer = shape.numElements() / (inner * extent);
+
+    par.run(outer, 1, [&](std::int64_t o0, std::int64_t o1) {
+        for (std::int64_t o = o0; o < o1; ++o) {
+            for (std::int64_t i = 0; i < inner; ++i) {
+                const float *xp = x + o * extent * inner + i;
+                float *op = out + o * extent * inner + i;
+                float mx = -1e30f;
+                for (std::int64_t e = 0; e < extent; ++e)
+                    mx = std::max(mx, xp[e * inner]);
+                float denom = 0;
+                for (std::int64_t e = 0; e < extent; ++e)
+                    denom += std::exp(xp[e * inner] - mx);
+                for (std::int64_t e = 0; e < extent; ++e)
+                    op[e * inner] = std::exp(xp[e * inner] - mx) / denom;
+            }
+        }
+    });
+}
+
+void
+blockedLayerNorm(const float *x, const float *gamma,
+                 std::int64_t gammaLen, const float *beta,
+                 std::int64_t betaLen, float *out, std::int64_t outer,
+                 std::int64_t inner, const ParallelRunner &par)
+{
+    par.run(outer, 1, [&](std::int64_t o0, std::int64_t o1) {
+        for (std::int64_t o = o0; o < o1; ++o) {
+            const float *xp = x + o * inner;
+            float *op = out + o * inner;
+            float sum = 0;
+            for (std::int64_t i = 0; i < inner; ++i)
+                sum += xp[i];
+            const float mean = sum / static_cast<float>(inner);
+            float var = 0;
+            for (std::int64_t i = 0; i < inner; ++i)
+                var += (xp[i] - mean) * (xp[i] - mean);
+            var /= static_cast<float>(inner);
+            const float inv = 1.0f / std::sqrt(var + 1e-5f);
+            for (std::int64_t i = 0; i < inner; ++i) {
+                float v = (xp[i] - mean) * inv;
+                if (gamma)
+                    v *= gamma[i % gammaLen];
+                if (beta)
+                    v += beta[i % betaLen];
+                op[i] = v;
+            }
+        }
+    });
+}
+
+void
+blockedInstanceNorm(const float *x, float *out, std::int64_t nc,
+                    std::int64_t hw, const ParallelRunner &par)
+{
+    par.run(nc, 1, [&](std::int64_t o0, std::int64_t o1) {
+        for (std::int64_t o = o0; o < o1; ++o) {
+            const float *xp = x + o * hw;
+            float *op = out + o * hw;
+            float sum = 0;
+            for (std::int64_t i = 0; i < hw; ++i)
+                sum += xp[i];
+            const float mean = sum / static_cast<float>(hw);
+            float var = 0;
+            for (std::int64_t i = 0; i < hw; ++i)
+                var += (xp[i] - mean) * (xp[i] - mean);
+            var /= static_cast<float>(hw);
+            const float inv = 1.0f / std::sqrt(var + 1e-5f);
+            for (std::int64_t i = 0; i < hw; ++i)
+                op[i] = (xp[i] - mean) * inv;
+        }
+    });
+}
+
+void
+blockedBatchNorm(const float *x, const float *scale,
+                 std::int64_t scaleLen, const float *bias,
+                 std::int64_t biasLen, float *out, std::int64_t n,
+                 std::int64_t c, std::int64_t hw,
+                 const ParallelRunner &par)
+{
+    par.run(n * c, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const std::int64_t ch = p % c;
+            const float g = scale[ch % scaleLen];
+            const float b = bias[ch % biasLen];
+            const float *xp = x + p * hw;
+            float *op = out + p * hw;
+            for (std::int64_t i = 0; i < hw; ++i)
+                op[i] = xp[i] * g + b;
+        }
+    });
+}
+
+} // namespace smartmem::exec

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cache-blocked, thread-pooled CPU kernels for the cpu-blocked
+ * execution backend.
+ *
+ * All kernels operate on raw row-major float arrays (the logical
+ * compute view; physical layouts are handled by the backend's
+ * pack/unpack paths in cpu_backend.cc).  Work is split into static
+ * contiguous ranges, each written by exactly one worker, so results
+ * are byte-identical at every thread count -- the determinism
+ * guarantee tests/cpu_backend_test.cc pins.
+ */
+#ifndef SMARTMEM_EXEC_KERNELS_BLOCKED_H
+#define SMARTMEM_EXEC_KERNELS_BLOCKED_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ir/graph.h"
+#include "support/thread_pool.h"
+
+namespace smartmem::runtime {
+class BufferPool;
+}
+
+namespace smartmem::exec {
+
+/**
+ * Static-partition parallel driver over an index range.  Owns a
+ * fixed-size support::ThreadPool (created once per executor, reused
+ * across every kernel launch, so per-kernel overhead is one
+ * submit/wait round, not thread creation).
+ */
+class ParallelRunner
+{
+  public:
+    /** @param threads  0 = SMARTMEM_THREADS env / hardware default. */
+    explicit ParallelRunner(int threads);
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    int threads() const { return threads_; }
+
+    /**
+     * Invoke fn(begin, end) over a static partition of [0, n) into at
+     * most threads() contiguous ranges of at least `grain` indices.
+     * Ranges depend only on (n, grain, threads()); each index is
+     * processed by exactly one invocation.  Serial (single inline
+     * call) when the range is small or the runner has one thread.
+     * The first exception (lowest range) is rethrown after all ranges
+     * finish.
+     */
+    void run(std::int64_t n, std::int64_t grain,
+             const std::function<void(std::int64_t, std::int64_t)> &fn)
+        const;
+
+  private:
+    std::unique_ptr<support::ThreadPool> pool_; // null when serial
+    int threads_ = 1;
+};
+
+/**
+ * C[b] = A[b] x B[b or shared]: row-major batched matmul with
+ * register-tiled rows and k-blocking.  A is [batch, m, k]; B is
+ * [k, n] ([n, k] when transB), batched when bBatched; C is
+ * [batch, m, n].  Parallel over batch x row blocks.
+ */
+void blockedMatMul(const float *a, const float *b, float *c,
+                   std::int64_t batch, bool bBatched, std::int64_t m,
+                   std::int64_t n, std::int64_t k, bool transB,
+                   const ParallelRunner &par);
+
+/**
+ * Grouped/standard conv via im2col + blocked GEMM.  x is
+ * [N, IC, H, W], w is [OC, IC/groups, KH, KW], out is
+ * [N, OC, OH, OW].  The im2col panel comes from `scratch` and is
+ * released before returning.  Parallel over column-panel rows and
+ * output channels.
+ */
+void blockedConv2d(const float *x, const float *w, float *out,
+                   std::int64_t n_batch, std::int64_t ic, std::int64_t h,
+                   std::int64_t wdim, std::int64_t oc, std::int64_t oh,
+                   std::int64_t ow, std::int64_t kh, std::int64_t kw,
+                   std::int64_t stride, std::int64_t pad,
+                   std::int64_t groups, const ParallelRunner &par,
+                   runtime::BufferPool &scratch);
+
+/** Depthwise conv, direct-tiled; parallel over (n, c) planes. */
+void blockedDepthwiseConv2d(const float *x, const float *w, float *out,
+                            std::int64_t n_batch, std::int64_t c,
+                            std::int64_t h, std::int64_t wdim,
+                            std::int64_t oh, std::int64_t ow,
+                            std::int64_t kh, std::int64_t kw,
+                            std::int64_t stride, std::int64_t pad,
+                            const ParallelRunner &par);
+
+/** y[i] = unary(x[i]) over n elements, parallel over ranges.  `node`
+ *  supplies attribute-dependent kinds (Scale).  x may alias y. */
+void blockedUnary(ir::OpKind kind, const ir::Node &node, const float *x,
+                  float *y, std::int64_t n, const ParallelRunner &par);
+
+/** Scalar unary application (shared with the epilogue fuser). */
+float applyUnaryScalar(ir::OpKind kind, float x, const ir::Node &node);
+
+/** Scalar binary application (shared with the epilogue fuser). */
+float applyBinaryScalar(ir::OpKind kind, float a, float b);
+
+/**
+ * Broadcast binary out = a op b where `a` has the output shape and
+ * `b` broadcasts per bStride: for every output index i the right
+ * operand is b[broadcastOffset(i)].  Fast paths: same-shape
+ * (linear), scalar, and trailing-suffix broadcast; the generic path
+ * walks an odometer.  Parallel over ranges of the output.
+ */
+void blockedBinary(ir::OpKind kind, const float *a, const float *b,
+                   float *out, const ir::Shape &outShape,
+                   const ir::Shape &aShape, const ir::Shape &bShape,
+                   const ParallelRunner &par);
+
+/** Softmax over `axis` (reference semantics), parallel over slices. */
+void blockedSoftmax(const float *x, float *out, const ir::Shape &shape,
+                    int axis, const ParallelRunner &par);
+
+/** LayerNorm over the last dim with optional gamma/beta, parallel
+ *  over outer slices. */
+void blockedLayerNorm(const float *x, const float *gamma,
+                      std::int64_t gammaLen, const float *beta,
+                      std::int64_t betaLen, float *out,
+                      std::int64_t outer, std::int64_t inner,
+                      const ParallelRunner &par);
+
+/** InstanceNorm over H,W per (N,C) plane, parallel over planes. */
+void blockedInstanceNorm(const float *x, float *out, std::int64_t nc,
+                         std::int64_t hw, const ParallelRunner &par);
+
+/** Folded-stats BatchNorm (per-channel affine), parallel over (n,c). */
+void blockedBatchNorm(const float *x, const float *scale,
+                      std::int64_t scaleLen, const float *bias,
+                      std::int64_t biasLen, float *out, std::int64_t n,
+                      std::int64_t c, std::int64_t hw,
+                      const ParallelRunner &par);
+
+} // namespace smartmem::exec
+
+#endif // SMARTMEM_EXEC_KERNELS_BLOCKED_H

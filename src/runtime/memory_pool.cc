@@ -1,8 +1,11 @@
 #include "runtime/memory_pool.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace smartmem::runtime {
 
@@ -22,6 +25,20 @@ storedBytes(const ir::Graph &graph, ir::ValueId id,
 
 } // namespace
 
+std::map<std::pair<ir::ValueId, int>, std::size_t>
+lastUses(const ExecutionPlan &plan)
+{
+    std::map<std::pair<ir::ValueId, int>, std::size_t> last_use;
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+        for (const KernelInput &in : plan.kernels[i].inputs)
+            last_use[{in.source, in.sourceCopy}] = i;
+    }
+    // Graph outputs stay live to the end.
+    for (ir::ValueId id : plan.graph.outputIds())
+        last_use[{id, 0}] = plan.kernels.size();
+    return last_use;
+}
+
 MemoryStats
 simulateMemory(const ExecutionPlan &plan)
 {
@@ -36,16 +53,8 @@ simulateMemory(const ExecutionPlan &plan)
         }
     }
 
-    // Last kernel index using each stored (value, copy).
     using Key = std::pair<ir::ValueId, int>;
-    std::map<Key, std::size_t> last_use;
-    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
-        for (const KernelInput &in : plan.kernels[i].inputs)
-            last_use[{in.source, in.sourceCopy}] = i;
-    }
-    // Graph outputs stay live to the end.
-    for (ir::ValueId id : graph.outputIds())
-        last_use[{id, 0}] = plan.kernels.size();
+    const std::map<Key, std::size_t> last_use = lastUses(plan);
 
     std::map<Key, std::int64_t> live; // bytes per live allocation
     std::int64_t live_bytes = 0;
@@ -82,6 +91,57 @@ simulateMemory(const ExecutionPlan &plan)
         }
     }
     return stats;
+}
+
+BufferPool::~BufferPool()
+{
+    for (auto &[p, bytes] : live_)
+        std::free(p);
+    for (auto &[bytes, ptrs] : free_)
+        for (float *p : ptrs)
+            std::free(p);
+}
+
+float *
+BufferPool::allocateFloats(std::int64_t elems)
+{
+    SM_REQUIRE(elems > 0, "BufferPool: non-positive allocation");
+    const std::int64_t bytes = roundUp(
+        elems * static_cast<std::int64_t>(sizeof(float)),
+        static_cast<std::int64_t>(kAlignment));
+
+    float *p = nullptr;
+    auto it = free_.find(bytes);
+    if (it != free_.end() && !it->second.empty()) {
+        // Recycled buffers keep their stale contents: every kernel
+        // writes each element it later reads, so re-zeroing would be
+        // a pure extra memory pass on the hot path.
+        p = it->second.back();
+        it->second.pop_back();
+        ++reuseCount_;
+    } else {
+        // aligned_alloc requires the size to be a multiple of the
+        // alignment; bytes is rounded up above.
+        p = static_cast<float *>(std::aligned_alloc(
+            kAlignment, static_cast<std::size_t>(bytes)));
+        SM_REQUIRE(p != nullptr, "BufferPool: out of memory");
+        std::memset(p, 0, static_cast<std::size_t>(bytes));
+    }
+    live_[p] = bytes;
+    liveBytes_ += bytes;
+    highWaterBytes_ = std::max(highWaterBytes_, liveBytes_);
+    return p;
+}
+
+void
+BufferPool::release(float *p)
+{
+    auto it = live_.find(p);
+    SM_ASSERT(it != live_.end(),
+              "BufferPool::release of unowned pointer");
+    liveBytes_ -= it->second;
+    free_[it->second].push_back(p);
+    live_.erase(it);
 }
 
 bool

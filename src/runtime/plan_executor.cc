@@ -1,0 +1,96 @@
+#include "runtime/plan_executor.h"
+
+#include "exec/cpu_backend.h"
+#include "runtime/functional_runner.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::runtime {
+
+namespace {
+
+class ReferenceExecutor final : public PlanExecutor
+{
+  public:
+    explicit ReferenceExecutor(const ExecutorOptions &opts)
+        : seed_(opts.seed)
+    {
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string n = "reference";
+        return n;
+    }
+
+    std::vector<exec::Tensor>
+    run(const ExecutionPlan &plan,
+        const std::map<ir::ValueId, exec::Tensor> &inputs) override
+    {
+        return runPlanFunctional(plan, inputs, seed_);
+    }
+
+  private:
+    std::uint64_t seed_;
+};
+
+class CpuBlockedExecutor final : public PlanExecutor
+{
+  public:
+    explicit CpuBlockedExecutor(const ExecutorOptions &opts)
+    {
+        exec::CpuBackendOptions o;
+        o.threads = opts.threads;
+        o.seed = opts.seed;
+        backend_ = exec::CpuBackend(o);
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string n = "cpu-blocked";
+        return n;
+    }
+
+    std::vector<exec::Tensor>
+    run(const ExecutionPlan &plan,
+        const std::map<ir::ValueId, exec::Tensor> &inputs) override
+    {
+        return backend_.run(plan, inputs, &stats_);
+    }
+
+    std::int64_t poolHighWaterBytes() const override
+    {
+        return stats_.poolHighWaterBytes;
+    }
+
+    /** Full counters of the most recent run. */
+    const exec::CpuBackendStats &stats() const { return stats_; }
+
+  private:
+    exec::CpuBackend backend_{exec::CpuBackendOptions{}};
+    exec::CpuBackendStats stats_;
+};
+
+} // namespace
+
+const std::vector<std::string> &
+executorNames()
+{
+    static const std::vector<std::string> names = {"reference",
+                                                   "cpu-blocked"};
+    return names;
+}
+
+std::unique_ptr<PlanExecutor>
+makeExecutor(const std::string &name, const ExecutorOptions &options)
+{
+    if (name == "reference")
+        return std::make_unique<ReferenceExecutor>(options);
+    if (name == "cpu-blocked")
+        return std::make_unique<CpuBlockedExecutor>(options);
+    smFatal("unknown execution backend '" + name +
+            "' (registered: " + joinStrings(executorNames(), ", ") +
+            ")");
+}
+
+} // namespace smartmem::runtime

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Backend selection for plan execution: one name-keyed factory over
+ * every engine that can run an ExecutionPlan with real float math,
+ * following the DeviceRegistry/CompilerRegistry idiom (unknown names
+ * raise a FatalError listing what is registered).
+ *
+ * Registered backends:
+ *   "reference"    -- the functional runner (runPlanFunctional):
+ *                     naive scalar kernels, correctness baseline.
+ *   "cpu-blocked"  -- exec::CpuBackend: layout-aware, cache-blocked,
+ *                     thread-pooled kernels (docs/EXECUTION.md).
+ *
+ * Both backends compute the same function (tests pin parity to 1e-4
+ * relative tolerance across the model zoo), so callers choose purely
+ * on speed: FunctionalRunner-style verification uses "reference",
+ * `smartmem_cli run` and bench_exec_throughput default to
+ * "cpu-blocked".
+ */
+#ifndef SMARTMEM_RUNTIME_PLAN_EXECUTOR_H
+#define SMARTMEM_RUNTIME_PLAN_EXECUTOR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/tensor.h"
+#include "runtime/plan.h"
+
+namespace smartmem::runtime {
+
+/** Options shared by every execution backend. */
+struct ExecutorOptions
+{
+    /** Worker threads; 0 = SMARTMEM_THREADS env / hardware default.
+     *  The reference backend is always serial. */
+    int threads = 0;
+
+    /** Seed for synthesized constants; executions to be compared must
+     *  use the same seed. */
+    std::uint64_t seed = 1234;
+};
+
+/** A plan execution engine. */
+class PlanExecutor
+{
+  public:
+    virtual ~PlanExecutor() = default;
+
+    /** Registry name of this backend. */
+    virtual const std::string &name() const = 0;
+
+    /** Execute the plan; returns graph outputs in declaration order,
+     *  row-major. */
+    virtual std::vector<exec::Tensor>
+    run(const ExecutionPlan &plan,
+        const std::map<ir::ValueId, exec::Tensor> &inputs) = 0;
+
+    /** Peak bytes of pooled buffers in the most recent run(); 0 for
+     *  backends without a real allocator (reference). */
+    virtual std::int64_t poolHighWaterBytes() const { return 0; }
+};
+
+/** Registered backend names, in registry order. */
+const std::vector<std::string> &executorNames();
+
+/**
+ * Construct a backend by name.  Throws FatalError for unknown names,
+ * listing the registered backends -- the same contract as
+ * DeviceRegistry::find().
+ */
+std::unique_ptr<PlanExecutor>
+makeExecutor(const std::string &name,
+             const ExecutorOptions &options = ExecutorOptions());
+
+} // namespace smartmem::runtime
+
+#endif // SMARTMEM_RUNTIME_PLAN_EXECUTOR_H

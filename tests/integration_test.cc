@@ -18,17 +18,6 @@
 namespace smartmem {
 namespace {
 
-/** Inputs for a graph, deterministic by position. */
-std::map<ir::ValueId, exec::Tensor>
-makeInputs(const ir::Graph &g, const exec::Executor &ex)
-{
-    std::map<ir::ValueId, exec::Tensor> inputs;
-    for (std::size_t i = 0; i < g.inputIds().size(); ++i) {
-        inputs[g.inputIds()[i]] =
-            ex.randomTensor(g.value(g.inputIds()[i]).shape, 100 + i);
-    }
-    return inputs;
-}
 
 class TinyEquivalence : public ::testing::TestWithParam<std::string>
 {
@@ -41,7 +30,7 @@ TEST_P(TinyEquivalence, SmartMemPlanMatchesReference)
     auto plan = core::compileSmartMem(g, dev);
 
     exec::Executor ex(77);
-    auto inputs = makeInputs(plan.graph, ex);
+    auto inputs = exec::makeSeededInputs(plan.graph, ex);
     auto ref = ex.runOutputs(plan.graph, inputs);
     auto got = runtime::runPlanFunctional(plan, inputs, 77);
     ASSERT_EQ(ref.size(), got.size());
@@ -56,7 +45,7 @@ TEST_P(TinyEquivalence, EveryStageMatchesReference)
     exec::Executor ex(88);
     for (int stage = 0; stage <= 3; ++stage) {
         auto plan = core::compileStage(g, dev, stage);
-        auto inputs = makeInputs(plan.graph, ex);
+        auto inputs = exec::makeSeededInputs(plan.graph, ex);
         auto ref = ex.runOutputs(plan.graph, inputs);
         auto got = runtime::runPlanFunctional(plan, inputs, 88);
         EXPECT_LT(exec::maxAbsDiff(ref[0], got[0]), 1e-4f)

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/layout_select.h"
 #include "core/planner.h"
 #include "core/smartmem_compiler.h"
@@ -160,6 +162,71 @@ TEST(MemoryPool, RedundantCopiesTracked)
     if (plan.layoutCopyCount() > 0) {
         EXPECT_GT(stats.maxActiveRedundantCopyBytes, 0);
     }
+}
+
+TEST(MemoryPool, LastUsesMatchesSimulation)
+{
+    core::FusionPolicy p;
+    p.fuseEltwiseChains = false;
+    p.fuseEltwiseIntoIld = false;
+    auto plan = core::planGraph(longChain(6), p);
+    auto last = lastUses(plan);
+    // Every kernel input appears, and graph outputs are pinned to the
+    // end of the plan.
+    for (std::size_t i = 0; i < plan.kernels.size(); ++i) {
+        for (const auto &in : plan.kernels[i].inputs) {
+            auto it = last.find({in.source, in.sourceCopy});
+            ASSERT_NE(it, last.end());
+            EXPECT_GE(it->second, i);
+        }
+    }
+    for (ir::ValueId id : plan.graph.outputIds())
+        EXPECT_EQ(last.at({id, 0}), plan.kernels.size());
+}
+
+TEST(BufferPool, AllocationsAreCacheLineAligned)
+{
+    BufferPool pool;
+    for (std::int64_t elems : {1, 3, 16, 17, 1000, 4097}) {
+        float *p = pool.allocateFloats(elems);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                      BufferPool::kAlignment,
+                  0u)
+            << elems << " floats";
+        // Fresh allocations are zero-filled (recycled ones are not --
+        // kernels overwrite every element they read).
+        for (std::int64_t i = 0; i < elems; ++i)
+            EXPECT_EQ(p[i], 0.0f);
+    }
+}
+
+TEST(BufferPool, ReleaseEnablesReuse)
+{
+    BufferPool pool;
+    float *a = pool.allocateFloats(1000);
+    const std::int64_t after_first = pool.liveBytes();
+    pool.release(a);
+    EXPECT_EQ(pool.liveBytes(), 0);
+    float *b = pool.allocateFloats(1000);
+    EXPECT_EQ(a, b); // recycled, not a fresh allocation
+    EXPECT_EQ(pool.reuseCount(), 1);
+    EXPECT_EQ(pool.liveBytes(), after_first);
+}
+
+TEST(BufferPool, HighWaterTracksPeakNotCurrent)
+{
+    BufferPool pool;
+    float *a = pool.allocateFloats(256);
+    float *b = pool.allocateFloats(256);
+    const std::int64_t peak = pool.highWaterBytes();
+    EXPECT_EQ(peak, pool.liveBytes());
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.liveBytes(), 0);
+    EXPECT_EQ(pool.highWaterBytes(), peak);
+    // Serving from the free list does not raise the high-water mark.
+    pool.allocateFloats(256);
+    EXPECT_EQ(pool.highWaterBytes(), peak);
 }
 
 TEST(FitsDevice, SmallPlanFits)

@@ -21,6 +21,16 @@
  *                [--threads N] [--plan-cache DIR]
  *       Compile every evaluation model across the thread pool and
  *       report kernels / latency per model plus total compile time.
+ *   smartmem_cli run <model> [--backend <name>] [--batch N]
+ *                [--stage S] [--threads N] [--repeat K] [--verify]
+ *                [--device <name>|--device-file <f>]
+ *       Compile a zoo model and EXECUTE it with real float math on
+ *       the selected backend ("cpu-blocked" by default, "reference"
+ *       for the naive scalar executor), reporting wall time,
+ *       throughput, and the memory pool high-water mark.  --verify
+ *       additionally cross-checks the outputs against the reference
+ *       executor (1e-4 relative tolerance) and exits non-zero on a
+ *       mismatch.
  *   smartmem_cli classify
  *       Print the operator classification and pairwise action tables
  *       (the paper's Tables 3 and 5).
@@ -36,6 +46,7 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,11 +56,13 @@
 #include "core/compiler_registry.h"
 #include "core/smartmem_compiler.h"
 #include "device/device_registry.h"
+#include "exec/executor.h"
 #include "ir/macs.h"
 #include "models/models.h"
 #include "opclass/opclass.h"
 #include "report/table.h"
 #include "runtime/memory_pool.h"
+#include "runtime/plan_executor.h"
 #include "runtime/simulated_executor.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -72,6 +85,9 @@ usage()
                  "[--plan-cache DIR]\n"
                  "       smartmem_cli zoo [--device D] "
                  "[--device-file F] [--threads N] [--plan-cache DIR]\n"
+                 "       smartmem_cli run <model> [--backend B] "
+                 "[--batch N] [--stage S] [--threads N] [--repeat K] "
+                 "[--verify] [--device D] [--device-file F]\n"
                  "       smartmem_cli classify\n");
     return 2;
 }
@@ -248,6 +264,117 @@ cmdZoo(int argc, char **argv)
                     session.planCacheDir()->dir().c_str(),
                     static_cast<long long>(st.diskHits),
                     static_cast<long long>(st.diskMisses));
+    }
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string model = argv[2];
+    std::string device_name = "adreno740";
+    std::string device_file;
+    std::string backend = "cpu-blocked";
+    int batch = 1;
+    int stage = -1;
+    int threads = 0;
+    int repeat = 1;
+    bool verify = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--device" && i + 1 < argc)
+            device_name = argv[++i];
+        else if (arg == "--device-file" && i + 1 < argc)
+            device_file = argv[++i];
+        else if (arg == "--backend" && i + 1 < argc)
+            backend = argv[++i];
+        else if (arg == "--batch" && i + 1 < argc)
+            batch = bench::parseIntFlag("--batch", argv[++i], 1);
+        else if (arg == "--stage" && i + 1 < argc)
+            stage = bench::parseIntFlag("--stage", argv[++i], 0);
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = bench::parseIntFlag("--threads", argv[++i], 0);
+        else if (arg == "--repeat" && i + 1 < argc)
+            repeat = bench::parseIntFlag("--repeat", argv[++i], 1);
+        else if (arg == "--verify")
+            verify = true;
+        else
+            return usage();
+    }
+    if (stage > 3) {
+        std::fprintf(stderr, "error: --stage must be 0..3\n");
+        return 2;
+    }
+
+    auto dev = resolveDevice(device_name, device_file);
+    core::CompileSession session(dev, threads);
+    core::CompileOptions copts;
+    copts.batch = batch;
+    copts.stage = stage;
+    auto plan = session.compileModel(model, copts);
+
+    std::printf("%s (batch %d%s): %d kernels on %s\n", model.c_str(),
+                batch,
+                stage >= 0 ? (", stage " + std::to_string(stage)).c_str()
+                           : "",
+                plan->operatorCount(), dev.name.c_str());
+
+    runtime::ExecutorOptions eo;
+    eo.threads = threads;
+    std::unique_ptr<runtime::PlanExecutor> be;
+    try {
+        be = runtime::makeExecutor(backend, eo);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    exec::Executor ex(eo.seed);
+    auto inputs = exec::makeSeededInputs(plan->graph, ex);
+
+    using clock = std::chrono::steady_clock;
+    std::vector<exec::Tensor> outputs;
+    std::vector<double> times;
+    for (int r = 0; r < repeat; ++r) {
+        auto t0 = clock::now();
+        outputs = be->run(*plan, inputs);
+        double ms = std::chrono::duration<double, std::milli>(
+                        clock::now() - t0).count();
+        times.push_back(ms);
+        if (repeat > 1)
+            std::printf("run %d/%d: %.1f ms\n", r + 1, repeat, ms);
+    }
+    std::sort(times.begin(), times.end());
+    const double median = times[(times.size() - 1) / 2];
+    double checksum = 0;
+    for (const auto &t : outputs)
+        for (std::int64_t i = 0; i < t.numElements(); ++i)
+            checksum += static_cast<double>(t.at(i));
+    std::printf("backend %-12s: median %.1f ms, %.2f inferences/s "
+                "(%d threads)\n",
+                be->name().c_str(), median,
+                1e3 * batch / median,
+                eo.threads > 0 ? eo.threads
+                               : support::defaultThreadCount());
+    if (be->poolHighWaterBytes() > 0) {
+        std::printf("  pool high-water %s\n",
+                    formatBytes(static_cast<std::uint64_t>(
+                        be->poolHighWaterBytes())).c_str());
+    }
+    std::printf("  outputs %zu, checksum %.6g\n", outputs.size(),
+                checksum);
+
+    if (verify) {
+        auto ref = ex.runOutputs(plan->graph, inputs);
+        const float worst = exec::maxRelDiff(ref, outputs);
+        const bool ok = worst <= 1e-4f;
+        std::printf("verify vs reference executor: rel diff %.3e -> "
+                    "%s\n",
+                    static_cast<double>(worst), ok ? "PASS" : "FAIL");
+        if (!ok)
+            return 1;
     }
     return 0;
 }
@@ -431,6 +558,8 @@ main(int argc, char **argv)
             return cmdClassify();
         if (cmd == "compile")
             return cmdCompile(argc, argv);
+        if (cmd == "run")
+            return cmdRun(argc, argv);
         if (cmd == "zoo")
             return cmdZoo(argc, argv);
         return usage();
