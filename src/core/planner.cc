@@ -138,6 +138,24 @@ groupHasIld(const PlannerState &st, int g)
     return false;
 }
 
+/** True if group `g` has ILD content and all of it is normalization
+ *  ops -- the shape a norm+matmul prologue fusion may extend. */
+bool
+groupIldAllNorms(const PlannerState &st, int g)
+{
+    bool any = false;
+    for (NodeId nid : st.groups[static_cast<std::size_t>(g)]) {
+        const Node &n = st.graph.node(nid);
+        if (!isIldVar(n))
+            continue;
+        any = true;
+        if (n.kind != ir::OpKind::LayerNorm &&
+            n.kind != ir::OpKind::InstanceNorm)
+            return false;
+    }
+    return any;
+}
+
 bool
 groupAllTransforms(const PlannerState &st, int g)
 {
@@ -219,7 +237,13 @@ canJoin(const PlannerState &st, const Node &n, int g)
     if (isIldVar(n)) {
         // "Keep both" for ILD+ILD; an ILD may absorb a pure element-wise
         // producer chain ("Try fuse").
-        return pol.fusePreChains && !groupHasIld(st, g);
+        if (pol.fusePreChains && !groupHasIld(st, g))
+            return true;
+        // Norm+matmul prologue: a matmul may additionally absorb a
+        // group whose only ILD content is normalizations (the LayerNorm
+        // feeding an MLP linear, say).
+        return pol.fuseNormMatmulPrologue && ir::isMatMul(n.kind) &&
+               groupIldAllNorms(st, g);
     }
     return false;
 }

@@ -26,6 +26,12 @@ struct FusionPolicy
      *  consuming compute op (DNNFusion-style backward fusion). */
     bool fusePreChains = true;
 
+    /** Allow a MatMul/BatchMatMul to join a group whose ILD content is
+     *  purely normalizations (LayerNorm/InstanceNorm prologue into the
+     *  matmul kernel); the kernel cost model already prices multi-ILD
+     *  kernels, so no backend change is needed. */
+    bool fuseNormMatmulPrologue = false;
+
     /** Maximum element-wise ops fused after a compute seed;
      *  fixed-pattern frameworks (MNN/NCNN/TFLite) allow 1-2. */
     int maxPostOps = 64;

@@ -20,6 +20,7 @@ smartFusion(bool lte, bool simplify_maps)
     p.fuseEltwiseChains = true;
     p.fuseEltwiseIntoIld = true;
     p.fusePreChains = true;
+    p.fuseNormMatmulPrologue = true;
     p.maxPostOps = 64;
     p.fuseTransformChains = true;
     p.eliminateTransforms = lte;
@@ -32,10 +33,14 @@ smartFusion(bool lte, bool simplify_maps)
 ir::Graph
 canonicalizeGraph(const ir::Graph &graph)
 {
-    opt::PassManager pm;
-    pm.add(std::make_unique<opt::IdentityElim>());
-    pm.add(std::make_unique<opt::DeadCodeElim>());
-    return pm.run(graph);
+    return canonicalizeGraph(graph, nullptr);
+}
+
+ir::Graph
+canonicalizeGraph(const ir::Graph &graph, opt::PipelineStats *stats)
+{
+    return opt::PassManager::defaultPipeline().runToFixedPoint(graph,
+                                                               stats);
 }
 
 runtime::ExecutionPlan

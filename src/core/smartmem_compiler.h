@@ -2,7 +2,7 @@
  * @file
  * SmartMemCompiler: the end-to-end pipeline of the paper.
  *
- *   graph normalization (identity-elim, DCE)
+ *   graph canonicalization (opt::PassManager::defaultPipeline())
  *     -> DNNFusion-style fusion + Layout Transformation Elimination
  *     -> reduction-dimension layout selection + 2.5D texture mapping
  *     -> genetic auto-tuning
@@ -23,6 +23,7 @@
 #include "core/policy.h"
 #include "device/device_profile.h"
 #include "ir/graph.h"
+#include "opt/pass.h"
 #include "runtime/plan.h"
 
 namespace smartmem::core {
@@ -74,14 +75,23 @@ compileStage(const ir::Graph &graph, const device::DeviceProfile &dev,
              int stage);
 
 /**
- * The graph normalization (identity-elim + DCE) every compile above
- * runs before planning.  The graph attached to a compiled plan is
- * exactly canonicalizeGraph(input) -- which is what a caller
+ * The graph canonicalization every compile above runs before planning:
+ * opt::PassManager::defaultPipeline() driven to a fixed point
+ * (identity-elim, CSE, algebraic simplification, constant folding,
+ * conv+batchnorm folding, DCE).  The graph attached to a compiled plan
+ * is exactly canonicalizeGraph(input) -- which is what a caller
  * revalidating a deserialized plan (serialize::parsePlan via
  * PlanCacheDir) must supply, since kernels index into the normalized
- * node/value ids, not the raw builder output's.
+ * node/value ids, not the raw builder output's.  Canonicalization owns
+ * plan-cache keys: graphs the pipeline does not rewrite keep a
+ * byte-stable serialize::graphSignature().
  */
 ir::Graph canonicalizeGraph(const ir::Graph &graph);
+
+/** As above, also reporting what each pass did (for `smartmem_cli opt
+ *  --print-stats` and the node-count regression gate). */
+ir::Graph canonicalizeGraph(const ir::Graph &graph,
+                            opt::PipelineStats *stats);
 
 } // namespace smartmem::core
 

@@ -476,6 +476,22 @@ PlanRunner::evalNodeBlocked(const Kernel &k, const Node &node)
                           ws.dim(2), ws.dim(3), stride, pad, groups,
                           par_, pool_);
         }
+        if (node.inputs.size() > 2) {
+            // Folded conv+batchnorm bias: per-output-channel add after
+            // accumulation, matching evalConv's ordering exactly.
+            const float *bias = resolveLocal(k, node.inputs[2]);
+            const std::int64_t bmod =
+                shapeOf(node.inputs[2]).numElements();
+            const std::int64_t hw = os.dim(2) * os.dim(3);
+            for (std::int64_t n = 0; n < os.dim(0); ++n) {
+                for (std::int64_t c = 0; c < os.dim(1); ++c) {
+                    const float bv = bias[c % bmod];
+                    float *p = out + (n * os.dim(1) + c) * hw;
+                    for (std::int64_t i = 0; i < hw; ++i)
+                        p[i] += bv;
+                }
+            }
+        }
         locals_[node.output] = {out, true};
         return;
       }

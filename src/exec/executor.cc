@@ -72,11 +72,56 @@ Executor::synthesizeConstant(const ir::Graph &graph, ir::ValueId id) const
                 static_cast<float>(data[i]);
         return t;
     }
+
+    // Graph rewrites renumber values, so rewritten constants carry
+    // their original stream id in a "salt" attr; fresh graphs fall
+    // back to the value id, which keeps historical streams intact.
+    const std::uint64_t salt = static_cast<std::uint64_t>(
+        n.attrs.getInt("salt", id));
     // Small magnitudes keep deep compositions numerically stable.
-    Rng rng(seed_ + static_cast<std::uint64_t>(id) * 7919 + 17);
+    auto fill = [this](float *dst, std::int64_t count,
+                       std::uint64_t stream) {
+        Rng rng(seed_ + stream * 7919 + 17);
+        for (std::int64_t i = 0; i < count; ++i)
+            dst[i] = static_cast<float>(rng.uniformReal(-0.25, 0.25));
+    };
+
+    if (n.attrs.has("fold_gather_idx")) {
+        // Constant-folded Gather: element i is table[idx[i]] of the
+        // source table's stream, so folding is seed-invariant.
+        const auto &idx = n.attrs.getInts("fold_gather_idx");
+        const std::int64_t count = n.attrs.getInt("fold_gather_count");
+        SM_REQUIRE(static_cast<std::int64_t>(idx.size()) ==
+                   v.shape.numElements(),
+                   "fold_gather_idx size mismatch");
+        Tensor table(ir::Shape({count}));
+        fill(table.data(), count, salt);
+        Tensor t(v.shape);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            SM_REQUIRE(idx[i] >= 0 && idx[i] < count,
+                       "fold_gather_idx out of range");
+            t.at(static_cast<std::int64_t>(i)) = table.at(idx[i]);
+        }
+        return t;
+    }
+
     Tensor t(v.shape);
-    for (std::int64_t i = 0; i < t.numElements(); ++i)
-        t.at(i) = static_cast<float>(rng.uniformReal(-0.25, 0.25));
+    fill(t.data(), t.numElements(), salt);
+    if (n.attrs.has("bnfold_scale_salt")) {
+        // Conv+BatchNorm folding: weight output-channel o is scaled by
+        // the BN scale's stream value g[o % count], the same per-channel
+        // factor evalBatchNorm would have applied to the conv output.
+        const std::int64_t count = n.attrs.getInt("bnfold_scale_count");
+        Tensor g(ir::Shape({count}));
+        fill(g.data(), count,
+             static_cast<std::uint64_t>(
+                 n.attrs.getInt("bnfold_scale_salt")));
+        const std::int64_t oc = v.shape.dim(0);
+        const std::int64_t inner = t.numElements() / oc;
+        for (std::int64_t o = 0; o < oc; ++o)
+            for (std::int64_t i = 0; i < inner; ++i)
+                t.at(o * inner + i) *= g.at(o % count);
+    }
     return t;
 }
 

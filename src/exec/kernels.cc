@@ -63,7 +63,7 @@ applyBinary(OpKind kind, float a, float b)
 
 Tensor
 evalConv(const ir::Graph &graph, const Node &node,
-         const Tensor &x, const Tensor &w)
+         const Tensor &x, const Tensor &w, const Tensor *bias)
 {
     const Shape &xs = x.shape();
     const Shape &ws = w.shape();
@@ -86,6 +86,10 @@ evalConv(const ir::Graph &graph, const Node &node,
     for (std::int64_t n = 0; n < n_batch; ++n) {
         for (std::int64_t o = 0; o < oc; ++o) {
             std::int64_t g = o / ocg;
+            // Optional per-output-channel bias (conv+batchnorm folding),
+            // added after accumulation like the BN affine it replaces.
+            const float bias_v =
+                bias ? bias->at(o % bias->numElements()) : 0.0f;
             for (std::int64_t y = 0; y < oh; ++y) {
                 for (std::int64_t xo = 0; xo < ow; ++xo) {
                     float acc = 0;
@@ -104,7 +108,7 @@ evalConv(const ir::Graph &graph, const Node &node,
                             }
                         }
                     }
-                    out.at({n, o, y, xo}) = acc;
+                    out.at({n, o, y, xo}) = acc + bias_v;
                 }
             }
         }
@@ -462,7 +466,8 @@ evalNode(const ir::Graph &graph, const Node &node,
       case OpKind::Conv2d:
       case OpKind::GroupConv2d:
       case OpKind::DepthwiseConv2d:
-        return evalConv(graph, node, *inputs[0], *inputs[1]);
+        return evalConv(graph, node, *inputs[0], *inputs[1],
+                        inputs.size() > 2 ? inputs[2] : nullptr);
 
       case OpKind::MatMul:
       case OpKind::BatchMatMul:

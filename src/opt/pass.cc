@@ -1,7 +1,11 @@
 #include "opt/pass.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace smartmem::opt {
 
@@ -11,6 +15,63 @@ using ir::NodeId;
 using ir::OpKind;
 using ir::ValueId;
 
+// ---------------------------------------------------------------- stats
+
+bool
+PipelineStats::changed() const
+{
+    for (const PassRun &r : runs)
+        if (r.stats.changed)
+            return true;
+    return false;
+}
+
+PassStats
+PipelineStats::totalFor(const std::string &pass) const
+{
+    PassStats total;
+    for (const PassRun &r : runs) {
+        if (r.pass != pass)
+            continue;
+        total.nodesRemoved += r.stats.nodesRemoved;
+        total.nodesFolded += r.stats.nodesFolded;
+        total.nodesFused += r.stats.nodesFused;
+        total.changed = total.changed || r.stats.changed;
+    }
+    return total;
+}
+
+std::string
+PipelineStats::toString() const
+{
+    // One row per distinct pass, in first-run order.
+    std::vector<std::string> order;
+    for (const PassRun &r : runs)
+        if (std::find(order.begin(), order.end(), r.pass) == order.end())
+            order.push_back(r.pass);
+
+    std::string out = "pass            runs  removed  folded  fused\n";
+    for (const std::string &p : order) {
+        int n_runs = 0;
+        for (const PassRun &r : runs)
+            if (r.pass == p)
+                ++n_runs;
+        PassStats t = totalFor(p);
+        char line[128];
+        std::snprintf(line, sizeof(line), "%-15s %4d  %7d  %6d  %5d\n",
+                      p.c_str(), n_runs, t.nodesRemoved, t.nodesFolded,
+                      t.nodesFused);
+        out += line;
+    }
+    out += "total: " + std::to_string(operatorsBefore) + " -> " +
+           std::to_string(operatorsAfter) + " operators in " +
+           std::to_string(iterations) + " iteration" +
+           (iterations == 1 ? "" : "s") + "\n";
+    return out;
+}
+
+// --------------------------------------------------------------- manager
+
 PassManager &
 PassManager::add(std::unique_ptr<Pass> pass)
 {
@@ -18,18 +79,127 @@ PassManager::add(std::unique_ptr<Pass> pass)
     return *this;
 }
 
+PassManager &
+PassManager::add(const std::string &name)
+{
+    return add(create(name));
+}
+
+namespace {
+
+/** One sweep; appends PassRun records tagged with `iteration`. */
 Graph
-PassManager::run(const Graph &graph) const
+runSweep(const std::vector<std::unique_ptr<Pass>> &passes,
+         const Graph &graph, PipelineStats *stats, int iteration,
+         bool *changed)
 {
     Graph g = graph;
-    for (const auto &p : passes_) {
-        int before = g.operatorCount();
-        g = p->run(g);
-        g.verify();
-        SM_DEBUG("pass " << p->name() << ": " << before << " -> "
-                         << g.operatorCount() << " operators");
+    for (const auto &p : passes) {
+        PassRun run;
+        run.pass = p->name();
+        run.iteration = iteration;
+        run.operatorsBefore = g.operatorCount();
+        g = p->run(g, run.stats);
+        if (run.stats.changed) {
+            g.verify();
+            *changed = true;
+        }
+        run.operatorsAfter = g.operatorCount();
+        SM_DEBUG("pass " << run.pass << ": " << run.operatorsBefore
+                         << " -> " << run.operatorsAfter
+                         << " operators");
+        if (stats != nullptr)
+            stats->runs.push_back(std::move(run));
     }
     return g;
+}
+
+} // namespace
+
+Graph
+PassManager::run(const Graph &graph, PipelineStats *stats) const
+{
+    bool changed = false;
+    Graph g = runSweep(passes_, graph, stats, 0, &changed);
+    if (stats != nullptr) {
+        stats->iterations = 1;
+        stats->operatorsBefore = graph.operatorCount();
+        stats->operatorsAfter = g.operatorCount();
+    }
+    return g;
+}
+
+Graph
+PassManager::runToFixedPoint(const Graph &graph, PipelineStats *stats,
+                             int max_iterations) const
+{
+    Graph g = graph;
+    int iteration = 0;
+    for (; iteration < max_iterations; ++iteration) {
+        bool changed = false;
+        g = runSweep(passes_, g, stats, iteration, &changed);
+        if (!changed) {
+            ++iteration;
+            break;
+        }
+    }
+    if (stats != nullptr) {
+        stats->iterations = iteration;
+        stats->operatorsBefore = graph.operatorCount();
+        stats->operatorsAfter = g.operatorCount();
+    }
+    return g;
+}
+
+std::unique_ptr<Pass>
+PassManager::create(const std::string &name)
+{
+    if (name == "identity-elim")
+        return std::make_unique<IdentityElim>();
+    if (name == "cse")
+        return std::make_unique<CommonSubexprElim>();
+    if (name == "algebraic")
+        return std::make_unique<AlgebraicSimplify>();
+    if (name == "const-fold")
+        return std::make_unique<ConstantFold>();
+    if (name == "conv-bn-fold")
+        return std::make_unique<ConvBatchNormFold>();
+    if (name == "dce")
+        return std::make_unique<DeadCodeElim>();
+    smFatal("unknown pass '" + name +
+            "' (registered: " + joinStrings(passNames(), ", ") + ")");
+}
+
+const std::vector<std::string> &
+PassManager::passNames()
+{
+    static const std::vector<std::string> names = {
+        "identity-elim", "cse", "algebraic",
+        "const-fold", "conv-bn-fold", "dce"};
+    return names;
+}
+
+PassManager
+PassManager::defaultPipeline()
+{
+    PassManager pm;
+    for (const std::string &name : passNames())
+        pm.add(name);
+    return pm;
+}
+
+// --------------------------------------------------------------- rewrite
+
+ir::Attrs
+constantAttrs(const Graph &graph, const Node &n)
+{
+    (void)graph;
+    ir::Attrs a = n.attrs;
+    // Pin the synthesis stream of this constant before its value id is
+    // renumbered; literal payloads need no pinning.
+    if (!a.has("data") && !a.has("salt"))
+        a.set("salt", static_cast<std::int64_t>(n.output));
+    return a;
 }
 
 Graph
@@ -67,7 +237,8 @@ rewriteGraph(const Graph &graph, const std::set<NodeId> &skip,
           case OpKind::Constant:
             value_map[n.output] =
                 b.constant(n.name, graph.value(n.output).shape,
-                           graph.value(n.output).dtype, n.attrs);
+                           graph.value(n.output).dtype,
+                           constantAttrs(graph, n));
             break;
           default: {
             std::vector<ValueId> ins;
@@ -84,8 +255,10 @@ rewriteGraph(const Graph &graph, const std::set<NodeId> &skip,
     return b.finish();
 }
 
+// ---------------------------------------------------------------- passes
+
 Graph
-DeadCodeElim::run(const Graph &graph) const
+DeadCodeElim::run(const Graph &graph, PassStats &stats) const
 {
     // Mark values reachable backwards from outputs.
     std::set<ValueId> live(graph.outputIds().begin(),
@@ -104,11 +277,13 @@ DeadCodeElim::run(const Graph &graph) const
     }
     if (skip.empty())
         return graph;
+    stats.nodesRemoved = static_cast<int>(skip.size());
+    stats.changed = true;
     return rewriteGraph(graph, skip, {});
 }
 
 Graph
-IdentityElim::run(const Graph &graph) const
+IdentityElim::run(const Graph &graph, PassStats &stats) const
 {
     std::set<NodeId> skip;
     std::map<ValueId, ValueId> redirect;
@@ -134,6 +309,8 @@ IdentityElim::run(const Graph &graph) const
     }
     if (skip.empty())
         return graph;
+    stats.nodesRemoved = static_cast<int>(skip.size());
+    stats.changed = true;
     return rewriteGraph(graph, skip, redirect);
 }
 

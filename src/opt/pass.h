@@ -3,6 +3,18 @@
  * Graph-level optimization pass framework plus a rewriting helper.
  * Plan-level optimizations (fusion, elimination, layout selection) live
  * in src/core; these passes normalize graphs before planning.
+ *
+ * Passes are pure graph -> graph functions with a statistics side
+ * channel (nodes removed / folded / fused).  A pass that finds nothing
+ * to do MUST return its input graph unchanged: canonicalization owns
+ * plan-cache keys, so an untouched graph has to keep a byte-stable
+ * serialize::graphSignature().
+ *
+ * Rewrites renumber every value id.  Synthesized constants derive
+ * their contents from the producing value id, so every rebuild helper
+ * here stamps a "salt" attribute carrying the original stream id --
+ * rewritten graphs execute with bit-identical weights (see
+ * exec::Executor::synthesizeConstant and docs/PASSES.md).
  */
 #ifndef SMARTMEM_OPT_PASS_H
 #define SMARTMEM_OPT_PASS_H
@@ -17,21 +29,109 @@
 
 namespace smartmem::opt {
 
+/** What one pass invocation did to the graph. */
+struct PassStats
+{
+    /** Nodes dropped without replacement (dead code, no-ops,
+     *  duplicates merged by CSE). */
+    int nodesRemoved = 0;
+
+    /** Operator nodes replaced by constants (constant folding,
+     *  conv+batchnorm folding). */
+    int nodesFolded = 0;
+
+    /** Nodes merged into a neighbouring node (reshape chains,
+     *  transpose pairs). */
+    int nodesFused = 0;
+
+    /** True iff the pass returned a rewritten graph. */
+    bool changed = false;
+
+    int total() const { return nodesRemoved + nodesFolded + nodesFused; }
+};
+
 /** A graph -> graph transformation. */
 class Pass
 {
   public:
     virtual ~Pass() = default;
     virtual std::string name() const = 0;
-    virtual ir::Graph run(const ir::Graph &graph) const = 0;
+
+    /** Run the pass; `stats` reports what changed.  Implementations
+     *  return `graph` itself (same contents, same signature) when they
+     *  have nothing to do. */
+    virtual ir::Graph run(const ir::Graph &graph,
+                          PassStats &stats) const = 0;
+
+    /** Convenience overload discarding statistics. */
+    ir::Graph run(const ir::Graph &graph) const
+    {
+        PassStats s;
+        return run(graph, s);
+    }
 };
 
-/** Runs a sequence of passes, verifying the graph after each. */
+/** One pass invocation inside a pipeline run. */
+struct PassRun
+{
+    std::string pass;
+    int iteration = 0; // fixed-point sweep index, 0-based
+    PassStats stats;
+    int operatorsBefore = 0;
+    int operatorsAfter = 0;
+};
+
+/** Aggregated record of a pipeline invocation. */
+struct PipelineStats
+{
+    std::vector<PassRun> runs;
+    int iterations = 0;
+    int operatorsBefore = 0;
+    int operatorsAfter = 0;
+
+    bool changed() const;
+
+    /** Sum of per-run stats for the named pass across all sweeps. */
+    PassStats totalFor(const std::string &pass) const;
+
+    /** Aligned per-pass summary table (for --print-stats). */
+    std::string toString() const;
+};
+
+/**
+ * Runs a sequence of passes, verifying the graph after each.  Also the
+ * registry of named passes (`create`, `passNames`) and the owner of
+ * the default canonicalization pipeline.
+ */
 class PassManager
 {
   public:
     PassManager &add(std::unique_ptr<Pass> pass);
-    ir::Graph run(const ir::Graph &graph) const;
+
+    /** Add a registered pass by name; FatalError on unknown names,
+     *  listing the catalog. */
+    PassManager &add(const std::string &name);
+
+    /** One sweep over the pass sequence. */
+    ir::Graph run(const ir::Graph &graph,
+                  PipelineStats *stats = nullptr) const;
+
+    /** Sweep the sequence until a full sweep changes nothing (or
+     *  `max_iterations` sweeps ran). */
+    ir::Graph runToFixedPoint(const ir::Graph &graph,
+                              PipelineStats *stats = nullptr,
+                              int max_iterations = 8) const;
+
+    /** Construct a registered pass by name; FatalError on unknown
+     *  names, listing the catalog. */
+    static std::unique_ptr<Pass> create(const std::string &name);
+
+    /** Registered pass names, in catalog order. */
+    static const std::vector<std::string> &passNames();
+
+    /** The canonicalization pipeline core::canonicalizeGraph() runs:
+     *  identity-elim, cse, algebraic, const-fold, conv-bn-fold, dce. */
+    static PassManager defaultPipeline();
 
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
@@ -42,7 +142,9 @@ class DeadCodeElim : public Pass
 {
   public:
     std::string name() const override { return "dce"; }
-    ir::Graph run(const ir::Graph &graph) const override;
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
 };
 
 /** Drops Identity nodes and no-op Reshape/Transpose (same shape, or
@@ -51,17 +153,92 @@ class IdentityElim : public Pass
 {
   public:
     std::string name() const override { return "identity-elim"; }
-    ir::Graph run(const ir::Graph &graph) const override;
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
+};
+
+/**
+ * Common-subexpression elimination: hash-cons operator nodes by
+ * (kind, attrs, resolved inputs) and literal-data constants by
+ * (shape, dtype, payload), redirecting duplicates to one survivor.
+ * Synthesized constants are never merged -- distinct value streams
+ * are distinct weights by construction.
+ */
+class CommonSubexprElim : public Pass
+{
+  public:
+    std::string name() const override { return "cse"; }
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
+};
+
+/**
+ * Constant folding: replaces operators whose inputs are all constants
+ * with a single Constant node.  Literal-data constants fold to literal
+ * payloads; synthesized constants fold to derived-recipe constants
+ * (attrs recording the source stream) so the fold is valid under every
+ * executor seed.  Covers Gather(table, literal indices) and
+ * Reshape(constant).
+ */
+class ConstantFold : public Pass
+{
+  public:
+    std::string name() const override { return "const-fold"; }
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
+};
+
+/**
+ * Algebraic simplification: drops multiply-by-one Scale, add/sub of a
+ * literal all-zero constant, mul/div by a literal all-one constant,
+ * full-range Slice, all-zero Pad and single-input Concat; collapses
+ * Reshape-of-Reshape chains and composes Transpose-of-Transpose pairs.
+ */
+class AlgebraicSimplify : public Pass
+{
+  public:
+    std::string name() const override { return "algebraic"; }
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
+};
+
+/**
+ * Conv+BatchNorm folding: a convolution whose sole consumer is an
+ * inference-mode BatchNorm over synthesized scale/bias constants is
+ * rewritten to a single convolution with a derived folded weight
+ * (per-output-channel scaled) and the BN bias as a third conv input.
+ */
+class ConvBatchNormFold : public Pass
+{
+  public:
+    std::string name() const override { return "conv-bn-fold"; }
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
 };
 
 /**
  * Rebuild a graph, skipping `skip` nodes.  A skipped node's output is
  * redirected to the (new id of the) value `redirect` maps it to; the
  * redirect target must not itself be skipped-without-redirect.
+ * Synthesized constants are stamped with their original stream id (see
+ * file header).
  */
 ir::Graph rewriteGraph(const ir::Graph &graph,
                        const std::set<ir::NodeId> &skip,
                        const std::map<ir::ValueId, ir::ValueId> &redirect);
+
+/**
+ * Attrs for rebuilding the Constant node `n` produced in `graph`:
+ * a copy of its attrs with the synthesis stream pinned via "salt" so
+ * the rebuilt constant keeps its contents under renumbering.  Literal
+ * ("data") constants are returned as-is.
+ */
+ir::Attrs constantAttrs(const ir::Graph &graph, const ir::Node &n);
 
 } // namespace smartmem::opt
 

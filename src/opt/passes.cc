@@ -1,0 +1,468 @@
+/**
+ * @file
+ * The rewriting passes of the canonicalization pipeline: CSE, constant
+ * folding, algebraic simplification, and conv+batchnorm folding.
+ *
+ * Folding over synthesized constants cannot bake literal payloads at
+ * compile time -- the executor seed is chosen at run time -- so folded
+ * constants carry *derived recipes* in their attrs (source stream plus
+ * the fold's parameters) which exec::Executor::synthesizeConstant
+ * evaluates under whatever seed is in use.  See docs/PASSES.md.
+ */
+#include "opt/pass.h"
+
+#include "support/error.h"
+
+namespace smartmem::opt {
+
+using ir::Attrs;
+using ir::Graph;
+using ir::Node;
+using ir::NodeId;
+using ir::OpKind;
+using ir::ValueId;
+
+namespace {
+
+/** A synthesized constant with no folding recipe attached: its stream
+ *  can be referenced by a new derived-recipe constant. */
+bool
+isPlainSynth(const Node &c)
+{
+    return c.kind == OpKind::Constant && !c.attrs.has("data") &&
+           !c.attrs.has("fold_gather_idx") &&
+           !c.attrs.has("bnfold_scale_salt");
+}
+
+/** The synthesis stream id of a constant (pre- or post-rewrite). */
+std::int64_t
+constSalt(const Node &c)
+{
+    return c.attrs.getInt("salt", c.output);
+}
+
+bool
+isGraphOutput(const Graph &g, ValueId v)
+{
+    for (ValueId out : g.outputIds())
+        if (out == v)
+            return true;
+    return false;
+}
+
+const Node &
+producerOf(const Graph &g, ValueId v)
+{
+    return g.node(g.value(v).producer);
+}
+
+/** Copy one non-rewritten node into the builder. */
+void
+copyNode(ir::GraphBuilder &b, const Graph &graph, const Node &n,
+         std::map<ValueId, ValueId> &vmap,
+         const std::map<ValueId, ValueId> &redirect)
+{
+    auto resolve = [&](ValueId old) {
+        ValueId cur = old;
+        for (int guard = 0; guard < 1024; ++guard) {
+            auto it = redirect.find(cur);
+            if (it == redirect.end())
+                break;
+            cur = it->second;
+        }
+        auto it = vmap.find(cur);
+        SM_ASSERT(it != vmap.end(),
+                  "pass rewrite: unresolved value " +
+                      std::to_string(old));
+        return it->second;
+    };
+    switch (n.kind) {
+      case OpKind::Input:
+        vmap[n.output] = b.input(n.name, graph.value(n.output).shape,
+                                 graph.value(n.output).dtype);
+        break;
+      case OpKind::Constant:
+        vmap[n.output] =
+            b.constant(n.name, graph.value(n.output).shape,
+                       graph.value(n.output).dtype,
+                       constantAttrs(graph, n));
+        break;
+      default: {
+        std::vector<ValueId> ins;
+        for (ValueId in : n.inputs)
+            ins.push_back(resolve(in));
+        vmap[n.output] = b.addNode(n.kind, std::move(ins), n.attrs,
+                                   n.name);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- CSE
+
+Graph
+CommonSubexprElim::run(const Graph &graph, PassStats &stats) const
+{
+    std::set<NodeId> skip;
+    std::map<ValueId, ValueId> redirect;
+    auto resolve = [&](ValueId v) {
+        for (int guard = 0; guard < 1024; ++guard) {
+            auto it = redirect.find(v);
+            if (it == redirect.end())
+                break;
+            v = it->second;
+        }
+        return v;
+    };
+
+    std::map<std::string, ValueId> seen;
+    for (const Node &n : graph.nodes()) {
+        std::string key;
+        if (n.kind == OpKind::Input)
+            continue;
+        if (n.kind == OpKind::Constant) {
+            // Only literal-payload constants merge; synthesized
+            // streams are distinct weights by construction.
+            if (!n.attrs.has("data"))
+                continue;
+            key = "const|" + graph.value(n.output).shape.toString() +
+                  "|" +
+                  std::to_string(
+                      static_cast<int>(graph.value(n.output).dtype)) +
+                  "|" + n.attrs.toString();
+        } else {
+            key = ir::opKindName(n.kind) + "|" + n.attrs.toString();
+            for (ValueId in : n.inputs)
+                key += "|" + std::to_string(resolve(in));
+        }
+        auto ins = seen.emplace(key, n.output);
+        if (!ins.second) {
+            skip.insert(n.id);
+            redirect[n.output] = ins.first->second;
+            ++stats.nodesRemoved;
+        }
+    }
+    if (skip.empty())
+        return graph;
+    stats.changed = true;
+    return rewriteGraph(graph, skip, redirect);
+}
+
+// -------------------------------------------------------- constant fold
+
+Graph
+ConstantFold::run(const Graph &graph, PassStats &stats) const
+{
+    // Decide every fold against the original graph; chains of folds
+    // (e.g. Reshape of a folded Gather) converge across fixed-point
+    // sweeps.
+    std::map<NodeId, Attrs> folds; // node -> new Constant attrs
+    for (const Node &n : graph.nodes()) {
+        if (n.kind == OpKind::Gather) {
+            const Node &table = producerOf(graph, n.inputs[0]);
+            const Node &idx = producerOf(graph, n.inputs[1]);
+            if (table.kind != OpKind::Constant ||
+                idx.kind != OpKind::Constant || !idx.attrs.has("data"))
+                continue;
+            if (n.attrs.getInt("axis", 0) != 0 ||
+                graph.value(table.output).shape.rank() != 1)
+                continue;
+            const auto &ids = idx.attrs.getInts("data");
+            const std::int64_t count =
+                graph.value(table.output).shape.numElements();
+            bool in_range = true;
+            for (std::int64_t i : ids)
+                in_range = in_range && i >= 0 && i < count;
+            if (!in_range)
+                continue;
+            Attrs a;
+            if (table.attrs.has("data")) {
+                const auto &td = table.attrs.getInts("data");
+                std::vector<std::int64_t> out;
+                out.reserve(ids.size());
+                for (std::int64_t i : ids)
+                    out.push_back(td[static_cast<std::size_t>(i)]);
+                a.set("data", std::move(out));
+            } else if (isPlainSynth(table)) {
+                a.set("salt", constSalt(table));
+                a.set("fold_gather_idx", ids);
+                a.set("fold_gather_count", count);
+            } else {
+                continue; // already-derived table: leave to next sweep
+            }
+            folds.emplace(n.id, std::move(a));
+        } else if (n.kind == OpKind::Reshape) {
+            const Node &c = producerOf(graph, n.inputs[0]);
+            if (c.kind != OpKind::Constant)
+                continue;
+            // The bnfold recipe scales by the leading (output-channel)
+            // dimension, so it does not survive reshaping.
+            if (c.attrs.has("bnfold_scale_salt"))
+                continue;
+            // Row-major contents are reshape-invariant for literal,
+            // synthesized, and gather-derived constants alike.
+            folds.emplace(n.id, constantAttrs(graph, c));
+        }
+    }
+    if (folds.empty())
+        return graph;
+    stats.changed = true;
+    stats.nodesFolded = static_cast<int>(folds.size());
+
+    ir::GraphBuilder b;
+    std::map<ValueId, ValueId> vmap;
+    for (const Node &n : graph.nodes()) {
+        auto fit = folds.find(n.id);
+        if (fit != folds.end()) {
+            vmap[n.output] =
+                b.constant(n.name + ".fold",
+                           graph.value(n.output).shape,
+                           graph.value(n.output).dtype, fit->second);
+            continue;
+        }
+        copyNode(b, graph, n, vmap, {});
+    }
+    for (ValueId out : graph.outputIds()) {
+        auto it = vmap.find(out);
+        SM_ASSERT(it != vmap.end(), "const-fold lost a graph output");
+        b.markOutput(it->second);
+    }
+    return b.finish();
+}
+
+// ------------------------------------------------------------ algebraic
+
+Graph
+AlgebraicSimplify::run(const Graph &graph, PassStats &stats) const
+{
+    std::set<NodeId> skip;                  // dropped nodes
+    std::map<ValueId, ValueId> redirect;    // their outputs
+    std::map<NodeId, ValueId> rewire;       // n reads this instead
+    std::map<NodeId, std::vector<std::int64_t>> new_perm;
+
+    auto literalAll = [&](ValueId v, std::int64_t value) {
+        const Node &c = producerOf(graph, v);
+        if (c.kind != OpKind::Constant || !c.attrs.has("data"))
+            return false;
+        for (std::int64_t d : c.attrs.getInts("data"))
+            if (d != value)
+                return false;
+        return true;
+    };
+    auto sameShape = [&](ValueId a, ValueId b2) {
+        return graph.value(a).shape == graph.value(b2).shape;
+    };
+    auto drop = [&](const Node &n, ValueId to) {
+        skip.insert(n.id);
+        redirect[n.output] = to;
+        ++stats.nodesRemoved;
+    };
+
+    for (const Node &n : graph.nodes()) {
+        switch (n.kind) {
+          case OpKind::Scale:
+            // Scale is x * (scale_milli/1000): milli == 1000 is *1.
+            if (n.attrs.getInt("scale_milli", 1000) == 1000)
+                drop(n, n.inputs[0]);
+            break;
+          case OpKind::Add:
+            if (literalAll(n.inputs[1], 0) &&
+                sameShape(n.output, n.inputs[0]))
+                drop(n, n.inputs[0]);
+            else if (literalAll(n.inputs[0], 0) &&
+                     sameShape(n.output, n.inputs[1]))
+                drop(n, n.inputs[1]);
+            break;
+          case OpKind::Sub:
+            if (literalAll(n.inputs[1], 0) &&
+                sameShape(n.output, n.inputs[0]))
+                drop(n, n.inputs[0]);
+            break;
+          case OpKind::Mul:
+            if (literalAll(n.inputs[1], 1) &&
+                sameShape(n.output, n.inputs[0]))
+                drop(n, n.inputs[0]);
+            else if (literalAll(n.inputs[0], 1) &&
+                     sameShape(n.output, n.inputs[1]))
+                drop(n, n.inputs[1]);
+            break;
+          case OpKind::Div:
+            if (literalAll(n.inputs[1], 1) &&
+                sameShape(n.output, n.inputs[0]))
+                drop(n, n.inputs[0]);
+            break;
+          case OpKind::Slice:
+          case OpKind::Pad:
+            // Equal shapes mean a full-range slice / all-zero pad.
+            if (sameShape(n.output, n.inputs[0]))
+                drop(n, n.inputs[0]);
+            break;
+          case OpKind::Concat:
+            if (n.inputs.size() == 1)
+                drop(n, n.inputs[0]);
+            break;
+          case OpKind::Reshape: {
+            // Collapse Reshape chains: read the first non-Reshape
+            // ancestor directly; intermediates die under DCE.
+            ValueId src = n.inputs[0];
+            int hops = 0;
+            while (producerOf(graph, src).kind == OpKind::Reshape) {
+                src = producerOf(graph, src).inputs[0];
+                ++hops;
+            }
+            if (hops > 0) {
+                rewire[n.id] = src;
+                stats.nodesFused += hops;
+            }
+            break;
+          }
+          case OpKind::Transpose: {
+            const Node &p = producerOf(graph, n.inputs[0]);
+            if (p.kind != OpKind::Transpose)
+                break;
+            // transpose(transpose(x, p), q) == transpose(x, p.q) with
+            // (p.q)[j] = p[q[j]].
+            const auto &pp = p.attrs.getInts("perm");
+            const auto &q = n.attrs.getInts("perm");
+            std::vector<std::int64_t> composed(q.size());
+            bool identity = true;
+            for (std::size_t j = 0; j < q.size(); ++j) {
+                composed[j] = pp[static_cast<std::size_t>(q[j])];
+                identity =
+                    identity &&
+                    composed[j] == static_cast<std::int64_t>(j);
+            }
+            if (identity) {
+                drop(n, p.inputs[0]);
+            } else {
+                rewire[n.id] = p.inputs[0];
+                new_perm[n.id] = std::move(composed);
+                ++stats.nodesFused;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    if (skip.empty() && rewire.empty())
+        return graph;
+    stats.changed = true;
+
+    ir::GraphBuilder b;
+    std::map<ValueId, ValueId> vmap;
+    auto resolve = [&](ValueId old) {
+        ValueId cur = old;
+        for (int guard = 0; guard < 1024; ++guard) {
+            auto it = redirect.find(cur);
+            if (it == redirect.end())
+                break;
+            cur = it->second;
+        }
+        auto it = vmap.find(cur);
+        SM_ASSERT(it != vmap.end(),
+                  "algebraic: unresolved value " + std::to_string(old));
+        return it->second;
+    };
+    for (const Node &n : graph.nodes()) {
+        if (skip.count(n.id) > 0)
+            continue;
+        auto rit = rewire.find(n.id);
+        if (rit != rewire.end()) {
+            Attrs a = n.attrs;
+            auto pit = new_perm.find(n.id);
+            if (pit != new_perm.end())
+                a.set("perm", pit->second);
+            vmap[n.output] = b.addNode(
+                n.kind, {resolve(rit->second)}, std::move(a), n.name);
+            continue;
+        }
+        copyNode(b, graph, n, vmap, redirect);
+    }
+    for (ValueId out : graph.outputIds())
+        b.markOutput(resolve(out));
+    return b.finish();
+}
+
+// --------------------------------------------------------- conv+bn fold
+
+Graph
+ConvBatchNormFold::run(const Graph &graph, PassStats &stats) const
+{
+    // bn node -> its conv producer, for every fusible pair.
+    std::map<NodeId, NodeId> fold_conv;
+    std::set<NodeId> skip_conv;
+    for (const Node &bn : graph.nodes()) {
+        if (bn.kind != OpKind::BatchNorm)
+            continue;
+        const Node &conv = producerOf(graph, bn.inputs[0]);
+        if (!ir::isConv(conv.kind) || conv.inputs.size() != 2)
+            continue;
+        if (graph.consumers(conv.output).size() != 1 ||
+            isGraphOutput(graph, conv.output))
+            continue;
+        const Node &w = producerOf(graph, conv.inputs[1]);
+        const Node &scale = producerOf(graph, bn.inputs[1]);
+        const Node &bias = producerOf(graph, bn.inputs[2]);
+        // The weight and scale streams feed the derived recipe; the
+        // bias constant is passed through untouched, so any constant
+        // works there.
+        if (!isPlainSynth(w) || !isPlainSynth(scale) ||
+            bias.kind != OpKind::Constant)
+            continue;
+        fold_conv[bn.id] = conv.id;
+        skip_conv.insert(conv.id);
+    }
+    if (fold_conv.empty())
+        return graph;
+    stats.changed = true;
+    stats.nodesFolded = static_cast<int>(fold_conv.size());
+
+    ir::GraphBuilder b;
+    std::map<ValueId, ValueId> vmap;
+    for (const Node &n : graph.nodes()) {
+        if (skip_conv.count(n.id) > 0)
+            continue; // re-emitted at the BatchNorm's position
+        auto fit = fold_conv.find(n.id);
+        if (fit == fold_conv.end()) {
+            copyNode(b, graph, n, vmap, {});
+            continue;
+        }
+        const Node &bn = n;
+        const Node &conv = graph.node(fit->second);
+        const Node &w = producerOf(graph, conv.inputs[1]);
+        const Node &scale = producerOf(graph, bn.inputs[1]);
+
+        Attrs wa;
+        wa.set("salt", constSalt(w));
+        wa.set("bnfold_scale_salt", constSalt(scale));
+        wa.set("bnfold_scale_count",
+               graph.value(scale.output).shape.numElements());
+        ValueId wid =
+            b.constant(w.name + ".bnfold",
+                       graph.value(w.output).shape,
+                       graph.value(w.output).dtype, std::move(wa));
+
+        auto mapped = [&](ValueId v) {
+            auto it = vmap.find(v);
+            SM_ASSERT(it != vmap.end(),
+                      "conv-bn-fold: unresolved value " +
+                          std::to_string(v));
+            return it->second;
+        };
+        vmap[bn.output] = b.addNode(
+            conv.kind,
+            {mapped(conv.inputs[0]), wid, mapped(bn.inputs[2])},
+            conv.attrs, conv.name);
+    }
+    for (ValueId out : graph.outputIds()) {
+        auto it = vmap.find(out);
+        SM_ASSERT(it != vmap.end(), "conv-bn-fold lost a graph output");
+        b.markOutput(it->second);
+    }
+    return b.finish();
+}
+
+} // namespace smartmem::opt

@@ -71,4 +71,23 @@ formatBytes(std::uint64_t bytes)
     return formatFixed(v, 1) + " " + units[u];
 }
 
+std::vector<std::string>
+splitString(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
 } // namespace smartmem

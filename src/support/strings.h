@@ -29,6 +29,10 @@ std::optional<std::int64_t> parseInt64(const std::string &text);
 std::string joinStrings(const std::vector<std::string> &values,
                         const std::string &sep);
 
+/** Split on a separator character; empty fields are dropped, so
+ *  "a,,b" and ",a,b," both split to {"a", "b"}. */
+std::vector<std::string> splitString(const std::string &text, char sep);
+
 /** Format a double with the given number of decimals ("12.34"). */
 std::string formatFixed(double v, int decimals);
 

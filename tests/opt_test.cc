@@ -6,6 +6,7 @@
 
 #include "exec/executor.h"
 #include "opt/pass.h"
+#include "support/error.h"
 
 namespace smartmem::opt {
 namespace {
@@ -121,6 +122,196 @@ TEST(Rewrite, PreservesConstantPayloads)
         }
     }
     EXPECT_TRUE(found);
+}
+
+TEST(Cse, MergesDuplicateOpsAndLiteralConstants)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({4}));
+    auto g1 = b.unary(OpKind::Gelu, x);
+    auto g2 = b.unary(OpKind::Gelu, x); // duplicate op
+    auto c1 = b.constantData("a", Shape({4}), {1, 2, 3, 4},
+                             ir::DType::F16);
+    auto c2 = b.constantData("b", Shape({4}), {1, 2, 3, 4},
+                             ir::DType::F16); // duplicate payload
+    auto y = b.binary(OpKind::Add, b.binary(OpKind::Add, g1, g2),
+                      b.binary(OpKind::Add, c1, c2));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = CommonSubexprElim().run(g, stats);
+    EXPECT_TRUE(stats.changed);
+    EXPECT_EQ(stats.nodesRemoved, 2);
+    EXPECT_EQ(DeadCodeElim().run(out).countKind(OpKind::Gelu), 1);
+
+    exec::Executor ex(7);
+    auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+    auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+    EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f);
+}
+
+TEST(Cse, NeverMergesSynthesizedConstants)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({4, 4}));
+    // Identical shape/dtype, but distinct value streams: these are
+    // different weights and must never be merged.
+    auto w1 = b.constant("w1", Shape({4, 4}));
+    auto w2 = b.constant("w2", Shape({4, 4}));
+    auto y = b.binary(OpKind::Add, b.matmul(x, w1), b.matmul(x, w2));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    CommonSubexprElim().run(g, stats);
+    EXPECT_FALSE(stats.changed);
+}
+
+TEST(ConstantFoldPass, FoldsGatherOverLiteralTable)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({2}));
+    auto table = b.constantData("t", Shape({4}), {10, 20, 30, 40},
+                                ir::DType::F16);
+    auto idx = b.constantData("i", Shape({2}), {3, 0});
+    auto y = b.binary(OpKind::Add, x, b.gather(table, idx, 0));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = ConstantFold().run(g, stats);
+    EXPECT_TRUE(stats.changed);
+    EXPECT_EQ(stats.nodesFolded, 1);
+    out = DeadCodeElim().run(out);
+    EXPECT_EQ(out.countKind(OpKind::Gather), 0);
+
+    exec::Executor ex(7);
+    auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+    auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+    EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f);
+}
+
+TEST(ConstantFoldPass, DerivedGatherRecipeIsSeedInvariant)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({3}));
+    auto table = b.constant("t", Shape({8})); // synthesized
+    auto idx = b.constantData("i", Shape({3}), {5, 2, 5});
+    auto y = b.binary(OpKind::Add, x, b.gather(table, idx, 0));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = DeadCodeElim().run(ConstantFold().run(g, stats));
+    EXPECT_EQ(stats.nodesFolded, 1);
+    EXPECT_EQ(out.countKind(OpKind::Gather), 0);
+
+    // The fold is a recipe over the table's stream, so it holds
+    // under any executor seed -- not just the one compiled with.
+    for (std::uint64_t seed : {7u, 99u, 31337u}) {
+        exec::Executor ex(seed);
+        auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+        auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+        EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f) << "seed " << seed;
+    }
+}
+
+TEST(Algebraic, DropsNoopsAndCollapsesChains)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({2, 3}));
+    ir::Attrs sa;
+    sa.set("scale_milli", std::int64_t(1000)); // multiply by one
+    auto s = b.addNode(OpKind::Scale, {x}, std::move(sa), "noop");
+    auto z = b.constantData("zero", Shape({2, 3}),
+                            std::vector<std::int64_t>(6, 0),
+                            ir::DType::F16);
+    auto a = b.binary(OpKind::Add, s, z); // add literal zero
+    auto r = b.reshape(b.reshape(a, {6}), {2, 3});     // reshape chain
+    auto t = b.transpose(b.transpose(r, {1, 0}), {1, 0}); // identity
+    auto y = b.unary(OpKind::Relu, b.concat({t}, 0));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = AlgebraicSimplify().run(g, stats);
+    EXPECT_TRUE(stats.changed);
+    EXPECT_GT(stats.total(), 0);
+    // Everything but the Relu simplifies away (the reshape chain
+    // collapses to a same-shape reshape identity-elim then drops).
+    out = PassManager::defaultPipeline().runToFixedPoint(out);
+    EXPECT_EQ(out.operatorCount(), 1);
+    EXPECT_EQ(out.countKind(OpKind::Transpose), 0);
+    EXPECT_EQ(out.countKind(OpKind::Concat), 0);
+    EXPECT_EQ(out.countKind(OpKind::Scale), 0);
+
+    exec::Executor ex(7);
+    auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+    auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+    EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f);
+}
+
+TEST(ConvBnFoldPass, FoldsAndPreservesNumericsAcrossSeeds)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({1, 4, 6, 6}));
+    auto w = b.constant("w", Shape({8, 4, 3, 3}));
+    auto conv = b.conv2d(x, w, 1, 1);
+    auto scale = b.constant("bn_scale", Shape({8, 1, 1}));
+    auto bias = b.constant("bn_bias", Shape({8, 1, 1}));
+    auto y = b.unary(OpKind::Relu, b.batchNorm(conv, scale, bias));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = DeadCodeElim().run(ConvBatchNormFold().run(g, stats));
+    EXPECT_TRUE(stats.changed);
+    EXPECT_EQ(stats.nodesFolded, 1);
+    EXPECT_EQ(out.countKind(OpKind::BatchNorm), 0);
+    EXPECT_EQ(out.countKind(OpKind::Conv2d), 1);
+    // The folded conv carries the BN bias as a third input.
+    for (const auto &n : out.nodes()) {
+        if (n.kind == OpKind::Conv2d) {
+            EXPECT_EQ(n.inputs.size(), 3u);
+        }
+    }
+
+    for (std::uint64_t seed : {7u, 99u, 31337u}) {
+        exec::Executor ex(seed);
+        auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+        auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+        EXPECT_LE(exec::maxRelDiff(ref, got), 1e-5f) << "seed " << seed;
+    }
+}
+
+TEST(ConvBnFoldPass, SkipsConvWithSecondConsumer)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({1, 4, 6, 6}));
+    auto w = b.constant("w", Shape({8, 4, 3, 3}));
+    auto conv = b.conv2d(x, w, 1, 1);
+    auto scale = b.constant("bn_scale", Shape({8, 1, 1}));
+    auto bias = b.constant("bn_bias", Shape({8, 1, 1}));
+    auto bn = b.batchNorm(conv, scale, bias);
+    // The raw conv output escapes: folding would change it.
+    auto y = b.binary(OpKind::Add, bn, conv);
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    ConvBatchNormFold().run(g, stats);
+    EXPECT_FALSE(stats.changed);
+}
+
+TEST(PassManagerRegistry, CreatesByNameAndRejectsUnknown)
+{
+    for (const std::string &name : PassManager::passNames()) {
+        auto pass = PassManager::create(name);
+        ASSERT_NE(pass, nullptr);
+        EXPECT_EQ(pass->name(), name);
+    }
+    EXPECT_THROW(PassManager::create("nosuch"), FatalError);
 }
 
 } // namespace

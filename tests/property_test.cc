@@ -11,6 +11,11 @@
  *      functionally equivalent to the reference executor.
  *  P4  Physical layouts are bijections (no two coordinates share a
  *      storage slot).
+ *  P5  The full canonicalization pipeline preserves the semantics of
+ *      random graphs seeded with pass-bait (identities, no-op scales,
+ *      literal zero adds, duplicate subexpressions, foldable gathers,
+ *      reshape/transpose chains, dead branches), and the resulting
+ *      plans survive a plan_text round-trip.
  */
 #include <gtest/gtest.h>
 
@@ -18,7 +23,9 @@
 #include "core/planner.h"
 #include "exec/executor.h"
 #include "index/index_map.h"
+#include "opt/pass.h"
 #include "runtime/functional_runner.h"
+#include "serialize/plan_text.h"
 #include "support/rng.h"
 
 namespace smartmem {
@@ -240,6 +247,135 @@ TEST_P(PolicyProperty, P3_RandomPlansAreEquivalent)
 
 INSTANTIATE_TEST_SUITE_P(Policies, PolicyProperty,
                          ::testing::Range(0, 4));
+
+/**
+ * Random DAG baited with constructs every pipeline pass rewrites.
+ * Only the last value (and occasionally one mid value) is marked
+ * output, so most trials also grow dead branches for DCE.
+ */
+ir::Graph
+passFuzzGraph(Rng &rng)
+{
+    GraphBuilder b;
+    std::int64_t rows = 1 << rng.uniformInt(1, 3);
+    const std::int64_t cols = 8;
+    auto x = b.input("x", Shape({rows, cols}));
+    std::vector<ir::ValueId> pool = {x};
+    int n_ops = static_cast<int>(rng.uniformInt(6, 18));
+    for (int i = 0; i < n_ops; ++i) {
+        auto pick = pool[rng.pickIndex(pool.size())];
+        const Shape s = b.graph().value(pick).shape;
+        switch (rng.pickIndex(10)) {
+          case 0:
+            pool.push_back(b.unary(OpKind::Relu, pick));
+            break;
+          case 1: // identity-elim bait
+            pool.push_back(b.unary(OpKind::Identity, pick));
+            break;
+          case 2: { // algebraic: Scale, half the time a no-op
+            ir::Attrs a;
+            a.set("scale_milli",
+                  std::int64_t(rng.chance(0.5) ? 1000 : 500));
+            pool.push_back(b.addNode(OpKind::Scale, {pick},
+                                     std::move(a), "scale"));
+            break;
+          }
+          case 3: { // algebraic: add a literal all-zero constant
+            auto z = b.constantData(
+                "zero", s,
+                std::vector<std::int64_t>(
+                    static_cast<std::size_t>(s.numElements()), 0),
+                ir::DType::F16);
+            pool.push_back(b.binary(OpKind::Add, pick, z));
+            break;
+          }
+          case 4: // cse bait: the same subexpression twice
+            pool.push_back(b.unary(OpKind::Gelu, pick));
+            pool.push_back(b.unary(OpKind::Gelu, pick));
+            break;
+          case 5: { // const-fold bait: gather literal rows of a table
+            std::vector<std::int64_t> ids;
+            for (std::int64_t e = 0; e < s.numElements(); ++e)
+                ids.push_back(rng.uniformInt(0, 15));
+            auto table =
+                b.constant("table", Shape({16}), ir::DType::F16);
+            auto idx = b.constantData("idx", s, std::move(ids));
+            pool.push_back(
+                b.binary(OpKind::Add, pick, b.gather(table, idx, 0)));
+            break;
+          }
+          case 6: { // algebraic: reshape chain
+            auto mid = b.reshape(
+                pick, randomFactorization(rng, s.numElements()));
+            pool.push_back(b.reshape(mid, s.dims()));
+            break;
+          }
+          case 7: { // algebraic: transpose pair (identity composition)
+            std::vector<std::int64_t> perm(
+                static_cast<std::size_t>(s.rank()));
+            for (int d = 0; d < s.rank(); ++d)
+                perm[static_cast<std::size_t>(d)] = d;
+            std::reverse(perm.begin(), perm.end());
+            pool.push_back(b.transpose(b.transpose(pick, perm), perm));
+            break;
+          }
+          case 8: { // matmul with a synthesized weight
+            auto w = b.constant("w",
+                                Shape({s.dim(s.rank() - 1), cols}));
+            pool.push_back(b.matmul(pick, w));
+            break;
+          }
+          default: // algebraic: single-input concat
+            pool.push_back(b.concat({pick}, 0));
+            break;
+        }
+    }
+    if (pool.size() > 2 && rng.chance(0.5))
+        b.markOutput(pool[pool.size() / 2]);
+    b.markOutput(pool.back());
+    return b.finish();
+}
+
+TEST(Property, P5_PassPipelinePreservesRandomGraphs)
+{
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint64_t fuzz_seed = 24000 + trial;
+        SCOPED_TRACE("fuzz seed " + std::to_string(fuzz_seed) +
+                     " (Rng(seed) into passFuzzGraph)");
+        Rng rng(fuzz_seed);
+        auto g = passFuzzGraph(rng);
+
+        opt::PipelineStats stats;
+        auto canon = opt::PassManager::defaultPipeline().runToFixedPoint(
+            g, &stats);
+
+        // Differential check: the single input "x" is salted by
+        // position, so both graphs see identical tensors.
+        exec::Executor ex(900 + trial);
+        auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+        auto got =
+            ex.runOutputs(canon, exec::makeSeededInputs(canon, ex));
+        ASSERT_EQ(ref.size(), got.size());
+        EXPECT_LE(exec::maxRelDiff(ref, got), 1e-4f);
+
+        // The canonical graph must plan, serialize, and round-trip.
+        core::FusionPolicy p;
+        p.fuseTransformChains = true;
+        p.eliminateTransforms = true;
+        auto plan = core::planGraph(canon, p);
+        auto dev = device::adreno740();
+        core::assignLayouts(plan, core::LayoutStrategy::SmartSelect,
+                            dev);
+        runtime::verifyPlan(plan);
+        std::string text = serialize::serializePlan(plan);
+        auto parsed = serialize::parsePlan(text, canon);
+        EXPECT_EQ(serialize::serializePlan(parsed), text);
+        auto replay = runtime::runPlanFunctional(
+            parsed, exec::makeSeededInputs(canon, ex), 900 + trial);
+        ASSERT_EQ(ref.size(), replay.size());
+        EXPECT_LE(exec::maxRelDiff(ref, replay), 1e-4f);
+    }
+}
 
 TEST(Property, P4_RandomLayoutsAreBijections)
 {

@@ -17,8 +17,12 @@
 
 #include "baselines/baselines.h"
 #include "core/compile_session.h"
+#include "core/layout_select.h"
 #include "core/plan_cache_dir.h"
+#include "core/planner.h"
+#include "core/smartmem_compiler.h"
 #include "device/device_profile.h"
+#include "opt/pass.h"
 #include "index/expr.h"
 #include "index/index_map.h"
 #include "ir/graph.h"
@@ -332,6 +336,45 @@ TEST(PlanSerialize, GraphSignatureSeparatesModelsAndBatches)
                      models::buildModel("ResNext", 1)));
 }
 
+/**
+ * The pass-pipeline plan-cache contract (docs/PASSES.md): graphs the
+ * pipeline does not rewrite keep a byte-stable graphSignature (so
+ * pre-existing cache entries stay valid), graphs it does rewrite get
+ * a new one (so stale entries cannot be served), and canonicalization
+ * is idempotent -- re-canonicalizing a canonical graph is a no-op
+ * with an identical signature.
+ */
+TEST(PlanSerialize, GraphSignatureStableUnderCanonicalization)
+{
+    int unchanged = 0;
+    int rewritten = 0;
+    for (const std::string &name : models::evaluationModels()) {
+        ir::Graph g = models::buildModel(name);
+        opt::PipelineStats stats;
+        ir::Graph canon = core::canonicalizeGraph(g, &stats);
+        if (stats.changed()) {
+            ++rewritten;
+            EXPECT_NE(serialize::graphSignature(g),
+                      serialize::graphSignature(canon))
+                << name;
+        } else {
+            ++unchanged;
+            EXPECT_EQ(serialize::graphSignature(g),
+                      serialize::graphSignature(canon))
+                << name;
+        }
+        opt::PipelineStats again;
+        ir::Graph canon2 = core::canonicalizeGraph(canon, &again);
+        EXPECT_FALSE(again.changed()) << name;
+        EXPECT_EQ(serialize::graphSignature(canon),
+                  serialize::graphSignature(canon2))
+            << name;
+    }
+    // The zoo must exercise both directions of the contract.
+    EXPECT_GT(unchanged, 0);
+    EXPECT_GT(rewritten, 0);
+}
+
 // ---------------------------------------------------------------------
 // PlanCacheDir
 // ---------------------------------------------------------------------
@@ -395,6 +438,68 @@ TEST(PlanCacheDir, RefusesKeylessPlansAndIgnoresCorruptEntries)
     ASSERT_TRUE(cache.store(*plan));
     ir::Graph other = models::buildModel("ViT", 1);
     EXPECT_FALSE(cache.load(plan->cacheKey, other).has_value());
+}
+
+/**
+ * Version skew across the pass-pipeline upgrade: cache directories
+ * written before the full pipeline existed hold plans whose graphs
+ * were canonicalized with identity-elim + dce only.  Entries for
+ * graphs the new pipeline leaves alone must still validate (same
+ * signature, served as hits); entries for graphs it now rewrites
+ * must be treated as graceful misses -- never served against the
+ * differently-canonicalized graph.
+ */
+TEST(PlanCacheDir, PrePipelineEntriesValidateOrMissGracefully)
+{
+    const std::string dir = scratchDir("version-skew");
+    auto dev = device::adreno740();
+    core::PlanCacheDir cache(dir);
+
+    auto oldCanonicalize = [](const ir::Graph &g) {
+        return opt::DeadCodeElim().run(opt::IdentityElim().run(g));
+    };
+    auto stagePlan = [&](const ir::Graph &g, const std::string &key) {
+        core::FusionPolicy p;
+        p.fuseTransformChains = true;
+        p.eliminateTransforms = true;
+        auto plan = core::planGraph(g, p);
+        core::assignLayouts(plan, core::LayoutStrategy::SmartSelect,
+                            dev);
+        plan.cacheKey = key;
+        return plan;
+    };
+
+    // ViT: untouched by the new pipeline, so the old-style entry's
+    // signature is byte-identical and the entry still hits.
+    {
+        ir::Graph g = models::buildModel("ViT");
+        ir::Graph old_canon = oldCanonicalize(g);
+        ir::Graph new_canon = core::canonicalizeGraph(g);
+        ASSERT_EQ(serialize::graphSignature(old_canon),
+                  serialize::graphSignature(new_canon));
+        auto plan = stagePlan(old_canon, "skew-vit");
+        ASSERT_TRUE(cache.store(plan));
+        auto loaded = cache.load("skew-vit", new_canon);
+        ASSERT_TRUE(loaded.has_value());
+        EXPECT_EQ(serialize::serializePlan(*loaded),
+                  serialize::serializePlan(plan));
+    }
+
+    // ResNext: conv+batchnorm folding rewrites it, so the old entry
+    // no longer matches the canonical graph -- a miss, not a crash,
+    // and not a stale plan served against the wrong graph.
+    {
+        ir::Graph g = models::buildModel("ResNext");
+        ir::Graph old_canon = oldCanonicalize(g);
+        ir::Graph new_canon = core::canonicalizeGraph(g);
+        ASSERT_NE(serialize::graphSignature(old_canon),
+                  serialize::graphSignature(new_canon));
+        auto plan = stagePlan(old_canon, "skew-resnext");
+        ASSERT_TRUE(cache.store(plan));
+        EXPECT_FALSE(cache.load("skew-resnext", new_canon).has_value());
+        // A pre-upgrade process (old canonical graph) still hits.
+        EXPECT_TRUE(cache.load("skew-resnext", old_canon).has_value());
+    }
 }
 
 TEST(PlanCacheDir, EntryPathsAreSanitizedAndCollisionFree)

@@ -31,6 +31,15 @@
  *       additionally cross-checks the outputs against the reference
  *       executor (1e-4 relative tolerance) and exits non-zero on a
  *       mismatch.
+ *   smartmem_cli opt <model>|--all [--batch N] [--passes a,b,c]
+ *                [--print-stats] [--json FILE]
+ *       Run the graph pass pipeline (docs/PASSES.md) over a zoo model
+ *       (or, with --all, the evaluation zoo) and report pre/post
+ *       operator counts plus per-pass rewrite statistics.  --passes
+ *       selects a comma-separated subset/order instead of the default
+ *       canonicalization pipeline; unknown pass names exit 2 listing
+ *       the registered catalog.  --json writes the table for
+ *       tools/diff_bench_json.py (the CI node-count regression gate).
  *   smartmem_cli classify
  *       Print the operator classification and pairwise action tables
  *       (the paper's Tables 3 and 5).
@@ -88,6 +97,8 @@ usage()
                  "       smartmem_cli run <model> [--backend B] "
                  "[--batch N] [--stage S] [--threads N] [--repeat K] "
                  "[--verify] [--device D] [--device-file F]\n"
+                 "       smartmem_cli opt <model>|--all [--batch N] "
+                 "[--passes a,b,c] [--print-stats] [--json FILE]\n"
                  "       smartmem_cli classify\n");
     return 2;
 }
@@ -380,6 +391,88 @@ cmdRun(int argc, char **argv)
 }
 
 int
+cmdOpt(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string model = argv[2];
+    bool all = model == "--all";
+    std::string passes_arg;
+    std::string json_path;
+    int batch = 1;
+    bool print_stats = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--batch" && i + 1 < argc)
+            batch = bench::parseIntFlag("--batch", argv[++i], 1);
+        else if (arg == "--passes" && i + 1 < argc)
+            passes_arg = argv[++i];
+        else if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--print-stats")
+            print_stats = true;
+        else
+            return usage();
+    }
+
+    // Build the pipeline: the canonicalization default, or the
+    // comma-separated --passes selection (in the given order).
+    opt::PassManager pm;
+    try {
+        if (passes_arg.empty()) {
+            pm = opt::PassManager::defaultPipeline();
+        } else {
+            for (const auto &name :
+                 splitString(passes_arg, ','))
+                pm.add(name);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    std::vector<std::string> names =
+        all ? models::evaluationModels()
+            : std::vector<std::string>{model};
+
+    report::Table table({"Model", "OpsPre", "OpsPost", "TransformsPre",
+                         "TransformsPost", "Removed", "Folded",
+                         "Fused"});
+    for (const auto &name : names) {
+        auto g = models::buildModel(name, batch);
+        opt::PipelineStats stats;
+        auto out = pm.runToFixedPoint(g, &stats);
+        int removed = 0, folded = 0, fused = 0;
+        for (const auto &r : stats.runs) {
+            removed += r.stats.nodesRemoved;
+            folded += r.stats.nodesFolded;
+            fused += r.stats.nodesFused;
+        }
+        table.addRow({name, std::to_string(g.operatorCount()),
+                      std::to_string(out.operatorCount()),
+                      std::to_string(g.layoutTransformCount()),
+                      std::to_string(out.layoutTransformCount()),
+                      std::to_string(removed), std::to_string(folded),
+                      std::to_string(fused)});
+        if (print_stats) {
+            std::printf("%s (batch %d):\n%s\n", name.c_str(), batch,
+                        stats.toString().c_str());
+        }
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (!json_path.empty()) {
+        bench::JsonReport json("smartmem_cli_opt");
+        json.add("Graph pass pipeline: pre/post operator counts "
+                 "(batch " + std::to_string(batch) + ")",
+                 table);
+        json.writeTo(json_path);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}
+
+int
 cmdCompile(int argc, char **argv)
 {
     if (argc < 3)
@@ -558,6 +651,8 @@ main(int argc, char **argv)
             return cmdClassify();
         if (cmd == "compile")
             return cmdCompile(argc, argv);
+        if (cmd == "opt")
+            return cmdOpt(argc, argv);
         if (cmd == "run")
             return cmdRun(argc, argv);
         if (cmd == "zoo")
