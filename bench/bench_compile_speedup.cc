@@ -103,21 +103,34 @@ runOnce(const bench::BenchOptions &opts, bool print,
 
     // The table is recorded on EVERY run: this bench's cells are raw
     // wall-clock timings, so --repeat relies on JsonReport's
-    // per-cell median aggregation to be runner-stable.
+    // per-cell median aggregation to be runner-stable.  Wall cells
+    // keep one decimal on purpose: tools/diff_bench_json.py compares
+    // plain integers EXACTLY and only applies --rtol to cells with a
+    // fractional part, and wall time must always diff with tolerance.
+    // Cache-served passes are so fast that their cells are unstable
+    // in *relative* terms (0.1 ms vs 0.4 ms is 4x); they are clamped
+    // to sentinel strings, which diff as exact non-numeric cells.
+    auto wallCell = [](double ms) {
+        return ms < 10.0 ? std::string("<10") : formatFixed(ms, 1);
+    };
+    auto speedupCell = [](double ratio) {
+        return ratio > 100.0 ? std::string(">100x")
+                             : report::formatSpeedup(ratio);
+    };
     report::Table table({"Mode", "Threads", "Wall(ms)",
                          "Speedup"});
-    table.addRow({"serial", "1", formatFixed(serial_ms, 0),
+    table.addRow({"serial", "1", wallCell(serial_ms),
                   "1.0x"});
     table.addRow({"pooled", std::to_string(threads),
-                  formatFixed(pooled_ms, 0),
-                  report::formatSpeedup(serial_ms / pooled_ms)});
+                  wallCell(pooled_ms),
+                  speedupCell(serial_ms / pooled_ms)});
     table.addRow({"cached", std::to_string(threads),
-                  formatFixed(cached_ms, 0),
-                  report::formatSpeedup(serial_ms / cached_ms)});
+                  wallCell(cached_ms),
+                  speedupCell(serial_ms / cached_ms)});
     if (use_disk) {
         table.addRow({"disk-warm", std::to_string(threads),
-                      formatFixed(disk_ms, 0),
-                      report::formatSpeedup(serial_ms / disk_ms)});
+                      wallCell(disk_ms),
+                      speedupCell(serial_ms / disk_ms)});
     }
     json.add("Compile pipeline: serial vs thread-pooled zoo "
              "compilation",

@@ -35,6 +35,8 @@
 #include "bench/bench_util.h"
 #include "exec/cpu_backend.h"
 #include "exec/executor.h"
+#include "exec/kernels_blocked.h"
+#include "exec/simd_dispatch.h"
 #include "runtime/plan_executor.h"
 
 using namespace smartmem;
@@ -139,6 +141,7 @@ int
 runCheck(const bench::BenchOptions &opts, const ThroughputOptions &t)
 {
     auto dev = bench::resolveDevice(opts, "adreno740");
+    const exec::TileParams tiles = exec::resolveTileParams(dev);
     int failures = 0;
     int checks = 0;
     for (const auto &name : t.models) {
@@ -152,6 +155,8 @@ runCheck(const bench::BenchOptions &opts, const ThroughputOptions &t)
                 runtime::ExecutorOptions eo;
                 eo.threads = opts.threads;
                 eo.seed = kSeed;
+                eo.gemmRowTile = tiles.rowTile;
+                eo.gemmKBlock = tiles.kBlock;
                 auto got = runtime::makeExecutor(backend, eo)
                                ->run(plan, inputs);
                 float rd = exec::maxRelDiff(ref, got);
@@ -170,9 +175,10 @@ runCheck(const bench::BenchOptions &opts, const ThroughputOptions &t)
             runtime::ExecutorOptions serial;
             serial.threads = 1;
             serial.seed = kSeed;
-            runtime::ExecutorOptions pooled;
+            serial.gemmRowTile = tiles.rowTile;
+            serial.gemmKBlock = tiles.kBlock;
+            runtime::ExecutorOptions pooled = serial;
             pooled.threads = opts.threads > 1 ? opts.threads : 4;
-            pooled.seed = kSeed;
             auto a = runtime::makeExecutor("cpu-blocked", serial)
                          ->run(plan, inputs);
             auto b = runtime::makeExecutor("cpu-blocked", pooled)
@@ -194,9 +200,10 @@ runCheck(const bench::BenchOptions &opts, const ThroughputOptions &t)
         }
     }
     std::printf("parity check: %d checks, %d failures (%zu models, "
-                "stages 0/3, backends: %zu, threads %d)\n",
+                "stages 0/3, backends: %zu, threads %d, simd %s)\n",
                 checks, failures, t.models.size(),
-                runtime::executorNames().size(), opts.threads);
+                runtime::executorNames().size(), opts.threads,
+                exec::simdLevelName(exec::activeSimdLevel()));
     return failures == 0 ? 0 : 1;
 }
 
@@ -222,13 +229,19 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
 {
     const ThroughputOptions &t = g_topts;
     auto dev = bench::resolveDevice(opts, "adreno740");
+    const exec::TileParams tiles = exec::resolveTileParams(dev);
+    const char *simd = exec::simdLevelName(exec::activeSimdLevel());
     const int min_batch =
         *std::min_element(t.batches.begin(), t.batches.end());
+
+    json.setMeta("simd", simd);
+    json.setMeta("gemm_row_tile", std::to_string(tiles.rowTile));
+    json.setMeta("gemm_k_block", std::to_string(tiles.kBlock));
 
     if (print)
         std::printf("%s", report::banner(
             "Execution throughput: reference vs cpu-blocked, stage0 "
-            "vs stage3 (" + dev.name + ")").c_str());
+            "vs stage3 (" + dev.name + ", simd " + simd + ")").c_str());
 
     struct GeoMean
     {
@@ -262,6 +275,8 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
             runtime::ExecutorOptions eo;
             eo.threads = opts.threads;
             eo.seed = kSeed;
+            eo.gemmRowTile = tiles.rowTile;
+            eo.gemmKBlock = tiles.kBlock;
             auto blocked = runtime::makeExecutor("cpu-blocked", eo);
             const double s0_ms = timeRun(*blocked, plan0, inputs);
             const double s3_ms = timeRun(*blocked, plan3, inputs);

@@ -183,6 +183,21 @@ class JsonReport
         tables_.push_back({title, table.headers(), {table.rows()}});
     }
 
+    /** Attach free-form run metadata (machine facts such as the SIMD
+     *  dispatch level).  Emitted as a top-level "meta" object, which
+     *  tools/diff_bench_json.py deliberately ignores -- metadata never
+     *  participates in golden comparison. */
+    void setMeta(const std::string &key, const std::string &value)
+    {
+        for (auto &kv : meta_) {
+            if (kv.first == key) {
+                kv.second = value;
+                return;
+            }
+        }
+        meta_.push_back({key, value});
+    }
+
     /** Number of samples recorded per table (= runs completed). */
     int runCount() const
     {
@@ -216,8 +231,18 @@ class JsonReport
                           ", \"repeat\": " +
                           std::to_string(runCount()) +
                           ", \"spread_pct\": \"" +
-                          formatFixed(spread_pct, 1) + "\"" +
-                          ", \"tables\": [" + body + "]}\n";
+                          formatFixed(spread_pct, 1) + "\"";
+        if (!meta_.empty()) {
+            out += ", \"meta\": {";
+            for (std::size_t i = 0; i < meta_.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += quote(meta_[i].first) + ": " +
+                       quote(meta_[i].second);
+            }
+            out += "}";
+        }
+        out += ", \"tables\": [" + body + "]}\n";
         return out;
     }
 
@@ -348,6 +373,7 @@ class JsonReport
     }
 
     std::string bench_;
+    std::vector<std::pair<std::string, std::string>> meta_;
     std::vector<Entry> tables_;
 };
 

@@ -44,6 +44,9 @@ struct Field
     /** Doubles/ints must be >= 0; strictly > 0 when set (quantities
      *  the cost model divides by or packs with). */
     bool positive = false;
+    /** Optional fields may be absent from a file (the member keeps
+     *  its default); toString() still always emits them. */
+    bool optional = false;
 };
 
 const std::vector<Field> &
@@ -108,6 +111,15 @@ fields()
             &DeviceProfile::relayoutElemsPerSec, false);
         dbl("buffer_conv_penalty", &DeviceProfile::bufferConvPenalty,
             true);
+        // Optional CPU-execution calibration fields (0 = unknown;
+        // exec::resolveTileParams derives tile sizes instead).  New
+        // fields are appended here so older files stay parseable.
+        i64("l1_cache_bytes", &DeviceProfile::l1CacheBytes, false);
+        v.back().optional = true;
+        i32("gemm_row_tile", &DeviceProfile::gemmRowTile, false);
+        v.back().optional = true;
+        i32("gemm_k_block", &DeviceProfile::gemmKBlock, false);
+        v.back().optional = true;
         return v;
     }();
     return f;
@@ -278,7 +290,7 @@ DeviceProfile::parse(const std::string &text)
     if (!sawName)
         parseFail(lineNo, "missing field 'name'");
     for (const Field &f : fields()) {
-        if (!seen.count(f.key))
+        if (!f.optional && !seen.count(f.key))
             parseFail(lineNo,
                       "missing field '" + std::string(f.key) + "'");
     }
@@ -312,6 +324,9 @@ DeviceProfile::fingerprint() const
     fp += ";reg=" + std::to_string(registersPerThread);
     fp += ";relay=" + formatDouble(relayoutElemsPerSec);
     fp += ";convpen=" + formatDouble(bufferConvPenalty);
+    fp += ";l1=" + std::to_string(l1CacheBytes);
+    fp += ";rowtile=" + std::to_string(gemmRowTile);
+    fp += ";kblock=" + std::to_string(gemmKBlock);
     return fp;
 }
 

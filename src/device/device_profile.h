@@ -96,6 +96,23 @@ struct DeviceProfile
      */
     double bufferConvPenalty = 0.45;
 
+    // --- Optional CPU-execution calibration (exec/kernels_blocked) ---
+    //
+    // These three fields tune the blocked CPU backend's GEMM tiling
+    // and are *optional* in the .smdev grammar: 0 means "unknown",
+    // and exec::resolveTileParams() derives tile sizes from simdWidth
+    // and l1CacheBytes instead.  toString() always emits them so
+    // round-trips stay byte-identical.
+
+    /** Per-core L1 data cache size in bytes (0 = unknown). */
+    std::int64_t l1CacheBytes = 0;
+
+    /** Measured-best GEMM row tile height (0 = derive). */
+    int gemmRowTile = 0;
+
+    /** Measured-best GEMM reduction block width (0 = derive). */
+    int gemmKBlock = 0;
+
     /**
      * Versioned .smdev text form (one "key value" line per field
      * between a "smartmem-device v1" header and an "end" trailer).

@@ -1,6 +1,7 @@
 #include "exec/cpu_backend.h"
 
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "exec/executor.h"
@@ -45,10 +46,14 @@ dimContribution(std::int64_t c, std::int64_t stride, bool packed)
  * Copy `shape` elements between two physical layouts, walking logical
  * coordinates row-major with incrementally maintained offsets (no
  * per-element coordinate vectors or physicalOffset() calls).
+ * Parallel over contiguous logical-index ranges: each chunk seeds its
+ * offsets from a single delinearize, then walks the same odometer, so
+ * every element is written by exactly one worker and the output is
+ * byte-identical at any thread count (it is a pure copy).
  */
 void
 relayoutCopy(const Shape &shape, const float *src, const Layout &srcL,
-             float *dst, const Layout &dstL)
+             float *dst, const Layout &dstL, const ParallelRunner &par)
 {
     const std::int64_t total = shape.numElements();
     if (isRowMajorLayout(srcL) && isRowMajorLayout(dstL)) {
@@ -61,24 +66,91 @@ relayoutCopy(const Shape &shape, const float *src, const Layout &srcL,
     const auto dstr = dstL.strides(shape);
     const int spack = srcL.packedDim();
     const int dpack = dstL.packedDim();
-    std::vector<std::int64_t> coord(static_cast<std::size_t>(rank), 0);
-    std::int64_t soff = 0, doff = 0;
-    for (std::int64_t i = 0; i < total; ++i) {
-        dst[doff] = src[soff];
-        for (int d = rank - 1; d >= 0; --d) {
+    par.run(total, 4096, [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<std::int64_t> coord = ir::delinearize(i0, shape);
+        std::int64_t soff = 0, doff = 0;
+        for (int d = 0; d < rank; ++d) {
             const auto di = static_cast<std::size_t>(d);
-            const std::int64_t c = coord[di];
-            soff -= dimContribution(c, sstr[di], d == spack);
-            doff -= dimContribution(c, dstr[di], d == dpack);
-            if (c + 1 < shape.dim(d)) {
-                coord[di] = c + 1;
-                soff += dimContribution(c + 1, sstr[di], d == spack);
-                doff += dimContribution(c + 1, dstr[di], d == dpack);
-                break;
+            soff += dimContribution(coord[di], sstr[di], d == spack);
+            doff += dimContribution(coord[di], dstr[di], d == dpack);
+        }
+        for (std::int64_t i = i0; i < i1; ++i) {
+            dst[doff] = src[soff];
+            for (int d = rank - 1; d >= 0; --d) {
+                const auto di = static_cast<std::size_t>(d);
+                const std::int64_t c = coord[di];
+                soff -= dimContribution(c, sstr[di], d == spack);
+                doff -= dimContribution(c, dstr[di], d == dpack);
+                if (c + 1 < shape.dim(d)) {
+                    coord[di] = c + 1;
+                    soff += dimContribution(c + 1, sstr[di], d == spack);
+                    doff += dimContribution(c + 1, dstr[di], d == dpack);
+                    break;
+                }
+                coord[di] = 0; // contribution of coordinate 0 is 0
             }
-            coord[di] = 0; // contribution of coordinate 0 is 0
+        }
+    });
+}
+
+/**
+ * Strided accessor over a buffer stored in a non-row-major layout.
+ * At most one dimension (packedDim) is vec4-packed -- its offset
+ * contribution is (c/4)*stride + c%4; every other dim is affine.
+ * Normalization: a packed dim whose raw stride equals the pack factor
+ * (texture x-axis, packed-innermost) or whose extent fits one lane
+ * group contributes exactly c, so it is rewritten to an affine dim of
+ * stride 1 -- that is what makes flat-texture operands directly
+ * consumable by the SIMD GEMM.
+ */
+struct NativeView
+{
+    const float *data = nullptr;
+    std::vector<std::int64_t> str;
+    int packedDim = -1;
+};
+
+NativeView
+makeNativeView(const float *data, const Layout &l, const Shape &shape)
+{
+    NativeView v;
+    v.data = data;
+    v.str = l.strides(shape);
+    v.packedDim = l.packedDim();
+    if (v.packedDim >= 0) {
+        auto &s = v.str[static_cast<std::size_t>(v.packedDim)];
+        if (s == 4 || shape.dim(v.packedDim) <= 4) {
+            s = 1;
+            v.packedDim = -1;
         }
     }
+    return v;
+}
+
+/** Physical offset of each flattened leading-dims index (matmul batch
+ *  coordinates), honoring a packed batch dim. */
+std::vector<std::int64_t>
+batchOffsets(const NativeView &vw, const Shape &s, int nBatchDims,
+             std::int64_t batch)
+{
+    std::vector<std::int64_t> off(static_cast<std::size_t>(batch), 0);
+    std::vector<std::int64_t> coord(
+        static_cast<std::size_t>(nBatchDims), 0);
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+        std::int64_t o = 0;
+        for (int d = 0; d < nBatchDims; ++d)
+            o += dimContribution(coord[static_cast<std::size_t>(d)],
+                                 vw.str[static_cast<std::size_t>(d)],
+                                 d == vw.packedDim);
+        off[static_cast<std::size_t>(bi)] = o;
+        for (int d = nBatchDims - 1; d >= 0; --d) {
+            const auto di = static_cast<std::size_t>(d);
+            if (++coord[di] < s.dim(d))
+                break;
+            coord[di] = 0;
+        }
+    }
+    return off;
 }
 
 /**
@@ -190,11 +262,15 @@ struct EpilogueStep
     bool selfOperand = false;     // v = v op v
 };
 
-/** A row-major value materialized while executing one kernel. */
+/** A value materialized while executing one kernel.  Usually a
+ *  row-major scratch view; a kernel whose anchor op stored its result
+ *  directly in the kernel's chosen output layout sets inOutLayout so
+ *  publishOutput() can skip the repack. */
 struct LocalBuf
 {
     const float *data = nullptr;
     bool owned = false; // release to the pool at kernel end
+    bool inOutLayout = false;
 };
 
 /** A stored (value, copy) in its chosen physical layout. */
@@ -216,9 +292,13 @@ class PlanRunner
                const std::map<ValueId, Tensor> &inputs,
                const CpuBackendOptions &opts)
         : plan_(plan), graph_(plan.graph), inputs_(inputs),
-          par_(opts.threads), constSynth_(opts.seed),
-          lastUse_(runtime::lastUses(plan))
+          par_(opts.threads), simd_(activeSimdLevel()),
+          constSynth_(opts.seed), lastUse_(runtime::lastUses(plan))
     {
+        if (opts.gemmRowTile > 0)
+            tiles_.rowTile = opts.gemmRowTile;
+        if (opts.gemmKBlock > 0)
+            tiles_.kBlock = opts.gemmKBlock;
     }
 
     std::vector<Tensor> run(CpuBackendStats *stats_out);
@@ -246,6 +326,18 @@ class PlanRunner
      *  substitutes through their read maps on first use. */
     const float *resolveLocal(const Kernel &k, ValueId v);
 
+    /** Strided view of `v`'s *stored* buffer for layout-native
+     *  consumption, or nullopt when the value must go through
+     *  resolveLocal (already materialized locally, substituted through
+     *  a read map, or stored row-major anyway). */
+    std::optional<NativeView> tryStoredView(ValueId v);
+
+    /** Stride view of the kernel's output layout when the anchor op
+     *  may store into it directly: single-node kernel whose node
+     *  produces the kernel output in a non-row-major layout. */
+    std::optional<NativeView> tryNativeStore(const Kernel &k,
+                                             const Node &node);
+
     void runRelayoutKernel(const Kernel &k);
     void runComputeKernel(const Kernel &k);
     void evalNodeBlocked(const Kernel &k, const Node &node);
@@ -262,6 +354,8 @@ class PlanRunner
     const ir::Graph &graph_;
     const std::map<ValueId, Tensor> &inputs_;
     ParallelRunner par_;
+    SimdLevel simd_;
+    TileParams tiles_;
     Executor constSynth_;
     runtime::BufferPool pool_;
     CpuBackendStats stats_;
@@ -361,7 +455,7 @@ PlanRunner::resolveLocal(const Kernel &k, ValueId v)
         const Shape &shape = shapeOf(v);
         float *dst = alloc(shape.numElements());
         relayoutCopy(shape, s.data, s.layout, dst,
-                     Layout::rowMajor(shape.rank()));
+                     Layout::rowMajor(shape.rank()), par_);
         stats_.bytesRelayouted +=
             shape.numElements() *
             static_cast<std::int64_t>(sizeof(float));
@@ -382,6 +476,33 @@ PlanRunner::resolveLocal(const Kernel &k, ValueId v)
             std::to_string(v));
 }
 
+std::optional<NativeView>
+PlanRunner::tryStoredView(ValueId v)
+{
+    if (locals_.count(v))
+        return std::nullopt; // already materialized row-major
+    auto kit = kinBySubstitute_.find(v);
+    if (kit == kinBySubstitute_.end())
+        return std::nullopt; // constant / implicit input (row-major)
+    const KernelInput &in = *kit->second;
+    if (in.substitute != in.source)
+        return std::nullopt; // read-map chain: materialize instead
+    StoredBuf s = resolveStored(in.source, in.sourceCopy);
+    if (isRowMajorLayout(s.layout))
+        return std::nullopt; // zero-copy row-major path is free
+    return makeNativeView(s.data, s.layout, shapeOf(v));
+}
+
+std::optional<NativeView>
+PlanRunner::tryNativeStore(const Kernel &k, const Node &node)
+{
+    if (k.fusedNodes.size() != 1 || node.output != k.output)
+        return std::nullopt;
+    if (isRowMajorLayout(k.outLayout))
+        return std::nullopt;
+    return makeNativeView(nullptr, k.outLayout, shapeOf(node.output));
+}
+
 void
 PlanRunner::runRelayoutKernel(const Kernel &k)
 {
@@ -391,7 +512,7 @@ PlanRunner::runRelayoutKernel(const Kernel &k)
     StoredBuf src = resolveStored(in.source, in.sourceCopy);
     const Shape &shape = shapeOf(k.output);
     float *dst = alloc(k.outLayout.storageElements(shape));
-    relayoutCopy(shape, src.data, src.layout, dst, k.outLayout);
+    relayoutCopy(shape, src.data, src.layout, dst, k.outLayout, par_);
     stats_.bytesRelayouted +=
         shape.numElements() * static_cast<std::int64_t>(sizeof(float));
     ++stats_.relayoutKernels;
@@ -457,48 +578,87 @@ PlanRunner::evalNodeBlocked(const Kernel &k, const Node &node)
       case OpKind::Conv2d:
       case OpKind::GroupConv2d:
       case OpKind::DepthwiseConv2d: {
-        const float *x = resolveLocal(k, node.inputs[0]);
-        const float *w = resolveLocal(k, node.inputs[1]);
         const Shape &xs = shapeOf(node.inputs[0]);
         const Shape &ws = shapeOf(node.inputs[1]);
         const std::int64_t stride = node.attrs.getInt("stride", 1);
         const std::int64_t pad = node.attrs.getInt("pad", 0);
-        float *out = alloc(os.numElements());
-        if (node.kind == OpKind::DepthwiseConv2d) {
-            blockedDepthwiseConv2d(x, w, out, xs.dim(0), xs.dim(1),
-                                   xs.dim(2), xs.dim(3), os.dim(2),
-                                   os.dim(3), ws.dim(2), ws.dim(3),
-                                   stride, pad, par_);
+        const bool depthwise = node.kind == OpKind::DepthwiseConv2d;
+
+        // Input view: consume a stored packed/texture activation
+        // in place when only the channel dim (if any) is packed.
+        PlaneLayout xl =
+            PlaneLayout::rowMajor(xs.dim(1), xs.dim(2), xs.dim(3));
+        const float *x = nullptr;
+        if (auto nv = tryStoredView(node.inputs[0]);
+            nv && xs.rank() == 4 &&
+            (nv->packedDim == -1 || nv->packedDim == 1)) {
+            x = nv->data;
+            xl = PlaneLayout{nv->str[0], nv->str[1], nv->str[2],
+                             nv->str[3], nv->packedDim == 1};
+            ++stats_.nativeLayoutViews;
         } else {
-            const std::int64_t groups = node.attrs.getInt("groups", 1);
-            blockedConv2d(x, w, out, xs.dim(0), xs.dim(1), xs.dim(2),
-                          xs.dim(3), os.dim(1), os.dim(2), os.dim(3),
-                          ws.dim(2), ws.dim(3), stride, pad, groups,
-                          par_, pool_);
+            x = resolveLocal(k, node.inputs[0]);
         }
+        const float *w = resolveLocal(k, node.inputs[1]);
+        const float *bias = nullptr;
+        std::int64_t biasLen = 1;
         if (node.inputs.size() > 2) {
             // Folded conv+batchnorm bias: per-output-channel add after
             // accumulation, matching evalConv's ordering exactly.
-            const float *bias = resolveLocal(k, node.inputs[2]);
-            const std::int64_t bmod =
-                shapeOf(node.inputs[2]).numElements();
-            const std::int64_t hw = os.dim(2) * os.dim(3);
-            for (std::int64_t n = 0; n < os.dim(0); ++n) {
-                for (std::int64_t c = 0; c < os.dim(1); ++c) {
-                    const float bv = bias[c % bmod];
-                    float *p = out + (n * os.dim(1) + c) * hw;
-                    for (std::int64_t i = 0; i < hw; ++i)
-                        p[i] += bv;
+            bias = resolveLocal(k, node.inputs[2]);
+            biasLen = shapeOf(node.inputs[2]).numElements();
+        }
+
+        // Output view: store straight into the kernel's chosen layout
+        // when the im2col GEMM can address it (pixel-linear rows; the
+        // channel dim may be vec4-packed).
+        PlaneLayout ol =
+            PlaneLayout::rowMajor(os.dim(1), os.dim(2), os.dim(3));
+        float *out = nullptr;
+        bool nativeStore = false;
+        if (auto ov = tryNativeStore(k, node);
+            ov && os.rank() == 4 &&
+            (ov->packedDim == -1 || ov->packedDim == 1) &&
+            ov->str[2] == ov->str[3] * os.dim(3)) {
+            out = alloc(k.outLayout.storageElements(os));
+            ol = PlaneLayout{ov->str[0], ov->str[1], ov->str[2],
+                             ov->str[3], ov->packedDim == 1};
+            nativeStore = true;
+            ++stats_.nativeLayoutStores;
+        } else {
+            out = alloc(os.numElements());
+        }
+
+        if (depthwise) {
+            blockedDepthwiseConv2d(x, xl, w, out, ol, xs.dim(0),
+                                   xs.dim(1), xs.dim(2), xs.dim(3),
+                                   os.dim(2), os.dim(3), ws.dim(2),
+                                   ws.dim(3), stride, pad, par_);
+            if (bias) {
+                for (std::int64_t n = 0; n < os.dim(0); ++n) {
+                    for (std::int64_t c = 0; c < os.dim(1); ++c) {
+                        const float bv = bias[c % biasLen];
+                        float *p = out + ol.planeOff(n, c);
+                        for (std::int64_t y = 0; y < os.dim(2); ++y)
+                            for (std::int64_t xo = 0; xo < os.dim(3);
+                                 ++xo)
+                                p[y * ol.sh + xo * ol.sw] += bv;
+                    }
                 }
             }
+        } else {
+            const std::int64_t groups = node.attrs.getInt("groups", 1);
+            blockedConv2d(x, xl, w, out, ol, xs.dim(0), xs.dim(1),
+                          xs.dim(2), xs.dim(3), os.dim(1), os.dim(2),
+                          os.dim(3), ws.dim(2), ws.dim(3), stride, pad,
+                          groups, bias, biasLen, simd_, tiles_, par_,
+                          pool_);
         }
-        locals_[node.output] = {out, true};
+        locals_[node.output] = {out, true, nativeStore};
         return;
       }
       case OpKind::MatMul:
       case OpKind::BatchMatMul: {
-        const float *a = resolveLocal(k, node.inputs[0]);
-        const float *b = resolveLocal(k, node.inputs[1]);
         const Shape &as = shapeOf(node.inputs[0]);
         const Shape &bs = shapeOf(node.inputs[1]);
         const bool trans_b = node.attrs.getInt("transB", 0) != 0;
@@ -508,10 +668,82 @@ PlanRunner::evalNodeBlocked(const Kernel &k, const Node &node)
         std::int64_t batch = 1;
         for (int i = 0; i < os.rank() - 2; ++i)
             batch *= os.dim(i);
-        float *out = alloc(os.numElements());
-        blockedMatMul(a, b, out, batch, bs.rank() > 2, m, n, kk,
-                      trans_b, par_);
-        locals_[node.output] = {out, true};
+
+        // A stored operand is consumable in place when its matrix
+        // dims are affine after normalization (a packed *batch* dim
+        // is fine -- it only shifts the per-batch base offset).
+        auto matrixDimsAffine = [](const NativeView &nv, int rank) {
+            return nv.packedDim != rank - 2 && nv.packedDim != rank - 1;
+        };
+        auto leadingProduct = [](const Shape &s) {
+            std::int64_t p = 1;
+            for (int i = 0; i < s.rank() - 2; ++i)
+                p *= s.dim(i);
+            return p;
+        };
+
+        std::vector<std::int64_t> aOff, bOff, cOff;
+        MatView av, bv;
+        if (auto nv = tryStoredView(node.inputs[0]);
+            nv && matrixDimsAffine(*nv, as.rank()) &&
+            leadingProduct(as) == batch) {
+            const auto r = static_cast<std::size_t>(as.rank());
+            av.data = nv->data;
+            av.rs = nv->str[r - 2];
+            av.cs = nv->str[r - 1];
+            aOff = batchOffsets(*nv, as, as.rank() - 2, batch);
+            av.batchOff = aOff.data();
+            ++stats_.nativeLayoutViews;
+        } else {
+            av.data = resolveLocal(k, node.inputs[0]);
+            av.rs = kk;
+            av.cs = 1;
+            av.batchStride = m * kk;
+        }
+        if (auto nv = tryStoredView(node.inputs[1]);
+            nv && matrixDimsAffine(*nv, bs.rank()) &&
+            (bs.rank() <= 2 || leadingProduct(bs) == batch)) {
+            const auto r = static_cast<std::size_t>(bs.rank());
+            bv.data = nv->data;
+            bv.rs = nv->str[r - 2];
+            bv.cs = nv->str[r - 1];
+            if (bs.rank() > 2) {
+                bOff = batchOffsets(*nv, bs, bs.rank() - 2, batch);
+                bv.batchOff = bOff.data();
+            } // else: batchStride 0, one shared matrix
+            ++stats_.nativeLayoutViews;
+        } else {
+            bv.data = resolveLocal(k, node.inputs[1]);
+            bv.rs = trans_b ? kk : n;
+            bv.cs = 1;
+            bv.batchStride = bs.rank() > 2 ? kk * n : 0;
+        }
+
+        MatMutView cv;
+        float *out = nullptr;
+        bool nativeStore = false;
+        if (auto ov = tryNativeStore(k, node);
+            ov && matrixDimsAffine(*ov, os.rank())) {
+            const auto r = static_cast<std::size_t>(os.rank());
+            out = alloc(k.outLayout.storageElements(os));
+            cv.data = out;
+            cv.rs = ov->str[r - 2];
+            cv.cs = ov->str[r - 1];
+            cOff = batchOffsets(*ov, os, os.rank() - 2, batch);
+            cv.batchOff = cOff.data();
+            nativeStore = true;
+            ++stats_.nativeLayoutStores;
+        } else {
+            out = alloc(os.numElements());
+            cv.data = out;
+            cv.rs = n;
+            cv.cs = 1;
+            cv.batchStride = m * n;
+        }
+
+        blockedMatMul(av, bv, cv, batch, m, n, kk, trans_b, simd_,
+                      tiles_, par_);
+        locals_[node.output] = {out, true, nativeStore};
         return;
       }
       case OpKind::LayerNorm: {
@@ -745,6 +977,14 @@ PlanRunner::publishOutput(const Kernel &k)
     SM_ASSERT(it != locals_.end(),
               "kernel did not produce its output: " + k.name);
     const Shape &shape = shapeOf(k.output);
+    if (it->second.inOutLayout) {
+        // Anchor op already wrote the kernel's chosen layout.
+        SM_ASSERT(it->second.owned,
+                  "native-layout store over a borrowed buffer");
+        env_[{k.output, k.copyIndex}] = {it->second.data, true,
+                                         k.outLayout};
+        return;
+    }
     if (isRowMajorLayout(k.outLayout) && it->second.owned) {
         env_[{k.output, k.copyIndex}] = {it->second.data, true,
                                          k.outLayout};
@@ -752,7 +992,7 @@ PlanRunner::publishOutput(const Kernel &k)
     }
     float *dst = alloc(k.outLayout.storageElements(shape));
     relayoutCopy(shape, it->second.data, Layout::rowMajor(shape.rank()),
-                 dst, k.outLayout);
+                 dst, k.outLayout, par_);
     if (!isRowMajorLayout(k.outLayout))
         stats_.bytesRelayouted +=
             shape.numElements() *
@@ -805,13 +1045,16 @@ PlanRunner::run(CpuBackendStats *stats_out)
                             sizeof(float));
         } else {
             relayoutCopy(shape, s.data, s.layout, t.data(),
-                         Layout::rowMajor(shape.rank()));
+                         Layout::rowMajor(shape.rank()), par_);
         }
         out.push_back(std::move(t));
     }
 
     stats_.poolHighWaterBytes = pool_.highWaterBytes();
     stats_.poolReuses = pool_.reuseCount();
+    stats_.simdLevel = simd_;
+    stats_.tileRowTile = tiles_.rowTile;
+    stats_.tileKBlock = tiles_.kBlock;
     if (stats_out)
         *stats_out = stats_;
     return out;

@@ -33,6 +33,7 @@
 #include <map>
 #include <vector>
 
+#include "exec/simd_dispatch.h"
 #include "exec/tensor.h"
 #include "runtime/plan.h"
 
@@ -48,6 +49,11 @@ struct CpuBackendOptions
     /** Seed for synthesized constants; must match the seed of the
      *  reference execution being compared against. */
     std::uint64_t seed = 1234;
+
+    /** GEMM tile overrides, usually from exec::resolveTileParams() on
+     *  a device profile; 0 = the kernels' built-in defaults. */
+    std::int64_t gemmRowTile = 0;
+    std::int64_t gemmKBlock = 0;
 };
 
 /** Counters from the most recent CpuBackend::run(). */
@@ -75,6 +81,21 @@ struct CpuBackendStats
 
     /** BufferPool allocations served by reuse. */
     std::int64_t poolReuses = 0;
+
+    /** Stored packed/texture operands consumed in place by GEMM/conv
+     *  micro-kernels (no unpack copy). */
+    int nativeLayoutViews = 0;
+
+    /** Kernel outputs written directly in the plan's chosen layout
+     *  (no pack copy in publishOutput). */
+    int nativeLayoutStores = 0;
+
+    /** SIMD dispatch level the run executed at. */
+    SimdLevel simdLevel = SimdLevel::Scalar;
+
+    /** Resolved GEMM tile parameters the run used. */
+    std::int64_t tileRowTile = 0;
+    std::int64_t tileKBlock = 0;
 };
 
 /** Plan-consuming blocked CPU executor (see file header). */

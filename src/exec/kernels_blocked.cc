@@ -1,14 +1,23 @@
 #include "exec/kernels_blocked.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <exception>
 #include <future>
 #include <vector>
 
+#include "device/device_profile.h"
 #include "runtime/memory_pool.h"
 #include "support/error.h"
+
+#if SMARTMEM_SIMD_X86
+#include <immintrin.h>
+#endif
+#if SMARTMEM_SIMD_NEON
+#include <arm_neon.h>
+#endif
 
 namespace smartmem::exec {
 
@@ -122,84 +131,640 @@ applyBinaryScalar(ir::OpKind kind, float a, float b)
 }
 
 // -------------------------------------------------------------------
-// MatMul
+// Tile parameters
+// -------------------------------------------------------------------
+
+TileParams
+resolveTileParams(const device::DeviceProfile &dev)
+{
+    TileParams t;
+    if (dev.gemmRowTile > 0) {
+        t.rowTile = dev.gemmRowTile;
+    } else {
+        t.rowTile = std::clamp<std::int64_t>(dev.simdWidth, 8, 16);
+    }
+    t.rowTile = std::clamp<std::int64_t>(t.rowTile, 1, kMaxRowTile);
+    if (dev.gemmKBlock > 0) {
+        t.kBlock = dev.gemmKBlock;
+    } else {
+        const std::int64_t l1 =
+            dev.l1CacheBytes > 0 ? dev.l1CacheBytes : 32 * 1024;
+        t.kBlock = std::clamp<std::int64_t>(
+            l1 / (16 * t.rowTile), 64, 1024);
+    }
+    t.kBlock = std::clamp<std::int64_t>(t.kBlock, 16, 1 << 20);
+    return t;
+}
+
+// -------------------------------------------------------------------
+// GEMM micro-kernels.
+//
+// All block kernels compute, for rows r in [0, rows) and columns j in
+// [0, n), C[cOff[r] + j*ccs] (+)= sum over kk in [k0, k1) of
+// A[r*ars + kk*acs] * B[kk*brs + j*bcs], overwriting C when `first`
+// (the k0 == 0 panel).  Per-element accumulation order is ascending
+// kk in every variant, so a given (SimdLevel, shape) produces the
+// same bytes under any tiling or thread partition.  The vector
+// kernels require bcs == 1 (the driver falls back to scalar
+// otherwise); strided C is handled with lane-wise load/store, which
+// amortizes over a whole k-block.
 // -------------------------------------------------------------------
 
 namespace {
 
-/** Row tile height: B panel rows are reused kRowTile times from L1. */
-constexpr std::int64_t kRowTile = 8;
+using i64 = std::int64_t;
 
-/** K panel width: one A row tile's panel footprint stays in L1. */
-constexpr std::int64_t kKBlock = 256;
-
-/** C[m x n] += A[m x k] * B[k x n], row-major, single thread. */
 void
-gemmRowMajor(const float *a, const float *b, float *c, std::int64_t m,
-             std::int64_t n, std::int64_t k)
+gemmBlockScalar(const float *a, i64 ars, i64 acs, const float *b,
+                i64 brs, i64 bcs, float *c, const i64 *cOff, i64 ccs,
+                i64 rows, i64 n, i64 k0, i64 k1, bool first)
 {
-    for (std::int64_t i0 = 0; i0 < m; i0 += kRowTile) {
-        const std::int64_t i1 = std::min(i0 + kRowTile, m);
-        for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
-            const std::int64_t k1 = std::min(k0 + kKBlock, k);
-            for (std::int64_t kk = k0; kk < k1; ++kk) {
-                const float *brow = b + kk * n;
-                for (std::int64_t i = i0; i < i1; ++i) {
-                    const float av = a[i * k + kk];
-                    float *crow = c + i * n;
-                    for (std::int64_t j = 0; j < n; ++j)
-                        crow[j] += av * brow[j];
-                }
+    if (first) {
+        for (i64 r = 0; r < rows; ++r) {
+            float *crow = c + cOff[r];
+            if (ccs == 1) {
+                std::memset(crow, 0,
+                            static_cast<std::size_t>(n) * sizeof(float));
+            } else {
+                for (i64 j = 0; j < n; ++j)
+                    crow[j * ccs] = 0;
+            }
+        }
+    }
+    if (bcs == 1 && ccs == 1) {
+        for (i64 kk = k0; kk < k1; ++kk) {
+            const float *brow = b + kk * brs;
+            for (i64 r = 0; r < rows; ++r) {
+                const float av = a[r * ars + kk * acs];
+                float *crow = c + cOff[r];
+                for (i64 j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+        return;
+    }
+    for (i64 kk = k0; kk < k1; ++kk) {
+        const float *brow = b + kk * brs;
+        for (i64 r = 0; r < rows; ++r) {
+            const float av = a[r * ars + kk * acs];
+            float *crow = c + cOff[r];
+            for (i64 j = 0; j < n; ++j)
+                crow[j * ccs] += av * brow[j * bcs];
+        }
+    }
+}
+
+float
+dotScalar(const float *x, const float *y, i64 k)
+{
+    float acc = 0;
+    for (i64 kk = 0; kk < k; ++kk)
+        acc += x[kk] * y[kk];
+    return acc;
+}
+
+#if SMARTMEM_SIMD_X86
+
+__attribute__((target("avx2,fma"))) inline __m256
+avx2LoadC(const float *p, i64 ccs)
+{
+    if (ccs == 1)
+        return _mm256_loadu_ps(p);
+    alignas(32) float tmp[8];
+    for (int j = 0; j < 8; ++j)
+        tmp[j] = p[j * ccs];
+    return _mm256_load_ps(tmp);
+}
+
+__attribute__((target("avx2,fma"))) inline void
+avx2StoreC(float *p, i64 ccs, __m256 v)
+{
+    if (ccs == 1) {
+        _mm256_storeu_ps(p, v);
+        return;
+    }
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v);
+    for (int j = 0; j < 8; ++j)
+        p[j * ccs] = tmp[j];
+}
+
+/** 4x16 register-tiled AVX2+FMA block kernel (requires bcs == 1). */
+__attribute__((target("avx2,fma"))) void
+gemmBlockAvx2(const float *a, i64 ars, i64 acs, const float *b, i64 brs,
+              float *c, const i64 *cOff, i64 ccs, i64 rows, i64 n,
+              i64 k0, i64 k1, bool first)
+{
+    const i64 nv = n & ~i64{15};
+    for (i64 j0 = 0; j0 < nv; j0 += 16) {
+        i64 r = 0;
+        for (; r + 4 <= rows; r += 4) {
+            const float *a0 = a + (r + 0) * ars;
+            const float *a1 = a + (r + 1) * ars;
+            const float *a2 = a + (r + 2) * ars;
+            const float *a3 = a + (r + 3) * ars;
+            float *c0 = c + cOff[r + 0] + j0 * ccs;
+            float *c1 = c + cOff[r + 1] + j0 * ccs;
+            float *c2 = c + cOff[r + 2] + j0 * ccs;
+            float *c3 = c + cOff[r + 3] + j0 * ccs;
+            __m256 s00, s01, s10, s11, s20, s21, s30, s31;
+            if (first) {
+                s00 = s01 = s10 = s11 = _mm256_setzero_ps();
+                s20 = s21 = s30 = s31 = _mm256_setzero_ps();
+            } else {
+                s00 = avx2LoadC(c0, ccs);
+                s01 = avx2LoadC(c0 + 8 * ccs, ccs);
+                s10 = avx2LoadC(c1, ccs);
+                s11 = avx2LoadC(c1 + 8 * ccs, ccs);
+                s20 = avx2LoadC(c2, ccs);
+                s21 = avx2LoadC(c2 + 8 * ccs, ccs);
+                s30 = avx2LoadC(c3, ccs);
+                s31 = avx2LoadC(c3 + 8 * ccs, ccs);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const __m256 b0 = _mm256_loadu_ps(brow);
+                const __m256 b1 = _mm256_loadu_ps(brow + 8);
+                __m256 av = _mm256_set1_ps(a0[kk * acs]);
+                s00 = _mm256_fmadd_ps(av, b0, s00);
+                s01 = _mm256_fmadd_ps(av, b1, s01);
+                av = _mm256_set1_ps(a1[kk * acs]);
+                s10 = _mm256_fmadd_ps(av, b0, s10);
+                s11 = _mm256_fmadd_ps(av, b1, s11);
+                av = _mm256_set1_ps(a2[kk * acs]);
+                s20 = _mm256_fmadd_ps(av, b0, s20);
+                s21 = _mm256_fmadd_ps(av, b1, s21);
+                av = _mm256_set1_ps(a3[kk * acs]);
+                s30 = _mm256_fmadd_ps(av, b0, s30);
+                s31 = _mm256_fmadd_ps(av, b1, s31);
+            }
+            avx2StoreC(c0, ccs, s00);
+            avx2StoreC(c0 + 8 * ccs, ccs, s01);
+            avx2StoreC(c1, ccs, s10);
+            avx2StoreC(c1 + 8 * ccs, ccs, s11);
+            avx2StoreC(c2, ccs, s20);
+            avx2StoreC(c2 + 8 * ccs, ccs, s21);
+            avx2StoreC(c3, ccs, s30);
+            avx2StoreC(c3 + 8 * ccs, ccs, s31);
+        }
+        for (; r < rows; ++r) {
+            const float *ar = a + r * ars;
+            float *cr = c + cOff[r] + j0 * ccs;
+            __m256 s0, s1;
+            if (first) {
+                s0 = s1 = _mm256_setzero_ps();
+            } else {
+                s0 = avx2LoadC(cr, ccs);
+                s1 = avx2LoadC(cr + 8 * ccs, ccs);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const __m256 av = _mm256_set1_ps(ar[kk * acs]);
+                s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), s0);
+                s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), s1);
+            }
+            avx2StoreC(cr, ccs, s0);
+            avx2StoreC(cr + 8 * ccs, ccs, s1);
+        }
+    }
+    if (nv < n)
+        gemmBlockScalar(a, ars, acs, b + nv, brs, 1, c + nv * ccs,
+                        cOff, ccs, rows, n - nv, k0, k1, first);
+}
+
+__attribute__((target("avx512f"))) inline __m512
+avx512LoadC(const float *p, i64 ccs, __mmask16 mask)
+{
+    if (ccs == 1)
+        return _mm512_maskz_loadu_ps(mask, p);
+    alignas(64) float tmp[16] = {};
+    for (int j = 0; j < 16; ++j)
+        if (mask & (1u << j))
+            tmp[j] = p[j * ccs];
+    return _mm512_load_ps(tmp);
+}
+
+__attribute__((target("avx512f"))) inline void
+avx512StoreC(float *p, i64 ccs, __mmask16 mask, __m512 v)
+{
+    if (ccs == 1) {
+        _mm512_mask_storeu_ps(p, mask, v);
+        return;
+    }
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, v);
+    for (int j = 0; j < 16; ++j)
+        if (mask & (1u << j))
+            p[j * ccs] = tmp[j];
+}
+
+/** 4x32 register-tiled AVX-512F block kernel (requires bcs == 1);
+ *  the column tail runs 16-wide under a lane mask. */
+__attribute__((target("avx512f"))) void
+gemmBlockAvx512(const float *a, i64 ars, i64 acs, const float *b,
+                i64 brs, float *c, const i64 *cOff, i64 ccs, i64 rows,
+                i64 n, i64 k0, i64 k1, bool first)
+{
+    const i64 nv = n & ~i64{31};
+    for (i64 j0 = 0; j0 < nv; j0 += 32) {
+        i64 r = 0;
+        for (; r + 4 <= rows; r += 4) {
+            const float *a0 = a + (r + 0) * ars;
+            const float *a1 = a + (r + 1) * ars;
+            const float *a2 = a + (r + 2) * ars;
+            const float *a3 = a + (r + 3) * ars;
+            float *c0 = c + cOff[r + 0] + j0 * ccs;
+            float *c1 = c + cOff[r + 1] + j0 * ccs;
+            float *c2 = c + cOff[r + 2] + j0 * ccs;
+            float *c3 = c + cOff[r + 3] + j0 * ccs;
+            __m512 s00, s01, s10, s11, s20, s21, s30, s31;
+            if (first) {
+                s00 = s01 = s10 = s11 = _mm512_setzero_ps();
+                s20 = s21 = s30 = s31 = _mm512_setzero_ps();
+            } else {
+                s00 = avx512LoadC(c0, ccs, 0xFFFF);
+                s01 = avx512LoadC(c0 + 16 * ccs, ccs, 0xFFFF);
+                s10 = avx512LoadC(c1, ccs, 0xFFFF);
+                s11 = avx512LoadC(c1 + 16 * ccs, ccs, 0xFFFF);
+                s20 = avx512LoadC(c2, ccs, 0xFFFF);
+                s21 = avx512LoadC(c2 + 16 * ccs, ccs, 0xFFFF);
+                s30 = avx512LoadC(c3, ccs, 0xFFFF);
+                s31 = avx512LoadC(c3 + 16 * ccs, ccs, 0xFFFF);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const __m512 b0 = _mm512_loadu_ps(brow);
+                const __m512 b1 = _mm512_loadu_ps(brow + 16);
+                __m512 av = _mm512_set1_ps(a0[kk * acs]);
+                s00 = _mm512_fmadd_ps(av, b0, s00);
+                s01 = _mm512_fmadd_ps(av, b1, s01);
+                av = _mm512_set1_ps(a1[kk * acs]);
+                s10 = _mm512_fmadd_ps(av, b0, s10);
+                s11 = _mm512_fmadd_ps(av, b1, s11);
+                av = _mm512_set1_ps(a2[kk * acs]);
+                s20 = _mm512_fmadd_ps(av, b0, s20);
+                s21 = _mm512_fmadd_ps(av, b1, s21);
+                av = _mm512_set1_ps(a3[kk * acs]);
+                s30 = _mm512_fmadd_ps(av, b0, s30);
+                s31 = _mm512_fmadd_ps(av, b1, s31);
+            }
+            avx512StoreC(c0, ccs, 0xFFFF, s00);
+            avx512StoreC(c0 + 16 * ccs, ccs, 0xFFFF, s01);
+            avx512StoreC(c1, ccs, 0xFFFF, s10);
+            avx512StoreC(c1 + 16 * ccs, ccs, 0xFFFF, s11);
+            avx512StoreC(c2, ccs, 0xFFFF, s20);
+            avx512StoreC(c2 + 16 * ccs, ccs, 0xFFFF, s21);
+            avx512StoreC(c3, ccs, 0xFFFF, s30);
+            avx512StoreC(c3 + 16 * ccs, ccs, 0xFFFF, s31);
+        }
+        for (; r < rows; ++r) {
+            const float *ar = a + r * ars;
+            float *cr = c + cOff[r] + j0 * ccs;
+            __m512 s0, s1;
+            if (first) {
+                s0 = s1 = _mm512_setzero_ps();
+            } else {
+                s0 = avx512LoadC(cr, ccs, 0xFFFF);
+                s1 = avx512LoadC(cr + 16 * ccs, ccs, 0xFFFF);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const __m512 av = _mm512_set1_ps(ar[kk * acs]);
+                s0 = _mm512_fmadd_ps(av, _mm512_loadu_ps(brow), s0);
+                s1 = _mm512_fmadd_ps(av, _mm512_loadu_ps(brow + 16), s1);
+            }
+            avx512StoreC(cr, ccs, 0xFFFF, s0);
+            avx512StoreC(cr + 16 * ccs, ccs, 0xFFFF, s1);
+        }
+    }
+    for (i64 j0 = nv; j0 < n; j0 += 16) {
+        const int lanes = static_cast<int>(std::min<i64>(16, n - j0));
+        const __mmask16 mask =
+            lanes == 16 ? static_cast<__mmask16>(0xFFFF)
+                        : static_cast<__mmask16>((1u << lanes) - 1);
+        for (i64 r = 0; r < rows; ++r) {
+            const float *ar = a + r * ars;
+            float *cr = c + cOff[r] + j0 * ccs;
+            __m512 s0 = first ? _mm512_setzero_ps()
+                              : avx512LoadC(cr, ccs, mask);
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const __m512 av = _mm512_set1_ps(ar[kk * acs]);
+                s0 = _mm512_fmadd_ps(
+                    av, _mm512_maskz_loadu_ps(mask, brow), s0);
+            }
+            avx512StoreC(cr, ccs, mask, s0);
+        }
+    }
+}
+
+__attribute__((target("avx2,fma"))) float
+dotAvx2(const float *x, const float *y, i64 k)
+{
+    __m256 s0 = _mm256_setzero_ps();
+    __m256 s1 = _mm256_setzero_ps();
+    i64 kk = 0;
+    for (; kk + 16 <= k; kk += 16) {
+        s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + kk),
+                             _mm256_loadu_ps(y + kk), s0);
+        s1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + kk + 8),
+                             _mm256_loadu_ps(y + kk + 8), s1);
+    }
+    if (kk + 8 <= k) {
+        s0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + kk),
+                             _mm256_loadu_ps(y + kk), s0);
+        kk += 8;
+    }
+    const __m256 s = _mm256_add_ps(s0, s1);
+    const __m128 lo = _mm256_castps256_ps128(s);
+    const __m128 hi = _mm256_extractf128_ps(s, 1);
+    __m128 q = _mm_add_ps(lo, hi);
+    q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    q = _mm_add_ss(q, _mm_shuffle_ps(q, q, 1));
+    float acc = _mm_cvtss_f32(q);
+    for (; kk < k; ++kk)
+        acc += x[kk] * y[kk];
+    return acc;
+}
+
+__attribute__((target("avx512f"))) float
+dotAvx512(const float *x, const float *y, i64 k)
+{
+    __m512 s0 = _mm512_setzero_ps();
+    __m512 s1 = _mm512_setzero_ps();
+    i64 kk = 0;
+    for (; kk + 32 <= k; kk += 32) {
+        s0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + kk),
+                             _mm512_loadu_ps(y + kk), s0);
+        s1 = _mm512_fmadd_ps(_mm512_loadu_ps(x + kk + 16),
+                             _mm512_loadu_ps(y + kk + 16), s1);
+    }
+    for (; kk < k; kk += 16) {
+        const int lanes = static_cast<int>(std::min<i64>(16, k - kk));
+        const __mmask16 mask =
+            lanes == 16 ? static_cast<__mmask16>(0xFFFF)
+                        : static_cast<__mmask16>((1u << lanes) - 1);
+        s0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, x + kk),
+                             _mm512_maskz_loadu_ps(mask, y + kk), s0);
+    }
+    // Reduce via memory: GCC 12's _mm512_reduce_add_ps (and the zmm
+    // lane-extract intrinsics generally) route through
+    // _mm512_undefined_ps and trip -Wuninitialized under -Werror.
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, _mm512_add_ps(s0, s1));
+    float acc = 0.0f;
+    for (int i = 0; i < 16; ++i)
+        acc += lanes[i];
+    return acc;
+}
+
+#endif // SMARTMEM_SIMD_X86
+
+#if SMARTMEM_SIMD_NEON
+
+inline float32x4_t
+neonLoadC(const float *p, i64 ccs)
+{
+    if (ccs == 1)
+        return vld1q_f32(p);
+    float tmp[4];
+    for (int j = 0; j < 4; ++j)
+        tmp[j] = p[j * ccs];
+    return vld1q_f32(tmp);
+}
+
+inline void
+neonStoreC(float *p, i64 ccs, float32x4_t v)
+{
+    if (ccs == 1) {
+        vst1q_f32(p, v);
+        return;
+    }
+    float tmp[4];
+    vst1q_f32(tmp, v);
+    for (int j = 0; j < 4; ++j)
+        p[j * ccs] = tmp[j];
+}
+
+/** 4x8 register-tiled NEON block kernel (requires bcs == 1). */
+void
+gemmBlockNeon(const float *a, i64 ars, i64 acs, const float *b, i64 brs,
+              float *c, const i64 *cOff, i64 ccs, i64 rows, i64 n,
+              i64 k0, i64 k1, bool first)
+{
+    const i64 nv = n & ~i64{7};
+    for (i64 j0 = 0; j0 < nv; j0 += 8) {
+        i64 r = 0;
+        for (; r + 4 <= rows; r += 4) {
+            const float *a0 = a + (r + 0) * ars;
+            const float *a1 = a + (r + 1) * ars;
+            const float *a2 = a + (r + 2) * ars;
+            const float *a3 = a + (r + 3) * ars;
+            float *c0 = c + cOff[r + 0] + j0 * ccs;
+            float *c1 = c + cOff[r + 1] + j0 * ccs;
+            float *c2 = c + cOff[r + 2] + j0 * ccs;
+            float *c3 = c + cOff[r + 3] + j0 * ccs;
+            float32x4_t s00, s01, s10, s11, s20, s21, s30, s31;
+            if (first) {
+                s00 = s01 = s10 = s11 = vdupq_n_f32(0);
+                s20 = s21 = s30 = s31 = vdupq_n_f32(0);
+            } else {
+                s00 = neonLoadC(c0, ccs);
+                s01 = neonLoadC(c0 + 4 * ccs, ccs);
+                s10 = neonLoadC(c1, ccs);
+                s11 = neonLoadC(c1 + 4 * ccs, ccs);
+                s20 = neonLoadC(c2, ccs);
+                s21 = neonLoadC(c2 + 4 * ccs, ccs);
+                s30 = neonLoadC(c3, ccs);
+                s31 = neonLoadC(c3 + 4 * ccs, ccs);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const float32x4_t b0 = vld1q_f32(brow);
+                const float32x4_t b1 = vld1q_f32(brow + 4);
+                float32x4_t av = vdupq_n_f32(a0[kk * acs]);
+                s00 = vfmaq_f32(s00, av, b0);
+                s01 = vfmaq_f32(s01, av, b1);
+                av = vdupq_n_f32(a1[kk * acs]);
+                s10 = vfmaq_f32(s10, av, b0);
+                s11 = vfmaq_f32(s11, av, b1);
+                av = vdupq_n_f32(a2[kk * acs]);
+                s20 = vfmaq_f32(s20, av, b0);
+                s21 = vfmaq_f32(s21, av, b1);
+                av = vdupq_n_f32(a3[kk * acs]);
+                s30 = vfmaq_f32(s30, av, b0);
+                s31 = vfmaq_f32(s31, av, b1);
+            }
+            neonStoreC(c0, ccs, s00);
+            neonStoreC(c0 + 4 * ccs, ccs, s01);
+            neonStoreC(c1, ccs, s10);
+            neonStoreC(c1 + 4 * ccs, ccs, s11);
+            neonStoreC(c2, ccs, s20);
+            neonStoreC(c2 + 4 * ccs, ccs, s21);
+            neonStoreC(c3, ccs, s30);
+            neonStoreC(c3 + 4 * ccs, ccs, s31);
+        }
+        for (; r < rows; ++r) {
+            const float *ar = a + r * ars;
+            float *cr = c + cOff[r] + j0 * ccs;
+            float32x4_t s0, s1;
+            if (first) {
+                s0 = s1 = vdupq_n_f32(0);
+            } else {
+                s0 = neonLoadC(cr, ccs);
+                s1 = neonLoadC(cr + 4 * ccs, ccs);
+            }
+            for (i64 kk = k0; kk < k1; ++kk) {
+                const float *brow = b + kk * brs + j0;
+                const float32x4_t av = vdupq_n_f32(ar[kk * acs]);
+                s0 = vfmaq_f32(s0, av, vld1q_f32(brow));
+                s1 = vfmaq_f32(s1, av, vld1q_f32(brow + 4));
+            }
+            neonStoreC(cr, ccs, s0);
+            neonStoreC(cr + 4 * ccs, ccs, s1);
+        }
+    }
+    if (nv < n)
+        gemmBlockScalar(a, ars, acs, b + nv, brs, 1, c + nv * ccs,
+                        cOff, ccs, rows, n - nv, k0, k1, first);
+}
+
+float
+dotNeon(const float *x, const float *y, i64 k)
+{
+    float32x4_t s0 = vdupq_n_f32(0);
+    float32x4_t s1 = vdupq_n_f32(0);
+    i64 kk = 0;
+    for (; kk + 8 <= k; kk += 8) {
+        s0 = vfmaq_f32(s0, vld1q_f32(x + kk), vld1q_f32(y + kk));
+        s1 = vfmaq_f32(s1, vld1q_f32(x + kk + 4), vld1q_f32(y + kk + 4));
+    }
+    float acc = vaddvq_f32(vaddq_f32(s0, s1));
+    for (; kk < k; ++kk)
+        acc += x[kk] * y[kk];
+    return acc;
+}
+
+#endif // SMARTMEM_SIMD_NEON
+
+/**
+ * Full strided GEMM driver: row tiles x k-blocks over the per-level
+ * block kernels.  `cOff` holds one absolute element offset per row
+ * (so packed/texture output channel bases need no uniform stride).
+ */
+void
+gemmStrided(SimdLevel simd, const TileParams &tiles, const float *a,
+            i64 ars, i64 acs, const float *b, i64 brs, i64 bcs, float *c,
+            const i64 *cOff, i64 ccs, i64 rows, i64 n, i64 k)
+{
+    const SimdLevel level = bcs == 1 ? simd : SimdLevel::Scalar;
+    for (i64 r0 = 0; r0 < rows; r0 += tiles.rowTile) {
+        const i64 rcnt = std::min(tiles.rowTile, rows - r0);
+        const float *ar = a + r0 * ars;
+        const i64 *co = cOff + r0;
+        for (i64 k0 = 0; k0 < k; k0 += tiles.kBlock) {
+            const i64 k1 = std::min(k0 + tiles.kBlock, k);
+            const bool first = k0 == 0;
+            switch (level) {
+#if SMARTMEM_SIMD_X86
+              case SimdLevel::Avx512:
+                gemmBlockAvx512(ar, ars, acs, b, brs, c, co, ccs, rcnt,
+                                n, k0, k1, first);
+                break;
+              case SimdLevel::Avx2:
+                gemmBlockAvx2(ar, ars, acs, b, brs, c, co, ccs, rcnt, n,
+                              k0, k1, first);
+                break;
+#endif
+#if SMARTMEM_SIMD_NEON
+              case SimdLevel::Neon:
+                gemmBlockNeon(ar, ars, acs, b, brs, c, co, ccs, rcnt, n,
+                              k0, k1, first);
+                break;
+#endif
+              default:
+                gemmBlockScalar(ar, ars, acs, b, brs, bcs, c, co, ccs,
+                                rcnt, n, k0, k1, first);
+                break;
             }
         }
     }
 }
 
-/** C[m x n] = A[m x k] * B[n x k]^T: blocked dot products. */
-void
-gemmTransB(const float *a, const float *b, float *c, std::int64_t m,
-           std::int64_t n, std::int64_t k)
+/** Contiguous dot kernel for the active level (transB inner loop). */
+float (*
+dotKernel(SimdLevel simd))(const float *, const float *, i64)
 {
-    for (std::int64_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-            const float *brow = b + j * k;
-            float acc = 0;
-            for (std::int64_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
+    switch (simd) {
+#if SMARTMEM_SIMD_X86
+      case SimdLevel::Avx512: return dotAvx512;
+      case SimdLevel::Avx2: return dotAvx2;
+#endif
+#if SMARTMEM_SIMD_NEON
+      case SimdLevel::Neon: return dotNeon;
+#endif
+      default: return dotScalar;
     }
+}
+
+TileParams
+sanitizeTiles(const TileParams &tiles)
+{
+    TileParams t;
+    t.rowTile = std::clamp<i64>(tiles.rowTile, 1, kMaxRowTile);
+    t.kBlock = std::clamp<i64>(tiles.kBlock, 16, 1 << 20);
+    return t;
 }
 
 } // namespace
 
 void
-blockedMatMul(const float *a, const float *b, float *c,
-              std::int64_t batch, bool bBatched, std::int64_t m,
-              std::int64_t n, std::int64_t k, bool transB,
-              const ParallelRunner &par)
+blockedMatMul(const MatView &a, const MatView &b, const MatMutView &c,
+              std::int64_t batch, std::int64_t m, std::int64_t n,
+              std::int64_t k, bool transB, SimdLevel simd,
+              const TileParams &tilesIn, const ParallelRunner &par)
 {
+    const TileParams tiles = sanitizeTiles(tilesIn);
     // Parallel grain: whole batch items when the batch is large
     // (attention's windowed BatchMatMuls), row blocks otherwise.
-    const std::int64_t row_blocks = (m + kRowTile - 1) / kRowTile;
+    const std::int64_t row_blocks =
+        (m + tiles.rowTile - 1) / tiles.rowTile;
     const std::int64_t tasks = batch * row_blocks;
+    const bool dotVec = a.cs == 1 && b.cs == 1;
+    float (*const dot)(const float *, const float *, i64) =
+        dotVec ? dotKernel(simd) : nullptr;
     par.run(tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+        std::array<i64, kMaxRowTile> cOff;
         for (std::int64_t t = t0; t < t1; ++t) {
             const std::int64_t bi = t / row_blocks;
-            const std::int64_t i0 = (t % row_blocks) * kRowTile;
-            const std::int64_t rows = std::min(kRowTile, m - i0);
-            const float *ap = a + (bi * m + i0) * k;
-            const float *bp = b + (bBatched ? bi * k * n : 0);
-            float *cp = c + (bi * m + i0) * n;
+            const std::int64_t i0 = (t % row_blocks) * tiles.rowTile;
+            const std::int64_t rows = std::min(tiles.rowTile, m - i0);
+            const float *ap = a.data + a.off(bi) + i0 * a.rs;
+            const float *bp = b.data + b.off(bi);
+            float *cp = c.data + c.off(bi) + i0 * c.rs;
+            for (i64 r = 0; r < rows; ++r)
+                cOff[static_cast<std::size_t>(r)] = r * c.rs;
             if (transB) {
-                gemmTransB(ap, bp, cp, rows, n, k);
+                for (i64 r = 0; r < rows; ++r) {
+                    const float *arow = ap + r * a.rs;
+                    float *crow = cp + r * c.rs;
+                    if (dot != nullptr) {
+                        for (i64 j = 0; j < n; ++j)
+                            crow[j * c.cs] = dot(arow, bp + j * b.rs, k);
+                    } else {
+                        for (i64 j = 0; j < n; ++j) {
+                            const float *brow = bp + j * b.rs;
+                            float acc = 0;
+                            for (i64 kk = 0; kk < k; ++kk)
+                                acc += arow[kk * a.cs] *
+                                       brow[kk * b.cs];
+                            crow[j * c.cs] = acc;
+                        }
+                    }
+                }
             } else {
-                std::memset(cp, 0,
-                            static_cast<std::size_t>(rows * n) *
-                                sizeof(float));
-                gemmRowMajor(ap, bp, cp, rows, n, k);
+                gemmStrided(simd, tiles, ap, a.rs, a.cs, bp, b.rs, b.cs,
+                            cp, cOff.data(), c.cs, rows, n, k);
             }
         }
     });
@@ -210,29 +775,38 @@ blockedMatMul(const float *a, const float *b, float *c,
 // -------------------------------------------------------------------
 
 void
-blockedConv2d(const float *x, const float *w, float *out,
-              std::int64_t n_batch, std::int64_t ic, std::int64_t h,
-              std::int64_t wdim, std::int64_t oc, std::int64_t oh,
-              std::int64_t ow, std::int64_t kh, std::int64_t kw,
-              std::int64_t stride, std::int64_t pad, std::int64_t groups,
-              const ParallelRunner &par, runtime::BufferPool &scratch)
+blockedConv2d(const float *x, const PlaneLayout &xl, const float *w,
+              float *out, const PlaneLayout &ol, std::int64_t n_batch,
+              std::int64_t ic, std::int64_t h, std::int64_t wdim,
+              std::int64_t oc, std::int64_t oh, std::int64_t ow,
+              std::int64_t kh, std::int64_t kw, std::int64_t stride,
+              std::int64_t pad, std::int64_t groups, const float *bias,
+              std::int64_t biasLen, SimdLevel simd,
+              const TileParams &tilesIn, const ParallelRunner &par,
+              runtime::BufferPool &scratch)
 {
+    SM_ASSERT(ol.sh == ol.sw * ow,
+              "blockedConv2d output layout must be pixel-linear");
+    const TileParams tiles = sanitizeTiles(tilesIn);
     const std::int64_t icg = ic / groups;
     const std::int64_t ocg = oc / groups;
     const std::int64_t cols = oh * ow;
     const std::int64_t col_rows = icg * kh * kw;
     float *col = scratch.allocateFloats(col_rows * cols);
+    std::vector<i64> rowOff(static_cast<std::size_t>(ocg));
 
     for (std::int64_t n = 0; n < n_batch; ++n) {
         for (std::int64_t g = 0; g < groups; ++g) {
-            const float *xg = x + (n * ic + g * icg) * h * wdim;
-            // im2col: row r = (c, dy, dx) over output pixels.
+            // im2col: row r = (c, dy, dx) over output pixels, reading
+            // x through its physical layout (vec4-packed channels and
+            // padded/texture-order rows stay in place).
             par.run(col_rows, 4, [&](std::int64_t r0, std::int64_t r1) {
                 for (std::int64_t r = r0; r < r1; ++r) {
                     const std::int64_t c = r / (kh * kw);
                     const std::int64_t dy = (r / kw) % kh;
                     const std::int64_t dx = r % kw;
-                    const float *xplane = xg + c * h * wdim;
+                    const float *xplane =
+                        x + xl.planeOff(n, g * icg + c);
                     float *crow = col + r * cols;
                     for (std::int64_t y = 0; y < oh; ++y) {
                         const std::int64_t iy = y * stride + dy - pad;
@@ -243,8 +817,8 @@ blockedConv2d(const float *x, const float *w, float *out,
                                             sizeof(float));
                             continue;
                         }
-                        const float *xrow = xplane + iy * wdim;
-                        if (stride == 1) {
+                        const float *xrow = xplane + iy * xl.sh;
+                        if (stride == 1 && xl.sw == 1) {
                             // Contiguous middle, zero-padded edges.
                             for (std::int64_t xo = 0; xo < ow; ++xo) {
                                 const std::int64_t ix = xo + dx - pad;
@@ -258,21 +832,32 @@ blockedConv2d(const float *x, const float *w, float *out,
                                     xo * stride + dx - pad;
                                 dst[xo] = (ix < 0 || ix >= wdim)
                                               ? 0.0f
-                                              : xrow[ix];
+                                              : xrow[ix * xl.sw];
                             }
                         }
                     }
                 }
             });
-            // GEMM: out[g-channels][pixels] = W[ocg x col_rows] * col.
+            // GEMM: out[g-channels][pixels] = W[ocg x col_rows] * col,
+            // writing each channel at its (possibly packed) base.
             const float *wg = w + g * ocg * col_rows;
-            float *og = out + (n * oc + g * ocg) * cols;
+            for (std::int64_t o = 0; o < ocg; ++o)
+                rowOff[static_cast<std::size_t>(o)] =
+                    ol.planeOff(n, g * ocg + o);
             par.run(ocg, 1, [&](std::int64_t o0, std::int64_t o1) {
-                std::memset(og + o0 * cols, 0,
-                            static_cast<std::size_t>((o1 - o0) * cols) *
-                                sizeof(float));
-                gemmRowMajor(wg + o0 * col_rows, col, og + o0 * cols,
-                             o1 - o0, cols, col_rows);
+                gemmStrided(simd, tiles, wg + o0 * col_rows, col_rows,
+                            1, col, cols, 1, out, rowOff.data() + o0,
+                            ol.sw, o1 - o0, cols, col_rows);
+                if (bias != nullptr) {
+                    for (std::int64_t o = o0; o < o1; ++o) {
+                        const float bv =
+                            bias[(g * ocg + o) % biasLen];
+                        float *orow =
+                            out + rowOff[static_cast<std::size_t>(o)];
+                        for (std::int64_t p = 0; p < cols; ++p)
+                            orow[p * ol.sw] += bv;
+                    }
+                }
             });
         }
     }
@@ -280,7 +865,8 @@ blockedConv2d(const float *x, const float *w, float *out,
 }
 
 void
-blockedDepthwiseConv2d(const float *x, const float *w, float *out,
+blockedDepthwiseConv2d(const float *x, const PlaneLayout &xl,
+                       const float *w, float *out, const PlaneLayout &ol,
                        std::int64_t n_batch, std::int64_t c,
                        std::int64_t h, std::int64_t wdim, std::int64_t oh,
                        std::int64_t ow, std::int64_t kh, std::int64_t kw,
@@ -289,9 +875,11 @@ blockedDepthwiseConv2d(const float *x, const float *w, float *out,
 {
     par.run(n_batch * c, 1, [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t p = p0; p < p1; ++p) {
-            const float *xp = x + p * h * wdim;
-            const float *wp = w + (p % c) * kh * kw;
-            float *op = out + p * oh * ow;
+            const std::int64_t n = p / c;
+            const std::int64_t ch = p % c;
+            const float *xp = x + xl.planeOff(n, ch);
+            const float *wp = w + ch * kh * kw;
+            float *op = out + ol.planeOff(n, ch);
             for (std::int64_t y = 0; y < oh; ++y) {
                 for (std::int64_t xo = 0; xo < ow; ++xo) {
                     float acc = 0;
@@ -299,17 +887,17 @@ blockedDepthwiseConv2d(const float *x, const float *w, float *out,
                         const std::int64_t iy = y * stride + dy - pad;
                         if (iy < 0 || iy >= h)
                             continue;
-                        const float *xrow = xp + iy * wdim;
+                        const float *xrow = xp + iy * xl.sh;
                         const float *wrow = wp + dy * kw;
                         for (std::int64_t dx = 0; dx < kw; ++dx) {
                             const std::int64_t ix =
                                 xo * stride + dx - pad;
                             if (ix < 0 || ix >= wdim)
                                 continue;
-                            acc += xrow[ix] * wrow[dx];
+                            acc += xrow[ix * xl.sw] * wrow[dx];
                         }
                     }
-                    op[y * ow + xo] = acc;
+                    op[y * ol.sh + xo * ol.sw] = acc;
                 }
             }
         }

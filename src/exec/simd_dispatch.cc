@@ -1,0 +1,84 @@
+#include "exec/simd_dispatch.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::exec {
+namespace {
+
+std::string availableLevelNames() {
+    std::vector<std::string> names;
+    for (SimdLevel level : availableSimdLevels())
+        names.push_back(simdLevelName(level));
+    return joinStrings(names, ", ");
+}
+
+}  // namespace
+
+const char *simdLevelName(SimdLevel level) {
+    switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Neon: return "neon";
+    case SimdLevel::Avx2: return "avx2";
+    case SimdLevel::Avx512: return "avx512";
+    }
+    return "scalar";
+}
+
+std::optional<SimdLevel> parseSimdLevel(const std::string &name) {
+    if (name == "scalar") return SimdLevel::Scalar;
+    if (name == "neon") return SimdLevel::Neon;
+    if (name == "avx2") return SimdLevel::Avx2;
+    if (name == "avx512") return SimdLevel::Avx512;
+    return std::nullopt;
+}
+
+SimdLevel detectSimdLevel() {
+#if SMARTMEM_SIMD_X86
+    static const SimdLevel detected = [] {
+        if (__builtin_cpu_supports("avx512f")) return SimdLevel::Avx512;
+        if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+            return SimdLevel::Avx2;
+        return SimdLevel::Scalar;
+    }();
+    return detected;
+#elif SMARTMEM_SIMD_NEON
+    // NEON is architecturally guaranteed on AArch64.
+    return SimdLevel::Neon;
+#else
+    return SimdLevel::Scalar;
+#endif
+}
+
+const std::vector<SimdLevel> &availableSimdLevels() {
+    static const std::vector<SimdLevel> levels = [] {
+        std::vector<SimdLevel> out{SimdLevel::Scalar};
+#if SMARTMEM_SIMD_X86
+        if (detectSimdLevel() >= SimdLevel::Avx2) out.push_back(SimdLevel::Avx2);
+        if (detectSimdLevel() >= SimdLevel::Avx512)
+            out.push_back(SimdLevel::Avx512);
+#elif SMARTMEM_SIMD_NEON
+        out.push_back(SimdLevel::Neon);
+#endif
+        return out;
+    }();
+    return levels;
+}
+
+SimdLevel activeSimdLevel() {
+    const char *env = std::getenv("SMARTMEM_SIMD");
+    if (env == nullptr || *env == '\0') return detectSimdLevel();
+    const std::optional<SimdLevel> forced = parseSimdLevel(env);
+    if (!forced.has_value())
+        smFatal("unknown SMARTMEM_SIMD level '" + std::string(env) +
+                "' (available: " + availableLevelNames() + ")");
+    for (SimdLevel level : availableSimdLevels())
+        if (level == *forced) return *forced;
+    smFatal("SMARTMEM_SIMD=" + std::string(env) +
+            " is not executable on this host (available: " +
+            availableLevelNames() + ")");
+}
+
+}  // namespace smartmem::exec

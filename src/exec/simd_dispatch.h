@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime CPU-feature dispatch for the blocked execution kernels.
+ *
+ * The blocked backend ships one portable scalar inner loop (the
+ * always-correct fallback) plus explicit vector micro-kernels for the
+ * instruction sets a host may expose.  Which one runs is decided at
+ * *runtime*, never at configure time: a single binary built on any
+ * x86-64 toolchain carries the AVX2 and AVX-512 paths (as
+ * target-attributed functions) and picks the widest one the CPU
+ * reports via CPUID; an AArch64 build carries the NEON path.
+ *
+ * For testing and attribution the choice can be forced with the
+ * `SMARTMEM_SIMD` environment variable (`avx512`, `avx2`, `neon` or
+ * `scalar`).  Requesting a level the host cannot execute is a hard
+ * error, not a silent downgrade -- a CI job that forces `avx2` must
+ * never accidentally validate the scalar path.
+ */
+#ifndef SMARTMEM_EXEC_SIMD_DISPATCH_H
+#define SMARTMEM_EXEC_SIMD_DISPATCH_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Compile-time availability of the vector paths.  The x86 kernels use
+/// GCC/Clang `target` attributes so they compile without global -mavx*
+/// flags; MSVC has no equivalent, so an MSVC build is scalar-only.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(_MSC_VER)
+#define SMARTMEM_SIMD_X86 1
+#else
+#define SMARTMEM_SIMD_X86 0
+#endif
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define SMARTMEM_SIMD_NEON 1
+#else
+#define SMARTMEM_SIMD_NEON 0
+#endif
+
+namespace smartmem::exec {
+
+/** Vector instruction sets the blocked kernels dispatch over, in
+ *  ascending width order.  Scalar is always executable. */
+enum class SimdLevel {
+    Scalar = 0,  ///< portable blocked loop (any host)
+    Neon = 1,    ///< 128-bit AArch64 NEON
+    Avx2 = 2,    ///< 256-bit AVX2 + FMA
+    Avx512 = 3,  ///< 512-bit AVX-512F
+};
+
+/** Lower-case name as accepted by SMARTMEM_SIMD ("avx2", ...). */
+const char *simdLevelName(SimdLevel level);
+
+/** Parse a SMARTMEM_SIMD value; nullopt for unknown names. */
+std::optional<SimdLevel> parseSimdLevel(const std::string &name);
+
+/** Levels this binary+host can actually execute, widest last.
+ *  Always contains Scalar. */
+const std::vector<SimdLevel> &availableSimdLevels();
+
+/** Widest level the host CPU supports (cached CPUID probe). */
+SimdLevel detectSimdLevel();
+
+/**
+ * The level the blocked kernels should use *now*: the SMARTMEM_SIMD
+ * override when set (re-read on every call so tests can flip it
+ * between runs), otherwise detectSimdLevel().  An unknown name or a
+ * level the host cannot execute raises FatalError listing the
+ * available levels.
+ */
+SimdLevel activeSimdLevel();
+
+}  // namespace smartmem::exec
+
+#endif  // SMARTMEM_EXEC_SIMD_DISPATCH_H

@@ -42,6 +42,8 @@ class CpuBlockedExecutor final : public PlanExecutor
         exec::CpuBackendOptions o;
         o.threads = opts.threads;
         o.seed = opts.seed;
+        o.gemmRowTile = opts.gemmRowTile;
+        o.gemmKBlock = opts.gemmKBlock;
         backend_ = exec::CpuBackend(o);
     }
 

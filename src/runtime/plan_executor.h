@@ -41,6 +41,12 @@ struct ExecutorOptions
     /** Seed for synthesized constants; executions to be compared must
      *  use the same seed. */
     std::uint64_t seed = 1234;
+
+    /** GEMM tile parameters for the cpu-blocked backend, usually from
+     *  exec::resolveTileParams() on the target's DeviceProfile; 0 =
+     *  kernel defaults.  The reference backend ignores them. */
+    std::int64_t gemmRowTile = 0;
+    std::int64_t gemmKBlock = 0;
 };
 
 /** A plan execution engine. */

@@ -66,6 +66,9 @@ fieldMutators()
         [](DeviceProfile &p) { p.registersPerThread += 1; },
         [](DeviceProfile &p) { p.relayoutElemsPerSec *= 2; },
         [](DeviceProfile &p) { p.bufferConvPenalty *= 0.5; },
+        [](DeviceProfile &p) { p.l1CacheBytes += 32768; },
+        [](DeviceProfile &p) { p.gemmRowTile += 8; },
+        [](DeviceProfile &p) { p.gemmKBlock += 128; },
     };
 }
 

@@ -66,6 +66,8 @@
 #include "core/smartmem_compiler.h"
 #include "device/device_registry.h"
 #include "exec/executor.h"
+#include "exec/kernels_blocked.h"
+#include "exec/simd_dispatch.h"
 #include "ir/macs.h"
 #include "models/models.h"
 #include "opclass/opclass.h"
@@ -334,6 +336,9 @@ cmdRun(int argc, char **argv)
 
     runtime::ExecutorOptions eo;
     eo.threads = threads;
+    const exec::TileParams tiles = exec::resolveTileParams(dev);
+    eo.gemmRowTile = tiles.rowTile;
+    eo.gemmKBlock = tiles.kBlock;
     std::unique_ptr<runtime::PlanExecutor> be;
     try {
         be = runtime::makeExecutor(backend, eo);
@@ -341,6 +346,11 @@ cmdRun(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
+    // The reference backend is scalar by construction; cpu-blocked
+    // dispatches at runtime (SMARTMEM_SIMD overrides detection).
+    const char *simd = backend == "cpu-blocked"
+                           ? exec::simdLevelName(exec::activeSimdLevel())
+                           : "scalar";
 
     exec::Executor ex(eo.seed);
     auto inputs = exec::makeSeededInputs(plan->graph, ex);
@@ -364,11 +374,13 @@ cmdRun(int argc, char **argv)
         for (std::int64_t i = 0; i < t.numElements(); ++i)
             checksum += static_cast<double>(t.at(i));
     std::printf("backend %-12s: median %.1f ms, %.2f inferences/s "
-                "(%d threads)\n",
+                "(%d threads, simd %s, tile %lldx%lld)\n",
                 be->name().c_str(), median,
                 1e3 * batch / median,
                 eo.threads > 0 ? eo.threads
-                               : support::defaultThreadCount());
+                               : support::defaultThreadCount(),
+                simd, static_cast<long long>(tiles.rowTile),
+                static_cast<long long>(tiles.kBlock));
     if (be->poolHighWaterBytes() > 0) {
         std::printf("  pool high-water %s\n",
                     formatBytes(static_cast<std::uint64_t>(
