@@ -1,18 +1,24 @@
 #include "core/compile_session.h"
 
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
-#include "models/models.h"
+#include "models/graph_source.h"
+#include "models/model_registry.h"
+#include "serialize/graph_text.h"
 #include "support/error.h"
 #include "support/strings.h"
 
 namespace smartmem::core {
 
+namespace {
+
+// Shared tail of fingerprint()/pipelineFingerprint(): everything that
+// selects the pipeline configuration, batch excluded.
 std::string
-CompileOptions::fingerprint() const
+pipelineSuffix(int stage, const SmartMemOptions &pipeline)
 {
-    SM_REQUIRE(batch >= 1, "batch must be >= 1");
     SM_REQUIRE(stage >= -1 && stage <= 3, "stage must be -1..3");
     // Staged compiles override the toggles (compileStage); encode the
     // effective configuration so stage presets and hand-built options
@@ -24,8 +30,7 @@ CompileOptions::fingerprint() const
         e.enableLayoutSelect = stage >= 2;
         e.enableTextureMapping = stage >= 3;
     }
-    std::string fp = "v1;batch=" + std::to_string(batch);
-    fp += ";stage=" + std::to_string(stage);
+    std::string fp = "stage=" + std::to_string(stage);
     fp += ";lte=" + std::to_string(e.enableLte ? 1 : 0);
     fp += ";idx=" + std::to_string(e.enableIndexSimplify ? 1 : 0);
     fp += ";sel=" + std::to_string(e.enableLayoutSelect ? 1 : 0);
@@ -33,6 +38,22 @@ CompileOptions::fingerprint() const
     fp += ";tuner=" + std::to_string(e.enableTuner ? 1 : 0);
     fp += ";copies=" + std::to_string(e.allowRedundantCopies ? 1 : 0);
     return fp;
+}
+
+} // namespace
+
+std::string
+CompileOptions::fingerprint() const
+{
+    SM_REQUIRE(batch >= 1, "batch must be >= 1");
+    return "v1;batch=" + std::to_string(batch) + ";" +
+           pipelineSuffix(stage, pipeline);
+}
+
+std::string
+CompileOptions::pipelineFingerprint() const
+{
+    return "p1;" + pipelineSuffix(stage, pipeline);
 }
 
 // The device side of the cache key is DeviceProfile::fingerprint():
@@ -53,12 +74,14 @@ CompileSession::CompileSession(device::DeviceProfile dev, int nThreads)
 }
 
 void
-CompileSession::setPlanCacheDir(const std::string &dir)
+CompileSession::setPlanCacheDir(const std::string &dir,
+                                std::int64_t maxBytes)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    planCache_ = dir.empty()
-                     ? nullptr
-                     : std::make_shared<const PlanCacheDir>(dir);
+    planCache_ =
+        dir.empty()
+            ? nullptr
+            : std::make_shared<const PlanCacheDir>(dir, maxBytes);
 }
 
 std::shared_ptr<const PlanCacheDir>
@@ -77,16 +100,34 @@ CompileSession::threadCount() const
 std::shared_ptr<const runtime::ExecutionPlan>
 CompileSession::compileCached(const Job &job)
 {
-    const std::string key =
-        devFingerprint_ + "|model=" + job.model + "|" +
-        job.options.fingerprint();
+    return compileSource(models::ModelRegistry::builtins().find(job.model),
+                         job.options);
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileModel(const std::string &model,
+                             const CompileOptions &options)
+{
+    return compileCached({model, options});
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileSource(const models::GraphSource &source,
+                              const CompileOptions &options)
+{
+    const std::string aliasKey = devFingerprint_ + "|source=" +
+                                 source.name() + "|" +
+                                 options.fingerprint();
     std::shared_ptr<const PlanCacheDir> disk;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++stats_.cacheHits;
-            return it->second;
+        auto alias = aliasMap_.find(aliasKey);
+        if (alias != aliasMap_.end()) {
+            auto it = cache_.find(alias->second);
+            if (it != cache_.end()) {
+                ++stats_.cacheHits;
+                return it->second;
+            }
         }
         ++stats_.cacheMisses;
         disk = planCache_;
@@ -100,20 +141,109 @@ CompileSession::compileCached(const Job &job)
     // nThreads == 1 reproduces the fully serial pipeline.  Results
     // are bit-identical either way.
     support::ThreadBudgetGuard budget(threadCount());
-    ir::Graph g = models::buildModel(job.model, job.options.batch);
 
-    // In-memory miss: a warm on-disk entry replaces the whole
-    // plan/select/tune pass with a read.  The graph is rebuilt either
-    // way (the cheap, deterministic part); entries are validated
-    // against its *canonicalized* form, because that -- not the raw
-    // builder output -- is the graph compiled plans carry.
+    // Warm disk path: resolve the alias record to a canonical key and
+    // load the plan against its adjacent serialized graph.  No
+    // builder runs and no graph is constructed in this process.
+    runtime::ExecutionPlan plan;
+    bool loaded = false;
+    std::string key;
+    std::optional<std::string> target;
+    if (disk) {
+        target = disk->loadAlias(aliasKey);
+        if (target) {
+            if (auto cached = disk->load(*target)) {
+                plan = std::move(*cached);
+                key = *target;
+                loaded = true;
+            }
+        }
+    }
+
+    ir::Graph canon; // built only on the cold path
+    if (!loaded) {
+        canon = canonicalizeGraph(source.build(options.batch));
+        key = devFingerprint_ + "|graph=" +
+              serialize::graphSignature(canon) + "|" +
+              options.pipelineFingerprint();
+        {
+            // A differently-named source of this exact canonical
+            // graph (or a compileGraph call) may have populated the
+            // entry already; then this lookup was really a hit, and
+            // the disk counters stay untouched.
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = cache_.find(key);
+            if (it != cache_.end()) {
+                aliasMap_.emplace(aliasKey, key);
+                --stats_.cacheMisses;
+                ++stats_.cacheHits;
+                return it->second;
+            }
+        }
+        // The alias may be stale/corrupt while the canonical entry is
+        // fine -- retry under the canonical key unless that is the
+        // entry that just failed to load.
+        if (disk && (!target || *target != key)) {
+            if (disk->contains(key)) {
+                if (auto cached = disk->load(key, ir::Graph(canon))) {
+                    plan = std::move(*cached);
+                    loaded = true;
+                }
+            }
+        }
+    }
+
+    if (disk) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++(loaded ? stats_.diskHits : stats_.diskMisses);
+    }
+    if (!loaded) {
+        plan = options.stage >= 0
+            ? compileStage(canon, dev_, options.stage)
+            : compileSmartMem(canon, dev_, options.pipeline);
+        plan.cacheKey = key;
+        if (disk)
+            disk->store(plan);
+    }
+    if (disk && (!target || *target != key))
+        disk->storeAlias(aliasKey, key);
+
+    auto sp = std::make_shared<const runtime::ExecutionPlan>(
+        std::move(plan));
+    std::lock_guard<std::mutex> lock(mu_);
+    // Two threads may race to compile the same key; both plans are
+    // identical, keep the first inserted.
+    auto [it, inserted] = cache_.emplace(key, sp);
+    aliasMap_.emplace(aliasKey, key);
+    return it->second;
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileGraph(const ir::Graph &graph,
+                             const CompileOptions &options)
+{
+    support::ThreadBudgetGuard budget(threadCount());
+    ir::Graph canon = canonicalizeGraph(graph);
+    const std::string key = devFingerprint_ + "|graph=" +
+                            serialize::graphSignature(canon) + "|" +
+                            options.pipelineFingerprint();
+    std::shared_ptr<const PlanCacheDir> disk;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++stats_.cacheHits;
+            return it->second;
+        }
+        ++stats_.cacheMisses;
+        disk = planCache_;
+    }
+
     runtime::ExecutionPlan plan;
     bool loaded = false;
     if (disk) {
-        // contains() gates the canonicalization so a cold cache pays
-        // for an existence probe, not a graph rewrite, per model.
         if (disk->contains(key)) {
-            if (auto cached = disk->load(key, canonicalizeGraph(g))) {
+            if (auto cached = disk->load(key, ir::Graph(canon))) {
                 plan = std::move(*cached);
                 loaded = true;
             }
@@ -122,9 +252,9 @@ CompileSession::compileCached(const Job &job)
         ++(loaded ? stats_.diskHits : stats_.diskMisses);
     }
     if (!loaded) {
-        plan = job.options.stage >= 0
-            ? compileStage(g, dev_, job.options.stage)
-            : compileSmartMem(g, dev_, job.options.pipeline);
+        plan = options.stage >= 0
+            ? compileStage(canon, dev_, options.stage)
+            : compileSmartMem(canon, dev_, options.pipeline);
         plan.cacheKey = key;
         if (disk)
             disk->store(plan);
@@ -133,17 +263,8 @@ CompileSession::compileCached(const Job &job)
     auto sp = std::make_shared<const runtime::ExecutionPlan>(
         std::move(plan));
     std::lock_guard<std::mutex> lock(mu_);
-    // Two threads may race to compile the same key; both plans are
-    // identical, keep the first inserted.
     auto [it, inserted] = cache_.emplace(key, sp);
     return it->second;
-}
-
-std::shared_ptr<const runtime::ExecutionPlan>
-CompileSession::compileModel(const std::string &model,
-                             const CompileOptions &options)
-{
-    return compileCached({model, options});
 }
 
 std::vector<std::shared_ptr<const runtime::ExecutionPlan>>
@@ -200,6 +321,7 @@ CompileSession::clearCache()
 {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.clear();
+    aliasMap_.clear();
     stats_ = CompileStats();
 }
 

@@ -10,6 +10,23 @@
  * ExecutionPlan under a canonical key, so repeated compilations hit
  * the cache instead of re-running plan/select/tune.
  *
+ * Cache keys are two-level.  The *canonical* key identifies what a
+ * plan actually depends on -- the device fingerprint, the signature
+ * of the canonicalized graph, and the pipeline fingerprint:
+ *
+ *   <devFp>|graph=<graphSignature(canon)>|<pipelineFingerprint()>
+ *
+ * so a zoo model, the same model re-imported from a `.smgraph` file,
+ * and a hand-built equal graph all share one entry.  A cheap *alias*
+ * key identifies how the caller named the graph:
+ *
+ *   <devFp>|source=<GraphSource name>|<options.fingerprint()>
+ *
+ * and maps (in memory, and as .alias records on disk) to a canonical
+ * key, so a warm lookup by model name never builds or canonicalizes
+ * a graph at all: PlanCacheDir resolves the alias and loads the plan
+ * against its adjacent serialized graph.
+ *
  * Determinism: compilation is a pure function of (model, batch,
  * device, options) -- there are no mutable globals anywhere in the
  * pipeline and the tuner RNG is seeded from the options -- so plans
@@ -34,6 +51,10 @@
 #include "device/device_profile.h"
 #include "runtime/plan.h"
 #include "support/thread_pool.h"
+
+namespace smartmem::models {
+class GraphSource;
+} // namespace smartmem::models
 
 namespace smartmem::core {
 
@@ -63,6 +84,16 @@ struct CompileOptions
      * never a hash -- so distinct configurations can never alias.
      */
     std::string fingerprint() const;
+
+    /**
+     * fingerprint() minus the batch: the pipeline-only component of
+     * canonical cache keys.  Batch is a graph-construction parameter
+     * -- the canonicalized graph's signature already captures it --
+     * so keying plans on (graph signature, pipeline fingerprint)
+     * lets differently-named sources of the same graph share one
+     * entry without ever aliasing distinct configurations.
+     */
+    std::string pipelineFingerprint() const;
 };
 
 /** Plan-cache effectiveness counters. */
@@ -108,8 +139,11 @@ class CompileSession
      * disables).  Subsequent in-memory misses first try
      * PlanCacheDir::load() and fall back to compiling + storing, so
      * a warm directory turns every compile into a disk read.
+     * `maxBytes` is the PlanCacheDir auto-GC byte cap (default -1 =
+     * SMARTMEM_PLAN_CACHE_MAX_BYTES, 0 = disabled).
      */
-    void setPlanCacheDir(const std::string &dir);
+    void setPlanCacheDir(const std::string &dir,
+                         std::int64_t maxBytes = -1);
 
     /** The configured on-disk cache, or null. */
     std::shared_ptr<const PlanCacheDir> planCacheDir() const;
@@ -119,9 +153,33 @@ class CompileSession
 
     /** Compile one zoo model on the calling thread (cached).  Plans
      *  are shared out of the cache, never deep-copied: a hit costs a
-     *  lookup, not an ExecutionPlan+Graph copy. */
+     *  lookup, not an ExecutionPlan+Graph copy.  Equivalent to
+     *  compileSource(ModelRegistry::builtins().find(model), ...). */
     std::shared_ptr<const runtime::ExecutionPlan>
     compileModel(const std::string &model,
+                 const CompileOptions &options = CompileOptions());
+
+    /**
+     * Compile a graph from any source (zoo builder, loaded .smgraph
+     * file, ...), cached under its alias key (see file header).  The
+     * source's build() only runs when neither the in-memory cache nor
+     * the on-disk cache can resolve the alias -- a warm disk cache
+     * serves plans by name without constructing a single graph.
+     * `options.batch` is forwarded to build() on that cold path.
+     */
+    std::shared_ptr<const runtime::ExecutionPlan>
+    compileSource(const models::GraphSource &source,
+                  const CompileOptions &options = CompileOptions());
+
+    /**
+     * Compile an already-built graph, cached under its canonical key
+     * (device + canonicalized-graph signature + pipeline
+     * fingerprint).  `options.batch` is ignored: the graph's shapes
+     * already encode it.  A zoo model and a byte-identical imported
+     * graph share one cache entry and yield the same shared plan.
+     */
+    std::shared_ptr<const runtime::ExecutionPlan>
+    compileGraph(const ir::Graph &graph,
                  const CompileOptions &options = CompileOptions());
 
     /** Compile arbitrary jobs across the pool; results are collected
@@ -149,8 +207,12 @@ class CompileSession
      *  under a worker mid-lookup; null when disabled. */
     std::shared_ptr<const PlanCacheDir> planCache_;
     mutable std::mutex mu_;
+    /** Canonical key -> plan.  The only map that owns plans. */
     std::map<std::string, std::shared_ptr<const runtime::ExecutionPlan>>
         cache_;
+    /** Alias key -> canonical key, so repeat compiles of a named
+     *  source skip building the graph entirely. */
+    std::map<std::string, std::string> aliasMap_;
     CompileStats stats_;
 };
 

@@ -4,11 +4,21 @@
 #include <utility>
 
 #include "baselines/baselines.h"
+#include "models/graph_source.h"
+#include "models/model_registry.h"
 #include "models/models.h"
 #include "support/error.h"
 #include "support/strings.h"
 
 namespace smartmem::core {
+
+CompilerResult
+Compiler::compileSource(CompileSession &session,
+                        const models::GraphSource &source,
+                        const CompileOptions &options) const
+{
+    return compile(session, source.name(), options);
+}
 
 namespace {
 
@@ -29,6 +39,14 @@ class SmartMemCompiler : public Compiler
                            const CompileOptions &options) const override
     {
         return {true, "", session.compileModel(model, options)};
+    }
+
+    CompilerResult
+    compileSource(CompileSession &session,
+                  const models::GraphSource &source,
+                  const CompileOptions &options) const override
+    {
+        return {true, "", session.compileSource(source, options)};
     }
 };
 
@@ -61,6 +79,16 @@ class StageCompiler : public Compiler
         return {true, "", session.compileModel(model, staged)};
     }
 
+    CompilerResult
+    compileSource(CompileSession &session,
+                  const models::GraphSource &source,
+                  const CompileOptions &options) const override
+    {
+        CompileOptions staged = options;
+        staged.stage = stage_;
+        return {true, "", session.compileSource(source, staged)};
+    }
+
   private:
     int stage_;
     std::string label_;
@@ -89,10 +117,20 @@ class BaselineCompiler : public Compiler
                            const std::string &model,
                            const CompileOptions &options) const override
     {
+        return compileSource(
+            session, models::ModelRegistry::builtins().find(model),
+            options);
+    }
+
+    CompilerResult
+    compileSource(CompileSession &session,
+                  const models::GraphSource &source,
+                  const CompileOptions &options) const override
+    {
         SM_REQUIRE(options.stage < 0,
                    "staged compilation is a smartmem-family option "
                    "(use smartmem-stage0..3)");
-        ir::Graph g = models::buildModel(model, options.batch);
+        ir::Graph g = source.build(options.batch);
         baselines::CompileResult r =
             framework_->compile(g, session.device());
         if (!r.supported)

@@ -73,6 +73,21 @@ class Compiler
                                    const std::string &model,
                                    const CompileOptions &options) const
         = 0;
+
+    /**
+     * Compile a graph from any GraphSource -- a zoo registry entry or
+     * a file-loaded `.smgraph` (`smartmem_cli --graph-file`).  The
+     * smartmem family flows through session.compileSource(), so
+     * identical graphs share cache entries regardless of where they
+     * came from; baselines build the graph and compile it directly.
+     * The base default forwards to compile() with the source's name,
+     * which only resolves for registry-named sources -- every
+     * built-in overrides it.
+     */
+    virtual CompilerResult
+    compileSource(CompileSession &session,
+                  const models::GraphSource &source,
+                  const CompileOptions &options) const;
 };
 
 /** Name-keyed catalog of compilers (see file header). */

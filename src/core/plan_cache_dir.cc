@@ -1,17 +1,25 @@
 #include "core/plan_cache_dir.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <random>
+#include <set>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "serialize/graph_text.h"
 #include "serialize/plan_text.h"
+#include "serialize/text_reader.h"
 #include "support/error.h"
 #include "support/hash.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace smartmem::core {
 
@@ -36,19 +44,65 @@ sanitizeKey(const std::string &key)
     return out;
 }
 
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+}
+
+std::int64_t
+envMaxBytes()
+{
+    const char *env = std::getenv("SMARTMEM_PLAN_CACHE_MAX_BYTES");
+    if (!env || *env == '\0')
+        return 0;
+    auto v = parseInt64(env);
+    if (!v) {
+        SM_WARN("plan cache: ignoring malformed "
+                "SMARTMEM_PLAN_CACHE_MAX_BYTES '" << env << "'");
+        return 0;
+    }
+    return *v > 0 ? *v : 0;
+}
+
 } // namespace
 
-PlanCacheDir::PlanCacheDir(std::string dir) : dir_(std::move(dir))
+PlanCacheDir::PlanCacheDir(std::string dir, std::int64_t maxBytes)
+    : dir_(std::move(dir)),
+      maxBytes_(maxBytes < 0 ? envMaxBytes()
+                             : (maxBytes > 0 ? maxBytes : 0))
 {
     SM_REQUIRE(!dir_.empty(), "plan cache directory must be non-empty");
 }
 
 std::string
-PlanCacheDir::entryPath(const std::string &cacheKey) const
+PlanCacheDir::basePath(const std::string &key) const
 {
     return (fs::path(dir_) /
-            (sanitizeKey(cacheKey) + "-" + fnv1aHex(cacheKey) + ".plan"))
-        .string();
+            (sanitizeKey(key) + "-" + fnv1aHex(key))).string();
+}
+
+std::string
+PlanCacheDir::entryPath(const std::string &cacheKey) const
+{
+    return basePath(cacheKey) + ".plan";
+}
+
+std::string
+PlanCacheDir::graphPath(const std::string &cacheKey) const
+{
+    return basePath(cacheKey) + ".graph";
+}
+
+std::string
+PlanCacheDir::aliasPath(const std::string &aliasKey) const
+{
+    return basePath(aliasKey) + ".alias";
 }
 
 bool
@@ -62,19 +116,21 @@ std::optional<runtime::ExecutionPlan>
 PlanCacheDir::load(const std::string &cacheKey, ir::Graph graph) const
 {
     const std::string path = entryPath(cacheKey);
-    std::ifstream f(path);
-    if (!f)
+    auto text = readFile(path);
+    if (!text)
         return std::nullopt; // plain miss: no entry on disk
-    std::ostringstream buf;
-    buf << f.rdbuf();
     try {
         runtime::ExecutionPlan plan =
-            serialize::parsePlan(buf.str(), std::move(graph));
+            serialize::parsePlan(*text, std::move(graph));
         if (plan.cacheKey != cacheKey) {
             SM_WARN("plan cache: " << path
                     << " holds a different key; ignoring");
             return std::nullopt;
         }
+        // Touch the entry: .plan mtime is the LRU recency gc() evicts
+        // by, so serving a plan keeps it resident.
+        std::error_code ec;
+        fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
         return plan;
     } catch (const std::exception &e) {
         // Corrupt / stale-format / wrong-graph entries are recompiled,
@@ -85,22 +141,35 @@ PlanCacheDir::load(const std::string &cacheKey, ir::Graph graph) const
     }
 }
 
-bool
-PlanCacheDir::store(const runtime::ExecutionPlan &plan) const
+std::optional<runtime::ExecutionPlan>
+PlanCacheDir::load(const std::string &cacheKey) const
 {
-    if (plan.cacheKey.empty()) {
-        SM_WARN("plan cache: refusing to store a plan without a "
-                "cache key");
-        return false;
+    if (!contains(cacheKey))
+        return std::nullopt; // plain miss
+    const std::string gpath = graphPath(cacheKey);
+    auto gtext = readFile(gpath);
+    if (!gtext) {
+        SM_WARN("plan cache: entry " << entryPath(cacheKey)
+                << " has no adjacent graph file; ignoring");
+        return std::nullopt;
     }
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec) {
-        SM_WARN("plan cache: cannot create " << dir_ << ": "
-                << ec.message());
-        return false;
+    try {
+        // parseGraph validates structurally; parsePlan (inside the
+        // two-arg load) then validates the plan's recorded signature
+        // against this graph, so a swapped or stale .graph file is a
+        // miss, not a wrong answer.
+        return load(cacheKey, serialize::parseGraph(*gtext));
+    } catch (const std::exception &e) {
+        SM_WARN("plan cache: ignoring unreadable graph " << gpath
+                << ": " << e.what());
+        return std::nullopt;
     }
-    const std::string path = entryPath(plan.cacheKey);
+}
+
+bool
+PlanCacheDir::writeAtomic(const std::string &path,
+                          const std::string &text) const
+{
     // Unique temp name per writer + atomic rename: concurrent writers
     // (threads or processes) race benignly -- both write identical
     // bytes and a reader only ever sees a complete file.
@@ -109,13 +178,14 @@ PlanCacheDir::store(const runtime::ExecutionPlan &plan) const
     const std::string tmp = path + ".tmp" +
                             std::to_string(process_token) + "." +
                             std::to_string(counter.fetch_add(1));
+    std::error_code ec;
     {
         std::ofstream f(tmp);
         if (!f) {
             SM_WARN("plan cache: cannot write " << tmp);
             return false;
         }
-        f << serialize::serializePlan(plan);
+        f << text;
         // Flush before checking: a close-time flush failure (disk
         // full) must not let rename() publish a truncated entry.
         f.flush();
@@ -134,6 +204,212 @@ PlanCacheDir::store(const runtime::ExecutionPlan &plan) const
         return false;
     }
     return true;
+}
+
+bool
+PlanCacheDir::store(const runtime::ExecutionPlan &plan) const
+{
+    if (plan.cacheKey.empty()) {
+        SM_WARN("plan cache: refusing to store a plan without a "
+                "cache key");
+        return false;
+    }
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        SM_WARN("plan cache: cannot create " << dir_ << ": "
+                << ec.message());
+        return false;
+    }
+    // Graph first: a reader that sees the .plan must find its graph.
+    if (!writeAtomic(graphPath(plan.cacheKey),
+                     serialize::serializeGraph(plan.graph)))
+        return false;
+    if (!writeAtomic(entryPath(plan.cacheKey),
+                     serialize::serializePlan(plan)))
+        return false;
+    if (maxBytes_ > 0)
+        gc(maxBytes_);
+    return true;
+}
+
+bool
+PlanCacheDir::storeAlias(const std::string &aliasKey,
+                         const std::string &cacheKey) const
+{
+    SM_REQUIRE(aliasKey.find('\n') == std::string::npos &&
+               cacheKey.find('\n') == std::string::npos,
+               "cache keys must be newline-free");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        SM_WARN("plan cache: cannot create " << dir_ << ": "
+                << ec.message());
+        return false;
+    }
+    std::ostringstream os;
+    os << "smartmem-alias v1\n";
+    os << "alias " << aliasKey << "\n";
+    os << "target " << cacheKey << "\n";
+    os << "end\n";
+    return writeAtomic(aliasPath(aliasKey), os.str());
+}
+
+std::optional<std::string>
+PlanCacheDir::loadAlias(const std::string &aliasKey) const
+{
+    const std::string path = aliasPath(aliasKey);
+    auto text = readFile(path);
+    if (!text)
+        return std::nullopt; // plain miss
+    try {
+        serialize::LineReader r(*text, "alias");
+        if (r.next() != "smartmem-alias v1")
+            r.fail("unsupported alias format");
+        if (r.restOf("alias") != aliasKey)
+            r.fail("record holds a different alias key");
+        std::string target = r.restOf("target");
+        if (target.empty())
+            r.fail("empty target key");
+        if (r.next() != "end" || !r.atEnd())
+            r.fail("malformed alias record");
+        return target;
+    } catch (const std::exception &e) {
+        SM_WARN("plan cache: ignoring unreadable alias " << path
+                << ": " << e.what());
+        return std::nullopt;
+    }
+}
+
+GcStats
+PlanCacheDir::gc(std::int64_t maxBytes) const
+{
+    GcStats out;
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec))
+        return out;
+
+    struct Entry
+    {
+        std::string path;
+        std::int64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> plans;
+    // stem ("<sanitized>-<hash>") -> byte size, for pairing adjacent
+    // files with their plan.
+    std::map<std::string, std::int64_t> graphs;
+    struct Alias
+    {
+        std::string path;
+        std::int64_t bytes = 0;
+        std::string targetStem; ///< empty: unreadable record
+    };
+    std::vector<Alias> aliases;
+
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        const fs::path &p = de.path();
+        const std::string ext = p.extension().string();
+        const auto bytes =
+            static_cast<std::int64_t>(de.file_size(ec));
+        if (ext == ".plan") {
+            plans.push_back({p.string(), bytes,
+                             de.last_write_time(ec)});
+        } else if (ext == ".graph") {
+            graphs[p.stem().string()] = bytes;
+        } else if (ext == ".alias") {
+            Alias a{p.string(), bytes, ""};
+            if (auto text = readFile(p.string())) {
+                serialize::LineReader r(*text, "alias");
+                try {
+                    if (r.next() == "smartmem-alias v1") {
+                        r.restOf("alias");
+                        a.targetStem = fs::path(
+                            basePath(r.restOf("target")))
+                            .filename().string();
+                    }
+                } catch (const std::exception &) {
+                    // unreadable: stays an orphan (empty targetStem)
+                }
+            }
+            aliases.push_back(std::move(a));
+        }
+        // .tmp* and foreign files are never counted or touched.
+    }
+
+    std::set<std::string> planStems;
+    for (const Entry &e : plans)
+        planStems.insert(fs::path(e.path).stem().string());
+
+    auto total = [&] {
+        std::int64_t t = 0;
+        for (const Entry &e : plans)
+            t += e.bytes;
+        for (const auto &[stem, bytes] : graphs)
+            t += bytes;
+        for (const Alias &a : aliases)
+            t += a.bytes;
+        return t;
+    };
+    out.bytesBefore = total();
+
+    // Orphans first: graphs without a plan, aliases without a target.
+    for (auto it = graphs.begin(); it != graphs.end();) {
+        if (!planStems.count(it->first)) {
+            fs::remove(fs::path(dir_) / (it->first + ".graph"), ec);
+            ++out.orphansRemoved;
+            it = graphs.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    auto pruneAliases = [&] {
+        for (auto it = aliases.begin(); it != aliases.end();) {
+            if (it->targetStem.empty() ||
+                !planStems.count(it->targetStem)) {
+                fs::remove(it->path, ec);
+                ++out.orphansRemoved;
+                it = aliases.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+    pruneAliases();
+
+    if (maxBytes > 0 && total() > maxBytes) {
+        // LRU by .plan mtime (touched on every successful load),
+        // oldest first; path is the deterministic tie-break.
+        std::sort(plans.begin(), plans.end(),
+                  [](const Entry &a, const Entry &b) {
+                      if (a.mtime != b.mtime)
+                          return a.mtime < b.mtime;
+                      return a.path < b.path;
+                  });
+        std::size_t victim = 0;
+        while (victim < plans.size() && total() > maxBytes) {
+            Entry &e = plans[victim];
+            const std::string stem = fs::path(e.path).stem().string();
+            fs::remove(e.path, ec);
+            e.bytes = 0; // total() walks the vector until the loop ends
+            auto git = graphs.find(stem);
+            if (git != graphs.end()) {
+                fs::remove(fs::path(dir_) / (stem + ".graph"), ec);
+                graphs.erase(git);
+            }
+            planStems.erase(stem);
+            ++out.entriesEvicted;
+            ++victim;
+        }
+        plans.erase(plans.begin(),
+                    plans.begin() + static_cast<std::ptrdiff_t>(victim));
+        // Aliases whose targets were just evicted are orphans now.
+        pruneAliases();
+    }
+    out.bytesAfter = total();
+    return out;
 }
 
 } // namespace smartmem::core

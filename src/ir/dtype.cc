@@ -1,5 +1,7 @@
 #include "ir/dtype.h"
 
+#include "support/error.h"
+
 namespace smartmem::ir {
 
 std::string
@@ -12,6 +14,16 @@ dtypeName(DType t)
       case DType::I8:  return "i8";
     }
     return "?";
+}
+
+DType
+dtypeFromName(const std::string &name)
+{
+    if (name == "f16") return DType::F16;
+    if (name == "f32") return DType::F32;
+    if (name == "i32") return DType::I32;
+    if (name == "i8")  return DType::I8;
+    smFatal("unknown dtype '" + name + "' (known: f16, f32, i32, i8)");
 }
 
 } // namespace smartmem::ir

@@ -36,6 +36,9 @@ dtypeSize(DType t)
 /** Human-readable name ("f16"). */
 std::string dtypeName(DType t);
 
+/** Reverse of dtypeName.  Throws FatalError on an unknown name. */
+DType dtypeFromName(const std::string &name);
+
 } // namespace smartmem::ir
 
 #endif // SMARTMEM_IR_DTYPE_H

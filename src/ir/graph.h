@@ -45,6 +45,43 @@ struct Node
 };
 
 /**
+ * Raw material for a graph assembled outside GraphBuilder -- the
+ * deserializer fills one of these from a parsed `.smgraph` file.
+ * validateGraphParts() checks every structural invariant GraphBuilder
+ * establishes by construction; makeGraph() enforces them and seals the
+ * parts into a Graph.
+ */
+struct GraphParts
+{
+    std::vector<Node> nodes;
+    std::vector<Value> values;
+    std::vector<ValueId> inputs;
+    std::vector<ValueId> outputs;
+};
+
+class Graph;
+
+/**
+ * Non-panicking structural validation for externally assembled graphs:
+ * dense ascending node/value ids, producer back-links, topological node
+ * order (the cycle check), terminal-node arity, graph input/output
+ * well-formedness, constant "data" payload sizes, and shape-inference
+ * consistency.  Returns one human-readable diagnostic per violation;
+ * empty means the parts form a valid graph.
+ */
+std::vector<std::string> validateGraphParts(const GraphParts &parts);
+
+/** validateGraphParts over an already-sealed graph. */
+std::vector<std::string> validateGraph(const Graph &graph);
+
+/**
+ * Seal externally assembled parts into a Graph.  Throws FatalError
+ * joining every validateGraphParts() diagnostic if the parts are
+ * ill-formed.
+ */
+Graph makeGraph(GraphParts parts);
+
+/**
  * Computational graph.  Construction goes through GraphBuilder, which
  * performs shape inference; after that the graph is conceptually
  * immutable -- optimization passes build rewritten copies.
@@ -88,6 +125,7 @@ class Graph
 
   private:
     friend class GraphBuilder;
+    friend Graph makeGraph(GraphParts parts);
 
     std::vector<Node> nodes_;
     std::vector<Value> values_;

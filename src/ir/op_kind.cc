@@ -1,6 +1,28 @@
 #include "ir/op_kind.h"
 
+#include <map>
+
+#include "support/error.h"
+
 namespace smartmem::ir {
+
+namespace {
+
+const std::map<std::string, OpKind> &
+nameTable()
+{
+    static const std::map<std::string, OpKind> table = [] {
+        std::map<std::string, OpKind> t;
+        for (int i = 0; i <= static_cast<int>(OpKind::Pad); ++i) {
+            auto kind = static_cast<OpKind>(i);
+            t.emplace(opKindName(kind), kind);
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
 
 std::string
 opKindName(OpKind kind)
@@ -47,6 +69,21 @@ opKindName(OpKind kind)
       case OpKind::Pad:             return "Pad";
     }
     return "?";
+}
+
+OpKind
+opKindFromName(const std::string &name)
+{
+    auto it = nameTable().find(name);
+    if (it == nameTable().end())
+        smFatal("unknown op kind '" + name + "'");
+    return it->second;
+}
+
+bool
+isOpKindName(const std::string &name)
+{
+    return nameTable().count(name) != 0;
 }
 
 bool

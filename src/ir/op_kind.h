@@ -72,6 +72,12 @@ enum class OpKind {
 /** Canonical operator name ("Conv2d"). */
 std::string opKindName(OpKind kind);
 
+/** Reverse of opKindName.  Throws FatalError on an unknown name. */
+OpKind opKindFromName(const std::string &name);
+
+/** True when `name` is a canonical operator name. */
+bool isOpKindName(const std::string &name);
+
 /** True for Reshape/Transpose/DepthToSpace/SpaceToDepth. */
 bool isLayoutTransform(OpKind kind);
 

@@ -1,0 +1,63 @@
+#include "models/graph_source.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serialize/graph_text.h"
+#include "support/error.h"
+
+namespace smartmem::models {
+
+BuilderGraphSource::BuilderGraphSource(std::string name, Builder builder)
+    : name_(std::move(name)), builder_(std::move(builder))
+{
+    SM_REQUIRE(!name_.empty(), "graph source name must be non-empty");
+    SM_REQUIRE(builder_ != nullptr,
+               "graph source '" + name_ + "' needs a builder");
+}
+
+ir::Graph
+BuilderGraphSource::build(int batch) const
+{
+    SM_REQUIRE(batch >= 1, "batch must be >= 1");
+    return builder_(batch);
+}
+
+FileGraphSource::FileGraphSource(ir::Graph graph, std::string name)
+    : graph_(std::move(graph)), name_(std::move(name))
+{
+    if (name_.empty())
+        name_ = "smgraph:" + serialize::graphSignature(graph_);
+}
+
+ir::Graph
+FileGraphSource::build(int batch) const
+{
+    SM_REQUIRE(batch == 1,
+               "graph source '" + name_ + "' is a fixed-batch serialized "
+               "graph; its shapes already encode the batch it was "
+               "exported with (re-export at the batch you need)");
+    return graph_;
+}
+
+ir::Graph
+loadGraphFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        smFatal(path + ": cannot open graph file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof())
+        smFatal(path + ": error reading graph file");
+    try {
+        return serialize::parseGraph(buf.str());
+    } catch (const FatalError &err) {
+        // Prefix the file name without stacking a second "fatal at"
+        // wrapper on the parser's already-located message.
+        throw FatalError(path + ": " + err.what());
+    }
+}
+
+} // namespace smartmem::models

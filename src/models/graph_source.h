@@ -1,0 +1,90 @@
+/**
+ * @file
+ * GraphSource: where a graph comes from, abstracted.
+ *
+ * Until this layer, every consumer of a model assumed graphs are made
+ * by one of the compiled-in zoo builders keyed by (model, batch).  A
+ * GraphSource is anything that can produce an ir::Graph on demand: a
+ * zoo builder (BuilderGraphSource) or a graph parsed from a
+ * `.smgraph` file (FileGraphSource).  CompileSession, the CLI, and
+ * the compiler registry consume sources, so external models flow
+ * through the exact same compile / opt / plan-cache / execute paths
+ * as the built-ins.
+ */
+#ifndef SMARTMEM_MODELS_GRAPH_SOURCE_H
+#define SMARTMEM_MODELS_GRAPH_SOURCE_H
+
+#include <functional>
+#include <string>
+
+#include "ir/graph.h"
+
+namespace smartmem::models {
+
+/** One producer of graphs, keyed by a stable name. */
+class GraphSource
+{
+  public:
+    virtual ~GraphSource() = default;
+
+    /** Stable name: the registry key, and the alias component of plan
+     *  cache keys ("Swin", "smgraph:<signature>"). */
+    virtual std::string name() const = 0;
+
+    /** Produce the graph for a batch size.  Builder-backed sources
+     *  honor any batch >= 1; file-backed graphs are fixed-batch and
+     *  reject every batch but 1 (their shapes already encode the
+     *  batch the file was exported with). */
+    virtual ir::Graph build(int batch) const = 0;
+};
+
+/** A zoo builder function behind the GraphSource interface. */
+class BuilderGraphSource : public GraphSource
+{
+  public:
+    using Builder = std::function<ir::Graph(int)>;
+
+    BuilderGraphSource(std::string name, Builder builder);
+
+    std::string name() const override { return name_; }
+    ir::Graph build(int batch) const override;
+
+  private:
+    std::string name_;
+    Builder builder_;
+};
+
+/**
+ * An in-memory graph (typically parsed from a `.smgraph` file) behind
+ * the GraphSource interface.  The default name is
+ * "smgraph:<graphSignature>", so two imports of byte-identical files
+ * share plan-cache aliases while different graphs never collide.
+ */
+class FileGraphSource : public GraphSource
+{
+  public:
+    explicit FileGraphSource(ir::Graph graph, std::string name = "");
+
+    std::string name() const override { return name_; }
+
+    /** Returns a copy of the stored graph; batch != 1 is a
+     *  FatalError (see GraphSource::build). */
+    ir::Graph build(int batch) const override;
+
+    const ir::Graph &graph() const { return graph_; }
+
+  private:
+    ir::Graph graph_;
+    std::string name_;
+};
+
+/**
+ * Read and parse a `.smgraph` file.  Throws FatalError -- with the
+ * path prefixed to the parser's or validator's message -- on an
+ * unreadable file, malformed text, or an invalid graph.
+ */
+ir::Graph loadGraphFile(const std::string &path);
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_GRAPH_SOURCE_H

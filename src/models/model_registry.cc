@@ -1,0 +1,88 @@
+#include "models/model_registry.h"
+
+#include <utility>
+
+#include "models/convnets.h"
+#include "models/generative.h"
+#include "models/models.h"
+#include "models/transformers.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::models {
+
+const ModelRegistry &
+ModelRegistry::builtins()
+{
+    static const ModelRegistry reg = [] {
+        ModelRegistry r;
+        auto add = [&r](const std::string &name,
+                        BuilderGraphSource::Builder fn) {
+            r.add(std::make_unique<BuilderGraphSource>(name,
+                                                       std::move(fn)));
+        };
+        add("AutoFormer", buildAutoFormer);
+        add("BiFormer", buildBiFormer);
+        add("CrossFormer", buildCrossFormer);
+        add("CSwin", buildCSwin);
+        add("EfficientViT", buildEfficientViT);
+        add("FlattenFormer", buildFlattenFormer);
+        add("SMTFormer", buildSmtFormer);
+        add("Swin", buildSwin);
+        add("ViT", buildViT);
+        add("Conformer", buildConformer);
+        add("SD-TextEncoder", buildSdTextEncoder);
+        add("SD-UNet", buildSdUnet);
+        add("SD-VAEDecoder", buildSdVaeDecoder);
+        add("Pythia", buildPythia);
+        add("ConvNext", buildConvNext);
+        add("RegNet", buildRegNet);
+        add("ResNext", buildResNext);
+        add("Yolo-V8", buildYoloV8);
+        add("ResNet50", buildResNet50);
+        add("FST", buildFst);
+        return r;
+    }();
+    return reg;
+}
+
+void
+ModelRegistry::add(std::unique_ptr<GraphSource> source)
+{
+    SM_REQUIRE(source != nullptr, "cannot register a null graph source");
+    std::string name = source->name();
+    SM_REQUIRE(!name.empty(), "model registry name must be non-empty");
+    auto [it, inserted] =
+        sources_.emplace(std::move(name), std::move(source));
+    if (!inserted)
+        smFatal("model '" + it->first + "' is already registered");
+}
+
+bool
+ModelRegistry::contains(const std::string &name) const
+{
+    return sources_.count(name) != 0;
+}
+
+const GraphSource &
+ModelRegistry::find(const std::string &name) const
+{
+    auto it = sources_.find(name);
+    if (it == sources_.end()) {
+        smFatal("unknown model '" + name + "' (registered: " +
+                joinStrings(names(), ", ") + ")");
+    }
+    return *it->second;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(sources_.size());
+    for (const auto &[name, source] : sources_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace smartmem::models

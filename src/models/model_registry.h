@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ModelRegistry: name-keyed catalog of GraphSources.
+ *
+ * The 20 zoo builders live behind builtins(); custom registries can
+ * mix builders with file-loaded `.smgraph` graphs, and every consumer
+ * (CLI, CompileSession::compileModel, compiler registry) resolves
+ * names here -- so "unknown model" failures are uniform FatalErrors
+ * listing the registered catalog, mirroring device::DeviceRegistry
+ * and core::CompilerRegistry.
+ */
+#ifndef SMARTMEM_MODELS_MODEL_REGISTRY_H
+#define SMARTMEM_MODELS_MODEL_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/graph_source.h"
+
+namespace smartmem::models {
+
+/** Name-keyed catalog of graph sources (see file header). */
+class ModelRegistry
+{
+  public:
+    /** The 20 built-in zoo models.  Constructed once, immutable. */
+    static const ModelRegistry &builtins();
+
+    /** An empty catalog; add() sources to build a custom one. */
+    ModelRegistry() = default;
+
+    /** Register a source under its name(); re-registering a name is
+     *  a FatalError. */
+    void add(std::unique_ptr<GraphSource> source);
+
+    bool contains(const std::string &name) const;
+
+    /** Look up a source by name; FatalError naming every registered
+     *  model on an unknown name. */
+    const GraphSource &find(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<GraphSource>> sources_;
+};
+
+} // namespace smartmem::models
+
+#endif // SMARTMEM_MODELS_MODEL_REGISTRY_H

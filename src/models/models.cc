@@ -1,47 +1,17 @@
 #include "models/models.h"
 
 #include <map>
-#include <functional>
 
 #include "models/blocks.h"
 #include "models/convnets.h"
 #include "models/generative.h"
+#include "models/model_registry.h"
 #include "models/transformers.h"
 #include "support/error.h"
 
 namespace smartmem::models {
 
 namespace {
-
-using Builder = std::function<ir::Graph(int)>;
-
-const std::map<std::string, Builder> &
-registry()
-{
-    static const std::map<std::string, Builder> reg = {
-        {"AutoFormer", buildAutoFormer},
-        {"BiFormer", buildBiFormer},
-        {"CrossFormer", buildCrossFormer},
-        {"CSwin", buildCSwin},
-        {"EfficientViT", buildEfficientViT},
-        {"FlattenFormer", buildFlattenFormer},
-        {"SMTFormer", buildSmtFormer},
-        {"Swin", buildSwin},
-        {"ViT", buildViT},
-        {"Conformer", buildConformer},
-        {"SD-TextEncoder", buildSdTextEncoder},
-        {"SD-UNet", buildSdUnet},
-        {"SD-VAEDecoder", buildSdVaeDecoder},
-        {"Pythia", buildPythia},
-        {"ConvNext", buildConvNext},
-        {"RegNet", buildRegNet},
-        {"ResNext", buildResNext},
-        {"Yolo-V8", buildYoloV8},
-        {"ResNet50", buildResNet50},
-        {"FST", buildFst},
-    };
-    return reg;
-}
 
 const std::map<std::string, ModelInfo> &
 infoRegistry()
@@ -79,9 +49,9 @@ infoRegistry()
 ir::Graph
 buildModel(const std::string &name, int batch)
 {
-    auto it = registry().find(name);
-    SM_REQUIRE(it != registry().end(), "unknown model: " + name);
-    return it->second(batch);
+    // Resolution goes through the registry so every unknown-model
+    // failure uniformly lists the catalog.
+    return ModelRegistry::builtins().find(name).build(batch);
 }
 
 ir::Graph
@@ -121,7 +91,11 @@ ModelInfo
 modelInfo(const std::string &name)
 {
     auto it = infoRegistry().find(name);
-    SM_REQUIRE(it != infoRegistry().end(), "unknown model: " + name);
+    if (it == infoRegistry().end()) {
+        // Same catalog-listing error as every other lookup.
+        ModelRegistry::builtins().find(name);
+        smFatal("model '" + name + "' has no Table 7 characterization");
+    }
     return it->second;
 }
 

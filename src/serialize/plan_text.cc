@@ -1,174 +1,13 @@
 #include "serialize/plan_text.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <vector>
 
+#include "serialize/text_reader.h"
 #include "support/error.h"
-#include "support/hash.h"
 #include "support/strings.h"
 
 namespace smartmem::serialize {
-
-namespace {
-
-/** Doubles as loss-free hex floats ("0x1.b333333333333p-1"). */
-std::string
-hexDouble(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
-}
-
-// ---------------------------------------------------------------------
-// Parser scaffolding
-// ---------------------------------------------------------------------
-
-/** Line cursor over the serialized text with rewindable peeking. */
-class LineReader
-{
-  public:
-    explicit LineReader(const std::string &text) : text_(text) {}
-
-    int lineNumber() const { return lineNo_; }
-
-    [[noreturn]] void fail(const std::string &why) const
-    {
-        smFatal("plan parse error at line " + std::to_string(lineNo_) +
-                ": " + why);
-    }
-
-    /** Next line; fails on end of input. */
-    std::string next()
-    {
-        if (pos_ >= text_.size())
-            fail("unexpected end of plan text");
-        std::size_t stop = text_.find('\n', pos_);
-        if (stop == std::string::npos)
-            fail("missing final newline");
-        std::string line = text_.substr(pos_, stop - pos_);
-        pos_ = stop + 1;
-        ++lineNo_;
-        return line;
-    }
-
-    bool atEnd() const { return pos_ >= text_.size(); }
-
-    /** True if the next line starts with `keyword` + ' ' (or is
-     *  exactly `keyword`); does not consume. */
-    bool peekKeyword(const std::string &keyword) const
-    {
-        if (pos_ >= text_.size())
-            return false;
-        std::size_t stop = text_.find('\n', pos_);
-        std::size_t len = (stop == std::string::npos ? text_.size()
-                                                     : stop) - pos_;
-        if (len < keyword.size() ||
-            text_.compare(pos_, keyword.size(), keyword) != 0)
-            return false;
-        return len == keyword.size() ||
-               text_[pos_ + keyword.size()] == ' ';
-    }
-
-    /** Consume a line of the form "<keyword>" or "<keyword> <rest>"
-     *  and return <rest> (empty for the bare form). */
-    std::string restOf(const std::string &keyword)
-    {
-        std::string line = next();
-        if (line == keyword)
-            return "";
-        if (line.size() <= keyword.size() ||
-            line.compare(0, keyword.size(), keyword) != 0 ||
-            line[keyword.size()] != ' ')
-            fail("expected '" + keyword + " ...', got '" + line + "'");
-        return line.substr(keyword.size() + 1);
-    }
-
-    /** Consume "<keyword> f0 f1 ..." and return the fields, which
-     *  must number exactly `count` (count < 0: any number). */
-    std::vector<std::string> fieldsOf(const std::string &keyword,
-                                      int count)
-    {
-        std::string rest = restOf(keyword);
-        std::vector<std::string> fields;
-        std::size_t pos = 0;
-        while (pos < rest.size()) {
-            std::size_t stop = rest.find(' ', pos);
-            if (stop == std::string::npos)
-                stop = rest.size();
-            if (stop == pos)
-                fail("empty field in '" + keyword + "' line");
-            fields.push_back(rest.substr(pos, stop - pos));
-            pos = stop + 1;
-        }
-        if (count >= 0 && static_cast<int>(fields.size()) != count)
-            fail("'" + keyword + "' expects " + std::to_string(count) +
-                 " fields, got " + std::to_string(fields.size()));
-        return fields;
-    }
-
-    std::int64_t asInt(const std::string &field, std::int64_t lo,
-                       std::int64_t hi) const
-    {
-        auto v = parseInt64(field);
-        if (!v || *v < lo || *v > hi)
-            fail("integer field '" + field + "' out of range [" +
-                 std::to_string(lo) + ", " + std::to_string(hi) + "]");
-        return *v;
-    }
-
-    bool asBool(const std::string &field) const
-    {
-        return asInt(field, 0, 1) == 1;
-    }
-
-    double asHexDouble(const std::string &field) const
-    {
-        char *end = nullptr;
-        double v = std::strtod(field.c_str(), &end);
-        if (field.empty() || end != field.c_str() + field.size())
-            fail("malformed float field '" + field + "'");
-        return v;
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-    int lineNo_ = 0;
-};
-
-} // namespace
-
-std::string
-graphSignature(const ir::Graph &graph)
-{
-    Fnv1a f;
-    f.feed(static_cast<std::int64_t>(graph.nodes().size()));
-    f.feed(static_cast<std::int64_t>(graph.values().size()));
-    for (const ir::Node &n : graph.nodes()) {
-        f.feed(static_cast<std::int64_t>(n.id));
-        f.feed(ir::opKindName(n.kind));
-        f.feed(n.name);
-        for (ir::ValueId v : n.inputs)
-            f.feed(static_cast<std::int64_t>(v));
-        f.feed(static_cast<std::int64_t>(n.output));
-        f.feed(n.attrs.toString());
-    }
-    for (const ir::Value &v : graph.values()) {
-        f.feed(static_cast<std::int64_t>(v.id));
-        f.feed(v.name);
-        f.feed(v.shape.toString());
-        f.feed(static_cast<std::int64_t>(v.dtype));
-        f.feed(static_cast<std::int64_t>(v.producer));
-    }
-    for (ir::ValueId v : graph.inputIds())
-        f.feed(static_cast<std::int64_t>(v));
-    for (ir::ValueId v : graph.outputIds())
-        f.feed(static_cast<std::int64_t>(v));
-    return f.hex();
-}
 
 std::string
 serializePlan(const runtime::ExecutionPlan &plan)
@@ -219,7 +58,7 @@ serializePlan(const runtime::ExecutionPlan &plan)
 runtime::ExecutionPlan
 parsePlan(const std::string &text, ir::Graph graph)
 {
-    LineReader r(text);
+    LineReader r(text, "plan");
 
     const std::string header = r.next();
     if (header != "smartmem-plan v" + std::to_string(kPlanFormatVersion))

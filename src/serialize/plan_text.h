@@ -15,14 +15,13 @@
  * printed forms and re-read by Layout::parse / IndexMap::parse /
  * parseExpr; doubles are written as hex floats so not a bit is lost.
  *
- * The graph is deliberately NOT serialized: plans are cached under a
- * (device, model, options) key, and the graph is a cheap,
- * deterministic function of (model, batch) -- the expensive part of
- * compilation is plan/select/tune, not graph construction.  Instead
- * the format records the graph's node/value counts plus a canonical
+ * The graph is NOT embedded in the plan text: graphs have their own
+ * standalone format (serialize/graph_text.h, `.smgraph`), and
+ * core::PlanCacheDir stores one next to each cached plan.  The plan
+ * format records the graph's node/value counts plus its canonical
  * signature, and parsePlan() verifies the caller-supplied graph
- * matches before attaching it (core::PlanCacheDir treats a mismatch
- * as a cache miss).
+ * matches before attaching it (PlanCacheDir treats a mismatch as a
+ * cache miss).
  *
  * Format v1 (one field per line; *name*, *cachekey* and *compiler*
  * take the rest of the line, everything else is space-separated):
@@ -52,6 +51,7 @@
 
 #include "ir/graph.h"
 #include "runtime/plan.h"
+#include "serialize/graph_text.h"
 
 namespace smartmem::serialize {
 
@@ -60,13 +60,8 @@ namespace smartmem::serialize {
  *  recompile instead of misreading stale entries. */
 constexpr int kPlanFormatVersion = 1;
 
-/**
- * Canonical FNV-1a signature over every graph field a plan depends on
- * (node kinds/names/edges, value names/shapes/dtypes, graph inputs
- * and outputs).  Two graphs with equal signatures are
- * interchangeable as the `graph` argument of parsePlan().
- */
-std::string graphSignature(const ir::Graph &graph);
+// graphSignature() lives in serialize/graph_text.h (included above);
+// the plan format embeds it on its `graph` line.
 
 /** Write `plan` in format v1 (see file header).  Deterministic:
  *  equal plans serialize to byte-identical text. */

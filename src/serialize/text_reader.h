@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared scaffolding for the line-oriented text formats (.smgraph
+ * plan/graph serialization): a rewindable line cursor with typed field
+ * accessors, plus the loss-free hex-float writer.  Factored out of
+ * plan_text.cc so graph_text.cc parses with the exact same idiom and
+ * error style -- every failure names the format ("plan parse error at
+ * line N: ..." / "graph parse error at line N: ...") and the offending
+ * line.
+ */
+#ifndef SMARTMEM_SERIALIZE_TEXT_READER_H
+#define SMARTMEM_SERIALIZE_TEXT_READER_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace smartmem::serialize {
+
+/** Doubles as loss-free hex floats ("0x1.b333333333333p-1"). */
+inline std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** Line cursor over serialized text with rewindable peeking.
+ *  `context` names the format in diagnostics ("plan", "graph"). */
+class LineReader
+{
+  public:
+    LineReader(const std::string &text, const std::string &context)
+        : text_(text), context_(context) {}
+
+    int lineNumber() const { return lineNo_; }
+
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        smFatal(context_ + " parse error at line " +
+                std::to_string(lineNo_) + ": " + why);
+    }
+
+    /** Next line; fails on end of input. */
+    std::string next()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of " + context_ + " text");
+        std::size_t stop = text_.find('\n', pos_);
+        if (stop == std::string::npos)
+            fail("missing final newline");
+        std::string line = text_.substr(pos_, stop - pos_);
+        pos_ = stop + 1;
+        ++lineNo_;
+        return line;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    /** True if the next line starts with `keyword` + ' ' (or is
+     *  exactly `keyword`); does not consume. */
+    bool peekKeyword(const std::string &keyword) const
+    {
+        if (pos_ >= text_.size())
+            return false;
+        std::size_t stop = text_.find('\n', pos_);
+        std::size_t len = (stop == std::string::npos ? text_.size()
+                                                     : stop) - pos_;
+        if (len < keyword.size() ||
+            text_.compare(pos_, keyword.size(), keyword) != 0)
+            return false;
+        return len == keyword.size() ||
+               text_[pos_ + keyword.size()] == ' ';
+    }
+
+    /** Consume a line of the form "<keyword>" or "<keyword> <rest>"
+     *  and return <rest> (empty for the bare form). */
+    std::string restOf(const std::string &keyword)
+    {
+        std::string line = next();
+        if (line == keyword)
+            return "";
+        if (line.size() <= keyword.size() ||
+            line.compare(0, keyword.size(), keyword) != 0 ||
+            line[keyword.size()] != ' ')
+            fail("expected '" + keyword + " ...', got '" + line + "'");
+        return line.substr(keyword.size() + 1);
+    }
+
+    /** Consume "<keyword> f0 f1 ..." and return the fields, which
+     *  must number exactly `count` (count < 0: any number). */
+    std::vector<std::string> fieldsOf(const std::string &keyword,
+                                      int count)
+    {
+        std::string rest = restOf(keyword);
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        while (pos < rest.size()) {
+            std::size_t stop = rest.find(' ', pos);
+            if (stop == std::string::npos)
+                stop = rest.size();
+            if (stop == pos)
+                fail("empty field in '" + keyword + "' line");
+            fields.push_back(rest.substr(pos, stop - pos));
+            pos = stop + 1;
+        }
+        if (count >= 0 && static_cast<int>(fields.size()) != count)
+            fail("'" + keyword + "' expects " + std::to_string(count) +
+                 " fields, got " + std::to_string(fields.size()));
+        return fields;
+    }
+
+    std::int64_t asInt(const std::string &field, std::int64_t lo,
+                       std::int64_t hi) const
+    {
+        auto v = parseInt64(field);
+        if (!v || *v < lo || *v > hi)
+            fail("integer field '" + field + "' out of range [" +
+                 std::to_string(lo) + ", " + std::to_string(hi) + "]");
+        return *v;
+    }
+
+    bool asBool(const std::string &field) const
+    {
+        return asInt(field, 0, 1) == 1;
+    }
+
+    double asHexDouble(const std::string &field) const
+    {
+        char *end = nullptr;
+        double v = std::strtod(field.c_str(), &end);
+        if (field.empty() || end != field.c_str() + field.size())
+            fail("malformed float field '" + field + "'");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::string context_;
+    std::size_t pos_ = 0;
+    int lineNo_ = 0;
+};
+
+} // namespace smartmem::serialize
+
+#endif // SMARTMEM_SERIALIZE_TEXT_READER_H

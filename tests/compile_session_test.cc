@@ -16,7 +16,9 @@
 #include "core/compile_session.h"
 #include "core/plan_cache_dir.h"
 #include "core/smartmem_compiler.h"
+#include "models/graph_source.h"
 #include "models/models.h"
+#include "serialize/graph_text.h"
 #include "support/error.h"
 
 namespace smartmem::core {
@@ -97,6 +99,31 @@ TEST(CompileOptionsFingerprint, RejectsInvalidFields)
     EXPECT_THROW(bad_stage.fingerprint(), FatalError);
 }
 
+TEST(CompileOptionsFingerprint, PipelineFingerprintIsStableAndBatchFree)
+{
+    // The pipeline fingerprint is the options component of canonical
+    // cache keys (plan.cacheKey embeds it); keep it explicit and
+    // versioned like fingerprint().
+    CompileOptions o;
+    EXPECT_EQ(o.pipelineFingerprint(),
+              "p1;stage=-1;lte=1;idx=1;sel=1;texmap=1;tuner=1;copies=1");
+
+    // Batch is a graph-construction parameter, already captured by the
+    // canonical graph's signature -- it must not split pipeline keys.
+    CompileOptions batched;
+    batched.batch = 4;
+    EXPECT_EQ(batched.pipelineFingerprint(), o.pipelineFingerprint());
+    EXPECT_NE(batched.fingerprint(), o.fingerprint());
+
+    // Every pipeline-affecting knob still keys separately.
+    CompileOptions staged;
+    staged.stage = 2;
+    EXPECT_NE(staged.pipelineFingerprint(), o.pipelineFingerprint());
+    CompileOptions no_sel;
+    no_sel.pipeline.enableLayoutSelect = false;
+    EXPECT_NE(no_sel.pipelineFingerprint(), o.pipelineFingerprint());
+}
+
 TEST(CompileSessionCache, RepeatCompilationHits)
 {
     CompileSession session(device::adreno740(), 1);
@@ -107,6 +134,33 @@ TEST(CompileSessionCache, RepeatCompilationHits)
     EXPECT_EQ(st.cacheHits, 1);
     EXPECT_EQ(first.get(), again.get()); // shared, not re-compiled
     EXPECT_FALSE(first->cacheKey.empty());
+}
+
+TEST(CompileSessionCache, GraphAndModelCompilesShareOneEntry)
+{
+    CompileSession session(device::adreno740(), 1);
+    session.setPlanCacheDir("");
+
+    // By name, by already-built graph, and by imported .smgraph text:
+    // one canonical entry, one shared plan.
+    auto by_name = session.compileModel("ResNext");
+    auto by_graph = session.compileGraph(models::buildModel("ResNext", 1));
+    EXPECT_EQ(by_name.get(), by_graph.get());
+
+    models::FileGraphSource imported{serialize::parseGraph(
+        serialize::serializeGraph(models::buildModel("ResNext", 1)))};
+    auto by_file = session.compileSource(imported);
+    EXPECT_EQ(by_file.get(), by_name.get());
+
+    // The compileSource miss is reclassified as a hit once the alias
+    // resolves to the existing canonical entry.
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 1);
+    EXPECT_EQ(st.cacheHits, 2);
+
+    // The canonical key never mentions the source name.
+    EXPECT_NE(by_name->cacheKey.find("|graph="), std::string::npos);
+    EXPECT_EQ(by_name->cacheKey.find("ResNext"), std::string::npos);
 }
 
 TEST(CompileSessionCache, OptionChangesInvalidate)

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the ModelRegistry/GraphSource layer: the builtin catalog
+ * covers the whole zoo and matches the free-function builders, unknown
+ * names fail with the catalog-listing FatalError idiom everywhere, and
+ * a call-counting source proves the tentpole property end to end -- a
+ * warm plan cache (in-memory or on-disk) serves compiles without ever
+ * invoking a builder.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compile_session.h"
+#include "device/device_profile.h"
+#include "models/graph_source.h"
+#include "models/model_registry.h"
+#include "models/models.h"
+#include "serialize/graph_text.h"
+#include "serialize/plan_text.h"
+#include "support/error.h"
+
+namespace smartmem {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("smartmem-" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** A GraphSource that counts how often its builder actually runs. */
+class CountingSource : public models::GraphSource
+{
+  public:
+    CountingSource(std::string name, int *builds)
+        : name_(std::move(name)), builds_(builds)
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+    ir::Graph build(int batch) const override
+    {
+        ++*builds_;
+        return models::buildTinyVariant("ResNext", batch);
+    }
+
+  private:
+    std::string name_;
+    int *builds_;
+};
+
+// ---------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------
+
+TEST(ModelRegistry, BuiltinsCoverTheZoo)
+{
+    const models::ModelRegistry &reg = models::ModelRegistry::builtins();
+    std::vector<std::string> names = reg.names();
+    EXPECT_EQ(names.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const std::string &m : models::allModels()) {
+        SCOPED_TRACE(m);
+        EXPECT_TRUE(reg.contains(m));
+        EXPECT_EQ(reg.find(m).name(), m);
+    }
+    EXPECT_FALSE(reg.contains("resnext")); // names are case-sensitive
+}
+
+TEST(ModelRegistry, BuildersMatchTheFreeFunctions)
+{
+    for (const char *model : {"ResNext", "Swin"}) {
+        for (int batch : {1, 4}) {
+            SCOPED_TRACE(std::string(model) + " batch " +
+                         std::to_string(batch));
+            EXPECT_EQ(
+                serialize::graphSignature(
+                    models::ModelRegistry::builtins().find(model).build(
+                        batch)),
+                serialize::graphSignature(models::buildModel(model, batch)));
+        }
+    }
+}
+
+TEST(ModelRegistry, UnknownModelListsTheCatalog)
+{
+    try {
+        models::ModelRegistry::builtins().find("nope");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("unknown model 'nope'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("registered:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("AutoFormer"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("Yolo-V8"), std::string::npos) << msg;
+    }
+    // Every by-name entry point routes through the same catalog error.
+    EXPECT_THROW(models::buildModel("nope", 1), FatalError);
+    EXPECT_THROW(models::modelInfo("nope"), FatalError);
+}
+
+TEST(ModelRegistry, RejectsDuplicateAndNullRegistrations)
+{
+    models::ModelRegistry reg;
+    int builds = 0;
+    reg.add(std::make_unique<CountingSource>("custom", &builds));
+    EXPECT_TRUE(reg.contains("custom"));
+    EXPECT_THROW(
+        reg.add(std::make_unique<CountingSource>("custom", &builds)),
+        FatalError);
+    EXPECT_THROW(reg.add(nullptr), FatalError);
+    EXPECT_EQ(builds, 0); // registration never builds
+}
+
+TEST(ModelRegistry, MixesBuildersWithFileBackedSources)
+{
+    models::ModelRegistry reg;
+    reg.add(std::make_unique<models::BuilderGraphSource>(
+        "tiny", [](int batch) {
+            return models::buildTinyVariant("ResNext", batch);
+        }));
+    reg.add(std::make_unique<models::FileGraphSource>(
+        models::buildTinyVariant("ViT", 1), "imported"));
+    EXPECT_EQ(reg.names(),
+              (std::vector<std::string>{"imported", "tiny"}));
+    EXPECT_EQ(reg.find("tiny").build(4).inputIds().size(), 1u);
+    EXPECT_THROW(reg.find("imported").build(4), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: warm caches never invoke a builder
+// ---------------------------------------------------------------------
+
+TEST(ModelRegistry, WarmCachesCompileWithoutInvokingTheBuilder)
+{
+    const std::string dir = scratchDir("no-rebuild");
+    auto dev = device::adreno740();
+    int builds = 0;
+    CountingSource src("counting-model", &builds);
+
+    std::string cold_plan;
+    {
+        core::CompileSession session(dev, 1);
+        session.setPlanCacheDir(dir);
+        auto plan = session.compileSource(src);
+        EXPECT_EQ(builds, 1); // cold: exactly one build
+        cold_plan = serialize::serializePlan(*plan);
+
+        // Second compile in the same session: in-memory alias hit.
+        auto again = session.compileSource(src);
+        EXPECT_EQ(builds, 1);
+        EXPECT_EQ(again.get(), plan.get());
+        auto st = session.stats();
+        EXPECT_EQ(st.cacheHits, 1);
+        EXPECT_EQ(st.cacheMisses, 1);
+        EXPECT_EQ(st.diskMisses, 1);
+        EXPECT_EQ(st.diskHits, 0);
+    }
+
+    // Fresh session, warm directory: the alias record resolves the
+    // source name to a canonical key and the plan loads against its
+    // adjacent serialized graph -- zero builder invocations.
+    core::CompileSession warm(dev, 1);
+    warm.setPlanCacheDir(dir);
+    auto plan = warm.compileSource(src);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(serialize::serializePlan(*plan), cold_plan);
+    auto st = warm.stats();
+    EXPECT_EQ(st.diskHits, 1);
+    EXPECT_EQ(st.diskMisses, 0);
+}
+
+} // namespace
+} // namespace smartmem

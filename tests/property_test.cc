@@ -16,6 +16,11 @@
  *      literal zero adds, duplicate subexpressions, foldable gathers,
  *      reshape/transpose chains, dead branches), and the resulting
  *      plans survive a plan_text round-trip.
+ *
+ *  P6  `.smgraph` serialization is a fixed point on random pass-bait
+ *      graphs: print -> parse -> reprint reproduces the bytes, the
+ *      graph signature, and a clean validateGraph() -- raw and
+ *      canonicalized.
  */
 #include <gtest/gtest.h>
 
@@ -25,6 +30,7 @@
 #include "index/index_map.h"
 #include "opt/pass.h"
 #include "runtime/functional_runner.h"
+#include "serialize/graph_text.h"
 #include "serialize/plan_text.h"
 #include "support/rng.h"
 
@@ -374,6 +380,36 @@ TEST(Property, P5_PassPipelinePreservesRandomGraphs)
             parsed, exec::makeSeededInputs(canon, ex), 900 + trial);
         ASSERT_EQ(ref.size(), replay.size());
         EXPECT_LE(exec::maxRelDiff(ref, replay), 1e-4f);
+    }
+}
+
+TEST(Property, P6_GraphTextRoundTripIsAFixedPoint)
+{
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint64_t fuzz_seed = 26000 + trial;
+        SCOPED_TRACE("fuzz seed " + std::to_string(fuzz_seed) +
+                     " (Rng(seed) into passFuzzGraph)");
+        Rng rng(fuzz_seed);
+        auto g = passFuzzGraph(rng);
+
+        // print -> parse -> reprint is a fixed point, the signature is
+        // preserved, and the parsed graph re-validates cleanly.
+        const std::string text = serialize::serializeGraph(g);
+        ir::Graph parsed = serialize::parseGraph(text);
+        EXPECT_EQ(serialize::serializeGraph(parsed), text);
+        EXPECT_EQ(serialize::graphSignature(parsed),
+                  serialize::graphSignature(g));
+        EXPECT_TRUE(ir::validateGraph(parsed).empty());
+
+        // Same bar for the canonicalized form -- the graph the plan
+        // cache serializes next to every entry.
+        opt::PipelineStats stats;
+        auto canon = opt::PassManager::defaultPipeline().runToFixedPoint(
+            g, &stats);
+        const std::string ctext = serialize::serializeGraph(canon);
+        EXPECT_EQ(serialize::serializeGraph(serialize::parseGraph(ctext)),
+                  ctext);
+        EXPECT_TRUE(ir::validateGraph(canon).empty());
     }
 }
 

@@ -10,6 +10,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -29,6 +31,7 @@
 #include "ir/layout.h"
 #include "ir/shape.h"
 #include "models/models.h"
+#include "serialize/graph_text.h"
 #include "serialize/plan_text.h"
 #include "support/error.h"
 
@@ -516,6 +519,185 @@ TEST(PlanCacheDir, EntryPathsAreSanitizedAndCollisionFree)
                     c == '_')
             << "unsafe char '" << c << "' in " << path_a;
     }
+}
+
+TEST(PlanCacheDir, SelfContainedLoadNeedsNoCallerGraph)
+{
+    const std::string dir = scratchDir("self-contained");
+    auto dev = device::adreno740();
+    core::CompileSession session(dev, 1);
+    session.setPlanCacheDir("");
+    auto plan = session.compileModel("ResNext");
+
+    core::PlanCacheDir cache(dir);
+    ASSERT_TRUE(cache.store(*plan));
+    ASSERT_TRUE(fs::exists(cache.graphPath(plan->cacheKey)));
+
+    // The one-arg load parses the adjacent .graph -- no builder, no
+    // caller-supplied graph -- and still validates everything.
+    auto loaded = cache.load(plan->cacheKey);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(serialize::serializePlan(*loaded),
+              serialize::serializePlan(*plan));
+    EXPECT_EQ(serialize::graphSignature(loaded->graph),
+              serialize::graphSignature(plan->graph));
+
+    // Without the adjacent graph it is a miss; the two-arg overload
+    // still serves the entry from a caller-supplied graph.
+    fs::remove(cache.graphPath(plan->cacheKey));
+    EXPECT_FALSE(cache.load(plan->cacheKey).has_value());
+    EXPECT_TRUE(cache.load(plan->cacheKey, plan->graph).has_value());
+
+    // A corrupt adjacent graph is a miss too, not a crash.
+    {
+        std::ofstream f(cache.graphPath(plan->cacheKey));
+        f << "smartmem-graph v1\nvalues x\n";
+    }
+    EXPECT_FALSE(cache.load(plan->cacheKey).has_value());
+}
+
+TEST(PlanCacheDir, AliasRecordsResolveAndValidate)
+{
+    const std::string dir = scratchDir("alias");
+    core::PlanCacheDir cache(dir);
+
+    const std::string alias = "dev|source=Swin|v1;batch=1";
+    const std::string target = "dev|graph=abc123|p1;stage=-1";
+    EXPECT_TRUE(cache.storeAlias(alias, target));
+    auto resolved = cache.loadAlias(alias);
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_EQ(*resolved, target);
+
+    // Missing and corrupt records are nullopt, never a crash.
+    EXPECT_FALSE(cache.loadAlias("no-such-alias").has_value());
+    const std::string other = "dev|source=ViT|v1;batch=1";
+    {
+        fs::create_directories(dir);
+        std::ofstream f(cache.aliasPath(other));
+        f << "garbage\n";
+    }
+    EXPECT_FALSE(cache.loadAlias(other).has_value());
+
+    // A record whose embedded alias differs from the requested one
+    // (filename collision after sanitization) is rejected.
+    {
+        std::ofstream f(cache.aliasPath(other), std::ios::trunc);
+        std::ifstream in(cache.aliasPath(alias));
+        f << in.rdbuf();
+    }
+    EXPECT_FALSE(cache.loadAlias(other).has_value());
+}
+
+TEST(PlanCacheDir, ByteCapComesFromCtorOrEnvironment)
+{
+    const std::string dir = scratchDir("byte-cap");
+    EXPECT_EQ(core::PlanCacheDir(dir).maxBytes(), 0);
+    EXPECT_EQ(core::PlanCacheDir(dir, 4096).maxBytes(), 4096);
+    EXPECT_EQ(core::PlanCacheDir(dir, 0).maxBytes(), 0);
+
+    ::setenv("SMARTMEM_PLAN_CACHE_MAX_BYTES", "8192", 1);
+    EXPECT_EQ(core::PlanCacheDir(dir).maxBytes(), 8192);
+    // An explicit cap always wins over the environment.
+    EXPECT_EQ(core::PlanCacheDir(dir, 123).maxBytes(), 123);
+    ::setenv("SMARTMEM_PLAN_CACHE_MAX_BYTES", "not-a-number", 1);
+    EXPECT_EQ(core::PlanCacheDir(dir).maxBytes(), 0);
+    ::unsetenv("SMARTMEM_PLAN_CACHE_MAX_BYTES");
+}
+
+TEST(PlanCacheDir, GcEvictsLruEntriesAndRemovesOrphans)
+{
+    const std::string dir = scratchDir("gc-lru");
+    auto dev = device::adreno740();
+    core::CompileSession session(dev, 1);
+    session.setPlanCacheDir("");
+    auto base = session.compileModel("ResNext");
+
+    core::PlanCacheDir cache(dir);
+    for (const char *key : {"gc-a", "gc-b", "gc-c"}) {
+        runtime::ExecutionPlan p = *base;
+        p.cacheKey = key;
+        ASSERT_TRUE(cache.store(p));
+    }
+    ASSERT_TRUE(cache.storeAlias("alias-old", "gc-a"));
+    ASSERT_TRUE(cache.storeAlias("alias-live", "gc-c"));
+    // A stray graph with no plan: an orphan regardless of the cap.
+    {
+        std::ofstream f(dir + "/stray-deadbeef.graph");
+        f << "leftover\n";
+    }
+
+    // Deterministic recency, oldest first.
+    const auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(cache.entryPath("gc-a"),
+                        now - std::chrono::hours(3));
+    fs::last_write_time(cache.entryPath("gc-b"),
+                        now - std::chrono::hours(2));
+    fs::last_write_time(cache.entryPath("gc-c"),
+                        now - std::chrono::hours(1));
+
+    // Budget for exactly the newest entry plus the alias records still
+    // present while the eviction loop runs.
+    const auto keep = static_cast<std::int64_t>(
+        fs::file_size(cache.entryPath("gc-c")) +
+        fs::file_size(cache.graphPath("gc-c")) +
+        fs::file_size(cache.aliasPath("alias-live")) +
+        fs::file_size(cache.aliasPath("alias-old")));
+    auto st = cache.gc(keep);
+    EXPECT_EQ(st.entriesEvicted, 2);
+    EXPECT_FALSE(fs::exists(cache.entryPath("gc-a")));
+    EXPECT_FALSE(fs::exists(cache.entryPath("gc-b")));
+    EXPECT_FALSE(fs::exists(cache.graphPath("gc-a")));
+    EXPECT_TRUE(fs::exists(cache.entryPath("gc-c")));
+    EXPECT_TRUE(fs::exists(cache.graphPath("gc-c")));
+    // The stray graph and the alias whose target was evicted are gone.
+    EXPECT_EQ(st.orphansRemoved, 2);
+    EXPECT_FALSE(fs::exists(dir + "/stray-deadbeef.graph"));
+    EXPECT_FALSE(fs::exists(cache.aliasPath("alias-old")));
+    EXPECT_TRUE(fs::exists(cache.aliasPath("alias-live")));
+    EXPECT_GT(st.bytesBefore, st.bytesAfter);
+    EXPECT_LE(st.bytesAfter, keep);
+
+    // The surviving entry still loads, and a cap of <= 0 never evicts
+    // live entries.
+    EXPECT_TRUE(cache.load("gc-c", base->graph).has_value());
+    auto noop = cache.gc(0);
+    EXPECT_EQ(noop.entriesEvicted, 0);
+    EXPECT_TRUE(fs::exists(cache.entryPath("gc-c")));
+}
+
+TEST(PlanCacheDir, LoadRefreshesRecencyAndStoreAutoGcs)
+{
+    const std::string dir = scratchDir("auto-gc");
+    auto dev = device::adreno740();
+    core::CompileSession session(dev, 1);
+    session.setPlanCacheDir("");
+    auto base = session.compileModel("ResNext");
+
+    // Successful loads touch the .plan mtime, so recently-used
+    // entries survive LRU eviction.
+    core::PlanCacheDir uncapped(dir);
+    runtime::ExecutionPlan a = *base;
+    a.cacheKey = "auto-a";
+    ASSERT_TRUE(uncapped.store(a));
+    const auto stale =
+        fs::file_time_type::clock::now() - std::chrono::hours(3);
+    fs::last_write_time(uncapped.entryPath("auto-a"), stale);
+    ASSERT_TRUE(uncapped.load("auto-a", base->graph).has_value());
+    EXPECT_GT(fs::last_write_time(uncapped.entryPath("auto-a")), stale);
+
+    // A capped store garbage-collects down to the cap on its own:
+    // room for one entry (plus slack), not two.
+    const auto pair = static_cast<std::int64_t>(
+        fs::file_size(uncapped.entryPath("auto-a")) +
+        fs::file_size(uncapped.graphPath("auto-a")));
+    core::PlanCacheDir capped(dir, pair + pair / 2);
+    fs::last_write_time(capped.entryPath("auto-a"), stale);
+    runtime::ExecutionPlan b = *base;
+    b.cacheKey = "auto-b";
+    ASSERT_TRUE(capped.store(b));
+    EXPECT_FALSE(fs::exists(capped.entryPath("auto-a")));
+    EXPECT_TRUE(fs::exists(capped.entryPath("auto-b")));
+    EXPECT_TRUE(capped.load("auto-b", base->graph).has_value());
 }
 
 // ---------------------------------------------------------------------

@@ -10,20 +10,25 @@
  *   smartmem_cli compilers
  *       List the registered compilers (SmartMem, the Figure-8 stage
  *       presets, and the baseline framework proxies).
- *   smartmem_cli compile <model> [--device <name>|--device-file <f>]
+ *   smartmem_cli compile <model>|--graph-file <f>
+ *                [--device <name>|--device-file <f>]
  *                [--compiler <name>] [--batch N] [--dump-plan]
  *                [--stages] [--threads N] [--repeat K]
- *                [--plan-cache DIR]
+ *                [--plan-cache DIR] [--plan-cache-max-bytes N]
  *       Compile a zoo model and report kernels / latency / memory.
  *       --repeat recompiles K times through the session plan cache
  *       and reports per-iteration wall time plus cache hits.
+ *       --graph-file compiles an imported .smgraph instead of a zoo
+ *       model (docs/GRAPHS.md); such graphs are fixed-batch, so
+ *       --batch is rejected.
  *   smartmem_cli zoo [--device <name>|--device-file <f>]
  *                [--threads N] [--plan-cache DIR]
+ *                [--plan-cache-max-bytes N]
  *       Compile every evaluation model across the thread pool and
  *       report kernels / latency per model plus total compile time.
- *   smartmem_cli run <model> [--backend <name>] [--batch N]
- *                [--stage S] [--threads N] [--repeat K] [--verify]
- *                [--device <name>|--device-file <f>]
+ *   smartmem_cli run <model>|--graph-file <f> [--backend <name>]
+ *                [--batch N] [--stage S] [--threads N] [--repeat K]
+ *                [--verify] [--device <name>|--device-file <f>]
  *       Compile a zoo model and EXECUTE it with real float math on
  *       the selected backend ("cpu-blocked" by default, "reference"
  *       for the naive scalar executor), reporting wall time,
@@ -43,22 +48,42 @@
  *   smartmem_cli classify
  *       Print the operator classification and pairwise action tables
  *       (the paper's Tables 3 and 5).
+ *   smartmem_cli export-graph <model> [--batch N] [--canonical]
+ *                [-o FILE]
+ *       Serialize a zoo model to the `.smgraph` text format
+ *       (docs/GRAPHS.md), to stdout or FILE.  --canonical exports
+ *       the canonicalized graph the compiler actually plans.
+ *   smartmem_cli import-graph <file>
+ *       Parse and validate a `.smgraph` file; prints a summary on
+ *       success, or every structural diagnostic and exits 2.
+ *   smartmem_cli cache-gc [--plan-cache DIR] [--max-bytes N]
+ *       Collect a plan-cache directory: always removes orphaned
+ *       graph/alias files; with a byte cap (--max-bytes or
+ *       SMARTMEM_PLAN_CACHE_MAX_BYTES) also evicts least-recently-
+ *       used entries until the directory fits.
  *
- * Devices and compilers resolve through device::DeviceRegistry and
- * core::CompilerRegistry; an unknown name exits 2 listing what is
+ * Devices, compilers, and models resolve through
+ * device::DeviceRegistry, core::CompilerRegistry, and
+ * models::ModelRegistry; an unknown name exits 2 listing what is
  * registered.  --device-file loads a .smdev profile, so new targets
  * need no recompile.
  * Threads: 0 (default) = SMARTMEM_THREADS env or hardware threads.
  * Plan cache: --plan-cache DIR (or the SMARTMEM_PLAN_CACHE env var)
  *             persists compiled plans; warm entries replace the
- *             plan/select/tune pass with a disk read.
+ *             plan/select/tune pass with a disk read, and a byte cap
+ *             (--plan-cache-max-bytes or
+ *             SMARTMEM_PLAN_CACHE_MAX_BYTES) auto-collects LRU
+ *             entries on store.
  */
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include <fstream>
 
 #include "bench/bench_util.h"
 #include "core/compile_session.h"
@@ -69,7 +94,10 @@
 #include "exec/kernels_blocked.h"
 #include "exec/simd_dispatch.h"
 #include "ir/macs.h"
+#include "models/graph_source.h"
+#include "models/model_registry.h"
 #include "models/models.h"
+#include "serialize/graph_text.h"
 #include "opclass/opclass.h"
 #include "report/table.h"
 #include "runtime/memory_pool.h"
@@ -90,18 +118,26 @@ usage()
                  "usage: smartmem_cli list\n"
                  "       smartmem_cli devices\n"
                  "       smartmem_cli compilers\n"
-                 "       smartmem_cli compile <model> [--device D] "
-                 "[--device-file F] [--compiler C] [--batch N] "
-                 "[--dump-plan] [--stages] [--threads N] [--repeat K] "
-                 "[--plan-cache DIR]\n"
+                 "       smartmem_cli compile <model>|--graph-file F "
+                 "[--device D] [--device-file F] [--compiler C] "
+                 "[--batch N] [--dump-plan] [--stages] [--threads N] "
+                 "[--repeat K] [--plan-cache DIR] "
+                 "[--plan-cache-max-bytes N]\n"
                  "       smartmem_cli zoo [--device D] "
-                 "[--device-file F] [--threads N] [--plan-cache DIR]\n"
-                 "       smartmem_cli run <model> [--backend B] "
-                 "[--batch N] [--stage S] [--threads N] [--repeat K] "
-                 "[--verify] [--device D] [--device-file F]\n"
+                 "[--device-file F] [--threads N] [--plan-cache DIR] "
+                 "[--plan-cache-max-bytes N]\n"
+                 "       smartmem_cli run <model>|--graph-file F "
+                 "[--backend B] [--batch N] [--stage S] [--threads N] "
+                 "[--repeat K] [--verify] [--device D] "
+                 "[--device-file F]\n"
                  "       smartmem_cli opt <model>|--all [--batch N] "
                  "[--passes a,b,c] [--print-stats] [--json FILE]\n"
-                 "       smartmem_cli classify\n");
+                 "       smartmem_cli classify\n"
+                 "       smartmem_cli export-graph <model> [--batch N] "
+                 "[--canonical] [-o FILE]\n"
+                 "       smartmem_cli import-graph <file>\n"
+                 "       smartmem_cli cache-gc [--plan-cache DIR] "
+                 "[--max-bytes N]\n");
     return 2;
 }
 
@@ -130,6 +166,45 @@ resolveCompiler(const std::string &name)
         std::fprintf(stderr, "error: %s\n", e.what());
         std::exit(2);
     }
+}
+
+/** Resolve a zoo model name; exits(2) listing the catalog. */
+const models::GraphSource &
+resolveModel(const std::string &name)
+{
+    try {
+        return models::ModelRegistry::builtins().find(name);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/** Load a .smgraph file; exits(2) with the parse/validation
+ *  diagnostics on a malformed one. */
+ir::Graph
+loadGraphOrExit(const std::string &file)
+{
+    try {
+        return models::loadGraphFile(file);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/** Parse a non-negative byte count (parseIntFlag tops out far below
+ *  useful cache caps). */
+std::int64_t
+parseBytesFlag(const char *flag, const char *value)
+{
+    auto n = parseInt64(value);
+    if (!n || *n < 0) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
+                     value);
+        std::exit(2);
+    }
+    return *n;
 }
 
 int
@@ -224,11 +299,120 @@ cmdClassify()
 }
 
 int
+cmdExportGraph(int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-')
+        return usage();
+    std::string model = argv[2];
+    std::string out_path;
+    int batch = 1;
+    bool canonical = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--batch" && i + 1 < argc)
+            batch = bench::parseIntFlag("--batch", argv[++i], 1);
+        else if (arg == "-o" && i + 1 < argc)
+            out_path = argv[++i];
+        else if (arg == "--canonical")
+            canonical = true;
+        else
+            return usage();
+    }
+
+    ir::Graph g = resolveModel(model).build(batch);
+    if (canonical)
+        g = core::canonicalizeGraph(g);
+    const std::string text = serialize::serializeGraph(g);
+    if (out_path.empty()) {
+        std::printf("%s", text.c_str());
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    out << text;
+    out.flush();
+    if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %s batch %d%s, %zu values, %zu nodes, "
+                "signature %s\n",
+                out_path.c_str(), model.c_str(), batch,
+                canonical ? " (canonicalized)" : "",
+                g.values().size(), g.nodes().size(),
+                serialize::graphSignature(g).c_str());
+    return 0;
+}
+
+int
+cmdImportGraph(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage();
+    // loadGraphOrExit exits 2 with one line per structural
+    // diagnostic on anything malformed.
+    ir::Graph g = loadGraphOrExit(argv[2]);
+    std::printf("%s: %zu values, %zu nodes (%d operators, %d "
+                "transforms), %zu inputs, %zu outputs\n",
+                argv[2], g.values().size(), g.nodes().size(),
+                g.operatorCount(), g.layoutTransformCount(),
+                g.inputIds().size(), g.outputIds().size());
+    std::printf("signature %s\n",
+                serialize::graphSignature(g).c_str());
+    return 0;
+}
+
+int
+cmdCacheGc(int argc, char **argv)
+{
+    std::string dir;
+    std::int64_t max_bytes = -1; // -1 = env / orphans only
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--plan-cache" && i + 1 < argc)
+            dir = argv[++i];
+        else if (arg == "--max-bytes" && i + 1 < argc)
+            max_bytes = parseBytesFlag("--max-bytes", argv[++i]);
+        else
+            return usage();
+    }
+    if (dir.empty()) {
+        if (const char *env = std::getenv("SMARTMEM_PLAN_CACHE"))
+            dir = env;
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr,
+                     "error: no plan cache directory (pass "
+                     "--plan-cache DIR or set SMARTMEM_PLAN_CACHE)\n");
+        return 2;
+    }
+
+    core::PlanCacheDir cache(dir, max_bytes);
+    const std::int64_t cap =
+        max_bytes >= 0 ? max_bytes : cache.maxBytes();
+    auto st = cache.gc(cap);
+    const std::string cap_note =
+        cap > 0 ? ", cap " +
+                      formatBytes(static_cast<std::uint64_t>(cap))
+                : std::string(", no cap (orphan sweep only)");
+    std::printf("plan cache %s: %s -> %s%s\n", dir.c_str(),
+                formatBytes(static_cast<std::uint64_t>(
+                    st.bytesBefore)).c_str(),
+                formatBytes(static_cast<std::uint64_t>(
+                    st.bytesAfter)).c_str(),
+                cap_note.c_str());
+    std::printf("  evicted %d entries, removed %d orphaned files\n",
+                st.entriesEvicted, st.orphansRemoved);
+    return 0;
+}
+
+int
 cmdZoo(int argc, char **argv)
 {
     std::string device_name = "adreno740";
     std::string device_file;
     std::string plan_cache;
+    std::int64_t plan_cache_max = -1;
     int threads = 0;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -240,6 +424,9 @@ cmdZoo(int argc, char **argv)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
         else if (arg == "--plan-cache" && i + 1 < argc)
             plan_cache = argv[++i];
+        else if (arg == "--plan-cache-max-bytes" && i + 1 < argc)
+            plan_cache_max = parseBytesFlag("--plan-cache-max-bytes",
+                                            argv[++i]);
         else
             return usage();
     }
@@ -248,7 +435,10 @@ cmdZoo(int argc, char **argv)
 
     core::CompileSession session(dev, threads);
     if (!plan_cache.empty())
-        session.setPlanCacheDir(plan_cache);
+        session.setPlanCacheDir(plan_cache, plan_cache_max);
+    else if (plan_cache_max >= 0 && session.planCacheDir())
+        session.setPlanCacheDir(session.planCacheDir()->dir(),
+                                plan_cache_max);
     using clock = std::chrono::steady_clock;
     auto t0 = clock::now();
     auto plans = session.compileZoo(names);
@@ -286,26 +476,34 @@ cmdRun(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    std::string model = argv[2];
+    std::string model;
+    std::string graph_file;
     std::string device_name = "adreno740";
     std::string device_file;
     std::string backend = "cpu-blocked";
     int batch = 1;
+    bool batch_set = false;
     int stage = -1;
     int threads = 0;
     int repeat = 1;
     bool verify = false;
-    for (int i = 3; i < argc; ++i) {
+    int i = 2;
+    if (argv[2][0] != '-')
+        model = argv[i++];
+    for (; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--device" && i + 1 < argc)
+        if (arg == "--graph-file" && i + 1 < argc)
+            graph_file = argv[++i];
+        else if (arg == "--device" && i + 1 < argc)
             device_name = argv[++i];
         else if (arg == "--device-file" && i + 1 < argc)
             device_file = argv[++i];
         else if (arg == "--backend" && i + 1 < argc)
             backend = argv[++i];
-        else if (arg == "--batch" && i + 1 < argc)
+        else if (arg == "--batch" && i + 1 < argc) {
             batch = bench::parseIntFlag("--batch", argv[++i], 1);
-        else if (arg == "--stage" && i + 1 < argc)
+            batch_set = true;
+        } else if (arg == "--stage" && i + 1 < argc)
             stage = bench::parseIntFlag("--stage", argv[++i], 0);
         else if (arg == "--threads" && i + 1 < argc)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
@@ -320,13 +518,32 @@ cmdRun(int argc, char **argv)
         std::fprintf(stderr, "error: --stage must be 0..3\n");
         return 2;
     }
+    if (model.empty() == graph_file.empty()) {
+        std::fprintf(stderr, "error: pass exactly one of <model> or "
+                             "--graph-file FILE\n");
+        return 2;
+    }
+    if (!graph_file.empty() && batch_set) {
+        std::fprintf(stderr,
+                     "error: --batch cannot be combined with "
+                     "--graph-file (a .smgraph is fixed-batch; "
+                     "re-export at the batch you need)\n");
+        return 2;
+    }
 
     auto dev = resolveDevice(device_name, device_file);
     core::CompileSession session(dev, threads);
     core::CompileOptions copts;
     copts.batch = batch;
     copts.stage = stage;
-    auto plan = session.compileModel(model, copts);
+    std::shared_ptr<const runtime::ExecutionPlan> plan;
+    if (!graph_file.empty()) {
+        models::FileGraphSource src(loadGraphOrExit(graph_file));
+        plan = session.compileSource(src, copts);
+        model = graph_file; // display name below
+    } else {
+        plan = session.compileSource(resolveModel(model), copts);
+    }
 
     std::printf("%s (batch %d%s): %d kernels on %s\n", model.c_str(),
                 batch,
@@ -451,7 +668,7 @@ cmdOpt(int argc, char **argv)
                          "TransformsPost", "Removed", "Folded",
                          "Fused"});
     for (const auto &name : names) {
-        auto g = models::buildModel(name, batch);
+        auto g = resolveModel(name).build(batch);
         opt::PipelineStats stats;
         auto out = pm.runToFixedPoint(g, &stats);
         int removed = 0, folded = 0, fused = 0;
@@ -489,38 +706,62 @@ cmdCompile(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    std::string model = argv[2];
+    std::string model;
+    std::string graph_file;
     std::string device_name = "adreno740";
     std::string device_file;
     std::string compiler = "smartmem";
     std::string plan_cache;
+    std::int64_t plan_cache_max = -1;
     int batch = 1;
+    bool batch_set = false;
     int threads = 0;
     int repeat = 1;
     bool dump_plan = false;
     bool stages = false;
-    for (int i = 3; i < argc; ++i) {
+    int i = 2;
+    if (argv[2][0] != '-')
+        model = argv[i++];
+    for (; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--device" && i + 1 < argc)
+        if (arg == "--graph-file" && i + 1 < argc)
+            graph_file = argv[++i];
+        else if (arg == "--device" && i + 1 < argc)
             device_name = argv[++i];
         else if (arg == "--device-file" && i + 1 < argc)
             device_file = argv[++i];
         else if (arg == "--compiler" && i + 1 < argc)
             compiler = argv[++i];
-        else if (arg == "--batch" && i + 1 < argc)
+        else if (arg == "--batch" && i + 1 < argc) {
             batch = bench::parseIntFlag("--batch", argv[++i], 1);
-        else if (arg == "--threads" && i + 1 < argc)
+            batch_set = true;
+        } else if (arg == "--threads" && i + 1 < argc)
             threads = bench::parseIntFlag("--threads", argv[++i], 0);
         else if (arg == "--repeat" && i + 1 < argc)
             repeat = bench::parseIntFlag("--repeat", argv[++i], 1);
         else if (arg == "--plan-cache" && i + 1 < argc)
             plan_cache = argv[++i];
+        else if (arg == "--plan-cache-max-bytes" && i + 1 < argc)
+            plan_cache_max = parseBytesFlag("--plan-cache-max-bytes",
+                                            argv[++i]);
         else if (arg == "--dump-plan")
             dump_plan = true;
         else if (arg == "--stages")
             stages = true;
         else
             return usage();
+    }
+    if (model.empty() == graph_file.empty()) {
+        std::fprintf(stderr, "error: pass exactly one of <model> or "
+                             "--graph-file FILE\n");
+        return 2;
+    }
+    if (!graph_file.empty() && batch_set) {
+        std::fprintf(stderr,
+                     "error: --batch cannot be combined with "
+                     "--graph-file (a .smgraph is fixed-batch; "
+                     "re-export at the batch you need)\n");
+        return 2;
     }
 
     auto dev = resolveDevice(device_name, device_file);
@@ -545,7 +786,22 @@ cmdCompile(int argc, char **argv)
         return 2;
     }
 
-    auto g = models::buildModel(model, batch);
+    // The thing being compiled: a zoo registry entry, or a graph
+    // imported from a .smgraph file (fixed batch, already validated
+    // by the parser).
+    std::unique_ptr<models::FileGraphSource> file_src;
+    const models::GraphSource *src = nullptr;
+    ir::Graph g;
+    if (!graph_file.empty()) {
+        file_src = std::make_unique<models::FileGraphSource>(
+            loadGraphOrExit(graph_file));
+        g = file_src->graph();
+        src = file_src.get();
+        model = graph_file; // display name below
+    } else {
+        src = &resolveModel(model);
+        g = src->build(batch);
+    }
     std::printf("%s (batch %d): %d operators, %d transforms, %.1f "
                 "GMACs on %s\n",
                 model.c_str(), batch, g.operatorCount(),
@@ -555,7 +811,10 @@ cmdCompile(int argc, char **argv)
 
     core::CompileSession session(dev, threads);
     if (!plan_cache.empty())
-        session.setPlanCacheDir(plan_cache);
+        session.setPlanCacheDir(plan_cache, plan_cache_max);
+    else if (plan_cache_max >= 0 && session.planCacheDir())
+        session.setPlanCacheDir(session.planCacheDir()->dir(),
+                                plan_cache_max);
     else if (!stages && !comp.usesPlanCache())
         session.setPlanCacheDir(""); // detach SMARTMEM_PLAN_CACHE:
                                      // baselines never touch it, so
@@ -573,7 +832,7 @@ cmdCompile(int argc, char **argv)
                 "smartmem-stage" + std::to_string(s));
             core::CompileOptions copts;
             copts.batch = batch;
-            auto res = staged.compile(session, model, copts);
+            auto res = staged.compileSource(session, *src, copts);
             auto sim = runtime::simulate(dev, *res.plan);
             table.addRow({names[s],
                           std::to_string(res.plan->operatorCount()),
@@ -590,7 +849,7 @@ cmdCompile(int argc, char **argv)
     std::shared_ptr<const runtime::ExecutionPlan> compiled;
     for (int r = 0; r < repeat; ++r) {
         auto t0 = clock::now();
-        auto res = comp.compile(session, model, copts);
+        auto res = comp.compileSource(session, *src, copts);
         double ms = std::chrono::duration<double, std::milli>(
                         clock::now() - t0).count();
         if (!res.supported) {
@@ -669,6 +928,12 @@ main(int argc, char **argv)
             return cmdRun(argc, argv);
         if (cmd == "zoo")
             return cmdZoo(argc, argv);
+        if (cmd == "export-graph")
+            return cmdExportGraph(argc, argv);
+        if (cmd == "import-graph")
+            return cmdImportGraph(argc, argv);
+        if (cmd == "cache-gc")
+            return cmdCacheGc(argc, argv);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
