@@ -118,6 +118,11 @@ CompileSession::compileSource(const models::GraphSource &source,
     const std::string aliasKey = devFingerprint_ + "|source=" +
                                  source.name() + "|" +
                                  options.fingerprint();
+    using PlanFuture = std::shared_future<
+        std::shared_ptr<const runtime::ExecutionPlan>>;
+    PlanFuture wait;
+    std::promise<std::shared_ptr<const runtime::ExecutionPlan>> produce;
+    bool producer = false;
     std::shared_ptr<const PlanCacheDir> disk;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -129,10 +134,51 @@ CompileSession::compileSource(const models::GraphSource &source,
                 return it->second;
             }
         }
-        ++stats_.cacheMisses;
-        disk = planCache_;
+        auto fl = inflight_.find(aliasKey);
+        if (fl != inflight_.end()) {
+            // Single flight: another thread is compiling exactly this
+            // alias right now; wait for its plan instead of redoing
+            // the work (a burst of identical serving requests compiles
+            // once, not once per worker).
+            wait = fl->second;
+            ++stats_.cacheHits;
+            ++stats_.sharedCompiles;
+        } else {
+            producer = true;
+            inflight_.emplace(aliasKey,
+                              PlanFuture(produce.get_future()));
+            ++stats_.cacheMisses;
+            disk = planCache_;
+        }
     }
+    if (!producer)
+        return wait.get(); // rethrows the producer's exception
 
+    // The cache_ insert inside the cold path happens before the
+    // in-flight entry is erased, so there is no window in which a new
+    // caller sees neither; on the exception path the entry is erased
+    // without a cache_ insert and the next caller becomes the new
+    // producer.
+    try {
+        auto sp = compileSourceUncached(source, options, aliasKey, disk);
+        produce.set_value(sp);
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(aliasKey);
+        return sp;
+    } catch (...) {
+        produce.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(aliasKey);
+        throw;
+    }
+}
+
+std::shared_ptr<const runtime::ExecutionPlan>
+CompileSession::compileSourceUncached(
+    const models::GraphSource &source, const CompileOptions &options,
+    const std::string &aliasKey,
+    std::shared_ptr<const PlanCacheDir> disk)
+{
     // Compile outside the lock.  On pool workers the nested
     // parallelism is already inline (onWorkerThread), so zoo-level
     // sharding stays the only parallelism there; on the calling

@@ -107,6 +107,13 @@ struct CompileStats
      *  every in-memory miss is exactly one disk hit or disk miss). */
     std::int64_t diskHits = 0;
     std::int64_t diskMisses = 0;
+
+    /** Lookups that joined an identical in-flight compileSource()
+     *  call instead of redoing it (single-flight).  Counted inside
+     *  cacheHits -- cacheHits + cacheMisses still equals the lookup
+     *  count -- and never in the disk counters: only the producing
+     *  call touches the disk cache. */
+    std::int64_t sharedCompiles = 0;
 };
 
 /** Parallel zoo compiler with a keyed plan cache (see file header). */
@@ -166,6 +173,12 @@ class CompileSession
      * the on-disk cache can resolve the alias -- a warm disk cache
      * serves plans by name without constructing a single graph.
      * `options.batch` is forwarded to build() on that cold path.
+     *
+     * Concurrent calls with the same alias key are single-flight: one
+     * caller compiles, the rest block on its result and count as
+     * cache hits (CompileStats::sharedCompiles).  The serving layer
+     * leans on this -- a burst of identical requests triggers exactly
+     * one plan construction.
      */
     std::shared_ptr<const runtime::ExecutionPlan>
     compileSource(const models::GraphSource &source,
@@ -200,6 +213,15 @@ class CompileSession
     std::shared_ptr<const runtime::ExecutionPlan>
     compileCached(const Job &job);
 
+    /** Cold path of compileSource(): disk lookup, build, compile,
+     *  store.  Runs outside mu_; exactly one caller per alias key is
+     *  in here at a time (the single-flight producer). */
+    std::shared_ptr<const runtime::ExecutionPlan>
+    compileSourceUncached(const models::GraphSource &source,
+                          const CompileOptions &options,
+                          const std::string &aliasKey,
+                          std::shared_ptr<const PlanCacheDir> disk);
+
     device::DeviceProfile dev_;
     std::string devFingerprint_;
     std::unique_ptr<support::ThreadPool> pool_; // null when serial
@@ -213,6 +235,12 @@ class CompileSession
     /** Alias key -> canonical key, so repeat compiles of a named
      *  source skip building the graph entirely. */
     std::map<std::string, std::string> aliasMap_;
+    /** Alias key -> in-flight compile; concurrent duplicates wait on
+     *  the producer's shared future instead of compiling again. */
+    std::map<std::string,
+             std::shared_future<
+                 std::shared_ptr<const runtime::ExecutionPlan>>>
+        inflight_;
     CompileStats stats_;
 };
 

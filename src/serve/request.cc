@@ -1,0 +1,38 @@
+#include "serve/request.h"
+
+#include "exec/executor.h"
+
+namespace smartmem::serve {
+
+const char *
+responseStatusName(ResponseStatus s)
+{
+    switch (s) {
+    case ResponseStatus::Ok:
+        return "ok";
+    case ResponseStatus::Rejected:
+        return "rejected";
+    case ResponseStatus::ShuttingDown:
+        return "shutting-down";
+    case ResponseStatus::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+std::map<ir::ValueId, exec::Tensor>
+makeRequestInputs(const ir::Graph &graph, std::uint64_t seed,
+                  std::uint64_t salt)
+{
+    exec::Executor ex(seed);
+    std::map<ir::ValueId, exec::Tensor> inputs;
+    std::uint64_t base = salt * 1000 + 100;
+    std::uint64_t i = 0;
+    for (ir::ValueId id : graph.inputIds()) {
+        inputs[id] = ex.randomTensor(graph.value(id).shape, base + i);
+        ++i;
+    }
+    return inputs;
+}
+
+} // namespace smartmem::serve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Request/response types for the inference serving layer.
+ *
+ * A request names what to run -- (model | @graph-file, device,
+ * compiler, stage) resolved against the existing registries -- and
+ * what to run it on: either explicit input tensors or a deterministic
+ * input salt (the serving twin of exec::makeSeededInputs, so a served
+ * response can always be re-checked against a direct execution).
+ *
+ * Every submitted request gets exactly one response with a typed
+ * terminal status; the server never drops a request silently
+ * (docs/SERVING.md).
+ */
+#ifndef SMARTMEM_SERVE_REQUEST_H
+#define SMARTMEM_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/tensor.h"
+#include "ir/graph.h"
+
+namespace smartmem::serve {
+
+/** Terminal status of one served request. */
+enum class ResponseStatus
+{
+    Ok,           ///< executed; outputs populated
+    Rejected,     ///< admission queue full (backpressure)
+    ShuttingDown, ///< server stopped before the request could run
+    Failed,       ///< routing/compile/execution error (see error)
+};
+
+/** Lowercase display name ("ok", "rejected", ...). */
+const char *responseStatusName(ResponseStatus s);
+
+/** One inference request. */
+struct InferenceRequest
+{
+    /** Zoo/registry model name, or "@<path>" for a `.smgraph` file
+     *  (the serving twin of the CLI's --graph-file). */
+    std::string model;
+
+    /** Target device registry name; "" = the server's default. */
+    std::string device;
+
+    /** Compiler registry name. */
+    std::string compiler = "smartmem";
+
+    /** Staged-pipeline selector (-1 = full pipeline, 0..3 =
+     *  compileStage presets), as in core::CompileOptions. */
+    int stage = -1;
+
+    /** Salt for deterministic input synthesis when `inputs` is empty;
+     *  salt 0 reproduces exec::makeSeededInputs exactly. */
+    std::uint64_t inputSalt = 0;
+
+    /** Explicit inputs in graph-input declaration order; empty =
+     *  synthesize from (server seed, inputSalt). */
+    std::vector<exec::Tensor> inputs;
+};
+
+/** One response; exactly one per submitted request. */
+struct InferenceResponse
+{
+    ResponseStatus status = ResponseStatus::Failed;
+
+    /** Diagnostic for non-Ok statuses (registry catalogs for unknown
+     *  names, the exception message for execution failures). */
+    std::string error;
+
+    /** Executed batch size (1 = ran alone, k >= 2 = coalesced with
+     *  k-1 other requests); 0 when the request never executed. */
+    int batchSize = 0;
+
+    /** Milliseconds from admission to execution start. */
+    double queueMs = 0;
+    /** Milliseconds of plan execution (shared by a coalesced batch). */
+    double execMs = 0;
+    /** Milliseconds from admission to response completion. */
+    double totalMs = 0;
+
+    /** Graph outputs in declaration order (batch-1 shapes: a coalesced
+     *  execution is sliced back into per-request outputs). */
+    std::vector<exec::Tensor> outputs;
+
+    bool ok() const { return status == ResponseStatus::Ok; }
+};
+
+/**
+ * Deterministic per-request input tensors for every graph input,
+ * keyed by input value id: input i is salted `salt * 1000 + 100 + i`.
+ * Salt 0 is exactly exec::makeSeededInputs' convention (100 + i), so
+ * verification harnesses can reproduce any served request's inputs
+ * from (seed, salt) alone.
+ */
+std::map<ir::ValueId, exec::Tensor>
+makeRequestInputs(const ir::Graph &graph, std::uint64_t seed,
+                  std::uint64_t salt);
+
+} // namespace smartmem::serve
+
+#endif // SMARTMEM_SERVE_REQUEST_H

@@ -1,0 +1,81 @@
+#include "serve/serve_stats.h"
+
+namespace smartmem::serve {
+
+double
+StatsBlock::meanBatchSize() const
+{
+    if (batches == 0)
+        return 0.0;
+    return static_cast<double>(served) / static_cast<double>(batches);
+}
+
+void
+ServerStats::onSubmitted(const std::string &model,
+                         std::size_t queueDepth)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++s_.global.submitted;
+    ++s_.perModel[model].submitted;
+    if (queueDepth > s_.queueHighWater)
+        s_.queueHighWater = queueDepth;
+}
+
+void
+ServerStats::onRejected(const std::string &model)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++s_.global.rejected;
+    ++s_.perModel[model].rejected;
+}
+
+void
+ServerStats::onShutDown(const std::string &model)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++s_.global.shutDown;
+    ++s_.perModel[model].shutDown;
+}
+
+void
+ServerStats::onFailed(const std::string &model)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++s_.global.failed;
+    ++s_.perModel[model].failed;
+}
+
+void
+ServerStats::onBatchExecuted(const std::string &model, int batchSize)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++s_.global.batches;
+    ++s_.global.batchHistogram[batchSize];
+    StatsBlock &m = s_.perModel[model];
+    ++m.batches;
+    ++m.batchHistogram[batchSize];
+}
+
+void
+ServerStats::onServed(const std::string &model, int batchSize,
+                      double totalMs, double queueMs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    StatsBlock &m = s_.perModel[model];
+    for (StatsBlock *b : {&s_.global, &m}) {
+        ++b->served;
+        if (batchSize >= 2)
+            ++b->coalesced;
+        b->totalLatency.record(totalMs);
+        b->queueLatency.record(queueMs);
+    }
+}
+
+StatsSnapshot
+ServerStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return s_;
+}
+
+} // namespace smartmem::serve

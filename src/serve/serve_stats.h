@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-model and global serving statistics.
+ *
+ * Counters follow the request lifecycle: every submitted request ends
+ * in exactly one of served/rejected/failed/shutDown, so
+ *
+ *   submitted == served + rejected + failed + shutDown
+ *
+ * holds in every quiescent snapshot.  Latency distributions are
+ * LatencyRecorders (support/stats.h) over milliseconds; the batch
+ * histogram maps executed batch size -> number of executions.
+ *
+ * ServerStats is internally synchronized (one mutex; the hot path is
+ * a handful of counter bumps per batch), so server workers record
+ * concurrently and readers take consistent snapshots.
+ */
+#ifndef SMARTMEM_SERVE_SERVE_STATS_H
+#define SMARTMEM_SERVE_SERVE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/stats.h"
+
+namespace smartmem::serve {
+
+/** Counter/latency block kept globally and per model name. */
+struct StatsBlock
+{
+    std::int64_t submitted = 0;
+    std::int64_t served = 0;
+    std::int64_t rejected = 0;
+    std::int64_t failed = 0;
+    std::int64_t shutDown = 0;
+
+    /** Requests served in a batch of >= 2 (subset of served). */
+    std::int64_t coalesced = 0;
+
+    /** Plan executions (one per batch, coalesced or not). */
+    std::int64_t batches = 0;
+
+    /** Executed batch size -> execution count. */
+    std::map<int, std::int64_t> batchHistogram;
+
+    /** Admission-to-completion latency of served requests, ms. */
+    LatencyRecorder totalLatency;
+    /** Admission-to-execution-start latency of served requests, ms. */
+    LatencyRecorder queueLatency;
+
+    /** Mean executed batch size (served / batches); 0 with no
+     *  batches. */
+    double meanBatchSize() const;
+};
+
+/** A consistent copy of the counters at one instant. */
+struct StatsSnapshot
+{
+    StatsBlock global;
+    std::map<std::string, StatsBlock> perModel;
+
+    /** Largest admission-queue depth observed at submit time. */
+    std::size_t queueHighWater = 0;
+};
+
+/** Thread-safe recorder; one per InferenceServer. */
+class ServerStats
+{
+  public:
+    void onSubmitted(const std::string &model, std::size_t queueDepth);
+    void onRejected(const std::string &model);
+    void onShutDown(const std::string &model);
+    void onFailed(const std::string &model);
+
+    /** One plan execution of `batchSize` coalesced requests. */
+    void onBatchExecuted(const std::string &model, int batchSize);
+
+    /** One request completed Ok inside a batch of `batchSize`. */
+    void onServed(const std::string &model, int batchSize,
+                  double totalMs, double queueMs);
+
+    StatsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    StatsSnapshot s_;
+};
+
+} // namespace smartmem::serve
+
+#endif // SMARTMEM_SERVE_SERVE_STATS_H

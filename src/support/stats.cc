@@ -1,6 +1,8 @@
 #include "support/stats.h"
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "support/error.h"
 
@@ -41,6 +43,9 @@ Accumulator::add(double v)
     }
     sum_ += v;
     ++count_;
+    double delta = v - welfordMean_;
+    welfordMean_ += delta / static_cast<double>(count_);
+    welfordM2_ += delta * (v - welfordMean_);
 }
 
 double
@@ -61,6 +66,123 @@ double
 Accumulator::mean() const
 {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double var = welfordM2_ / static_cast<double>(count_ - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+namespace {
+
+/** Histogram geometry: bucket i holds values in
+ *  (kHistBase * 2^(i-1), kHistBase * 2^i]; bucket 0 holds (0, kHistBase]
+ *  and anything <= 0. */
+constexpr double kHistBase = 0.001;
+constexpr std::size_t kHistBuckets = 44; // up to ~8.8e9
+
+std::size_t
+bucketIndex(double v)
+{
+    double bound = kHistBase;
+    for (std::size_t i = 0; i + 1 < kHistBuckets; ++i) {
+        if (v <= bound)
+            return i;
+        bound *= 2.0;
+    }
+    return kHistBuckets - 1;
+}
+
+} // namespace
+
+LatencyRecorder::LatencyRecorder(std::size_t sampleCap)
+    : sampleCap_(sampleCap == 0 ? 1 : sampleCap),
+      bucketCounts_(kHistBuckets, 0)
+{
+    samples_.reserve(std::min<std::size_t>(sampleCap_, 4096));
+}
+
+void
+LatencyRecorder::record(double v)
+{
+    acc_.add(v);
+    ++bucketCounts_[bucketIndex(v)];
+    if (samples_.size() < sampleCap_) {
+        samples_.push_back(v);
+    } else {
+        // Reservoir sampling (algorithm R): keep each of the n values
+        // seen so far with probability cap/n.
+        std::size_t j = rng_.pickIndex(acc_.count());
+        if (j < sampleCap_)
+            samples_[j] = v;
+    }
+}
+
+double
+LatencyRecorder::min() const
+{
+    return acc_.count() == 0 ? 0.0 : acc_.min();
+}
+
+double
+LatencyRecorder::max() const
+{
+    return acc_.count() == 0 ? 0.0 : acc_.max();
+}
+
+double
+LatencyRecorder::quantile(double q) const
+{
+    SM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    std::size_t idx = static_cast<std::size_t>(std::llround(pos));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+std::vector<LatencyRecorder::Bucket>
+LatencyRecorder::histogram() const
+{
+    std::vector<Bucket> out;
+    double bound = kHistBase;
+    double lower = 0.0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        if (bucketCounts_[i] != 0)
+            out.push_back({lower, bound, bucketCounts_[i]});
+        lower = bound;
+        bound *= 2.0;
+    }
+    return out;
+}
+
+std::string
+LatencyRecorder::histogramString() const
+{
+    auto buckets = histogram();
+    if (buckets.empty())
+        return "";
+    std::int64_t maxCount = 0;
+    for (const auto &b : buckets)
+        maxCount = std::max(maxCount, b.count);
+    std::ostringstream os;
+    for (const auto &b : buckets) {
+        int bar = static_cast<int>(
+            (40 * b.count + maxCount - 1) / maxCount);
+        os << "  <= ";
+        os.precision(4);
+        os << b.upperBound << "  " << b.count << "  "
+           << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+    }
+    return os.str();
 }
 
 } // namespace smartmem

@@ -1,12 +1,17 @@
 /**
  * @file
- * Small statistics helpers shared by cost models, benches and reports.
+ * Small statistics helpers shared by cost models, benches, reports,
+ * and the serving layer.
  */
 #ifndef SMARTMEM_SUPPORT_STATS_H
 #define SMARTMEM_SUPPORT_STATS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
+
+#include "support/rng.h"
 
 namespace smartmem {
 
@@ -16,7 +21,7 @@ double geomean(const std::vector<double> &values);
 /** Arithmetic mean; 0 for an empty set. */
 double mean(const std::vector<double> &values);
 
-/** Running accumulator for min/max/sum/count. */
+/** Running accumulator for min/max/sum/count/mean/stddev. */
 class Accumulator
 {
   public:
@@ -28,11 +33,83 @@ class Accumulator
     double max() const;
     double mean() const;
 
+    /** Sample standard deviation (n-1 denominator, Welford update);
+     *  0 with fewer than two samples. */
+    double stddev() const;
+
   private:
     std::size_t count_ = 0;
     double sum_ = 0;
     double min_ = 0;
     double max_ = 0;
+    /** Welford running mean / sum of squared deviations (numerically
+     *  stable stddev; sum_ stays the exact total for sum()). */
+    double welfordMean_ = 0;
+    double welfordM2_ = 0;
+};
+
+/**
+ * Streaming latency distribution recorder.
+ *
+ * Tracks exact count/sum/min/max/mean/stddev (Accumulator), estimates
+ * quantiles (p50/p90/p99) from a bounded uniform sample -- the first
+ * `sampleCap` values verbatim, reservoir sampling (algorithm R, with
+ * the deterministic support Rng) beyond that, so memory stays O(cap)
+ * at any request count -- and keeps an exact power-of-two histogram
+ * for distribution dumps.  Values are unit-agnostic; the serving
+ * layer records milliseconds.
+ *
+ * Not internally synchronized (like Accumulator): callers that share
+ * a recorder across threads hold their own lock.
+ */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(std::size_t sampleCap = 4096);
+
+    void record(double v);
+
+    std::size_t count() const { return acc_.count(); }
+    double min() const;
+    double max() const;
+    double mean() const { return acc_.mean(); }
+    double stddev() const { return acc_.stddev(); }
+
+    /**
+     * Quantile estimate for q in [0, 1] by nearest rank over the
+     * retained sample (exact until `sampleCap` values have been
+     * recorded); 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+
+    /** One exact histogram bucket: count of values v with
+     *  lowerBound < v <= upperBound. */
+    struct Bucket
+    {
+        double lowerBound = 0;
+        double upperBound = 0;
+        std::int64_t count = 0;
+    };
+
+    /** Non-empty buckets, ascending.  Bucket upper bounds are
+     *  0.001 * 2^i, so the dump spans sub-microsecond to hours when
+     *  values are milliseconds. */
+    std::vector<Bucket> histogram() const;
+
+    /** Multi-line human dump of histogram(), one "<= bound  count
+     *  bar" row per non-empty bucket; "" when empty. */
+    std::string histogramString() const;
+
+  private:
+    Accumulator acc_;
+    std::size_t sampleCap_;
+    std::vector<double> samples_;
+    Rng rng_; ///< reservoir replacement choices (deterministic)
+    std::vector<std::int64_t> bucketCounts_;
 };
 
 } // namespace smartmem

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/error.h"
+
 namespace smartmem::support {
 
 namespace {
@@ -42,9 +44,20 @@ ThreadPool::submit(std::function<void()> fn)
     {
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(std::move(task));
+        ++pending_;
     }
     cv_.notify_one();
     return future;
+}
+
+void
+ThreadPool::drain()
+{
+    SM_ASSERT(!onWorkerThread(),
+              "ThreadPool::drain() called from a pool worker "
+              "(would wait on itself)");
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 bool
@@ -68,6 +81,12 @@ ThreadPool::workerLoop()
             queue_.pop_front();
         }
         task(); // exceptions land in the matching future
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --pending_;
+            if (pending_ == 0)
+                idleCv_.notify_all();
+        }
     }
 }
 

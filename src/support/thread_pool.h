@@ -45,7 +45,13 @@ class ThreadPool
     /** Spawn `threads` workers (clamped to [1, 512]). */
     explicit ThreadPool(int threads);
 
-    /** Drains nothing: waits for queued tasks, then joins workers. */
+    /**
+     * Destruction runs every task already queued to completion, then
+     * joins the workers: nothing submitted before the destructor is
+     * lost or cancelled.  Equivalent to drain() followed by teardown.
+     * Use drain() to reach the same quiescent point without
+     * destroying the pool.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -56,6 +62,15 @@ class ThreadPool
     /** Queue a task; the future rethrows the task's exception. */
     std::future<void> submit(std::function<void()> fn);
 
+    /**
+     * Block until the pool is idle: every task submitted so far --
+     * queued or mid-execution -- has finished.  Tasks submitted by
+     * other threads while drain() waits are waited on too.  The pool
+     * stays usable afterwards.  Calling drain() from a pool worker
+     * would self-deadlock and is rejected with InternalError.
+     */
+    void drain();
+
     /** True on a thread owned by *any* ThreadPool.  Parallel helpers
      *  use this to run inline instead of re-entering a pool. */
     static bool onWorkerThread();
@@ -65,7 +80,9 @@ class ThreadPool
 
     std::mutex mu_;
     std::condition_variable cv_;
+    std::condition_variable idleCv_; ///< signalled when pending_ hits 0
     std::deque<std::packaged_task<void()>> queue_;
+    std::size_t pending_ = 0; ///< queued + currently-executing tasks
     bool stop_ = false;
     std::vector<std::thread> workers_;
 };

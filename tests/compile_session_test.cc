@@ -9,14 +9,17 @@
 
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/compile_session.h"
 #include "core/plan_cache_dir.h"
 #include "core/smartmem_compiler.h"
 #include "models/graph_source.h"
+#include "models/model_registry.h"
 #include "models/models.h"
 #include "serialize/graph_text.h"
 #include "support/error.h"
@@ -374,6 +377,43 @@ TEST(CompileZoo, SharedCacheAcrossJobs)
     auto st = session.stats();
     EXPECT_EQ(st.cacheHits + st.cacheMisses, 6);
     EXPECT_GE(st.cacheMisses, 3);
+}
+
+TEST(CompileSessionSingleFlight, ConcurrentSameKeyCompilesOnce)
+{
+    // N threads race compileSource() on one (source, options) key:
+    // exactly one may pay the compile (miss), everyone else must
+    // join it in flight or hit the filled cache -- never a duplicate
+    // compilation.  The serving layer leans on this for same-model
+    // request bursts.
+    const int n = 8;
+    CompileSession session(device::adreno740(), 1);
+    const auto &source = models::ModelRegistry::builtins().find("ViT");
+
+    std::vector<std::shared_ptr<const runtime::ExecutionPlan>> plans(
+        static_cast<std::size_t>(n));
+    {
+        std::vector<std::thread> threads;
+        for (int i = 0; i < n; ++i) {
+            threads.emplace_back([&session, &source, &plans, i] {
+                plans[static_cast<std::size_t>(i)] =
+                    session.compileSource(source);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+    }
+
+    for (int i = 1; i < n; ++i)
+        EXPECT_EQ(plans[0].get(),
+                  plans[static_cast<std::size_t>(i)].get());
+    auto st = session.stats();
+    EXPECT_EQ(st.cacheMisses, 1);
+    EXPECT_EQ(st.cacheHits, n - 1);
+    // Waiters that joined the in-flight compile (scheduling-
+    // dependent, possibly zero) are counted inside cacheHits.
+    EXPECT_GE(st.sharedCompiles, 0);
+    EXPECT_LE(st.sharedCompiles, n - 1);
 }
 
 TEST(CompileSession, ThreadCountResolution)

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -118,6 +119,95 @@ TEST(Stats, AccumulatorTracksMinMax)
     EXPECT_DOUBLE_EQ(acc.max(), 10.0);
     EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
     EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(Stats, AccumulatorStddevKnownValue)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    // Sample stddev (n-1): sum of squared deviations is 32 over 7.
+    EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, AccumulatorStddevNeedsTwoSamples)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.stddev(), 0.0);
+    acc.add(3.5);
+    EXPECT_EQ(acc.stddev(), 0.0);
+    acc.add(3.5);
+    EXPECT_NEAR(acc.stddev(), 0.0, 1e-12);
+}
+
+TEST(Stats, LatencyRecorderEmpty)
+{
+    LatencyRecorder lat;
+    EXPECT_EQ(lat.count(), 0u);
+    EXPECT_EQ(lat.p50(), 0.0);
+    EXPECT_EQ(lat.quantile(1.0), 0.0);
+    EXPECT_TRUE(lat.histogram().empty());
+    EXPECT_EQ(lat.histogramString(), "");
+}
+
+TEST(Stats, LatencyRecorderExactQuantilesBelowCap)
+{
+    // Below the sample cap every value is retained, so nearest-rank
+    // quantiles over 1..100 are exact.
+    LatencyRecorder lat;
+    for (int i = 100; i >= 1; --i)
+        lat.record(i);
+    EXPECT_EQ(lat.count(), 100u);
+    EXPECT_DOUBLE_EQ(lat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(lat.max(), 100.0);
+    EXPECT_DOUBLE_EQ(lat.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(lat.quantile(0.0), 1.0);
+    // Nearest rank: p50 over 100 values rounds position 49.5 up.
+    EXPECT_DOUBLE_EQ(lat.p50(), 51.0);
+    EXPECT_DOUBLE_EQ(lat.p90(), 90.0);
+    EXPECT_DOUBLE_EQ(lat.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(lat.quantile(1.0), 100.0);
+}
+
+TEST(Stats, LatencyRecorderReservoirBeyondCap)
+{
+    // Past the cap the sample is bounded but exact stats and the
+    // histogram keep counting; quantiles stay plausible estimates.
+    LatencyRecorder lat(64);
+    const int n = 10000;
+    for (int i = 1; i <= n; ++i)
+        lat.record(i);
+    EXPECT_EQ(lat.count(), static_cast<std::size_t>(n));
+    EXPECT_DOUBLE_EQ(lat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(lat.max(), static_cast<double>(n));
+    double p50 = lat.p50();
+    EXPECT_GT(p50, n * 0.25);
+    EXPECT_LT(p50, n * 0.75);
+
+    std::int64_t histTotal = 0;
+    for (const auto &b : lat.histogram()) {
+        EXPECT_LT(b.lowerBound, b.upperBound);
+        histTotal += b.count;
+    }
+    EXPECT_EQ(histTotal, n);
+}
+
+TEST(Stats, LatencyRecorderHistogramBucketsAreExact)
+{
+    LatencyRecorder lat;
+    // Upper bounds are 0.001 * 2^i: 1.024 ms closes the bucket that
+    // holds 1.0, and 2.048 the one that holds 1.5 and 2.0.
+    lat.record(1.0);
+    lat.record(1.5);
+    lat.record(2.0);
+    auto hist = lat.histogram();
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_EQ(hist[0].count, 1);
+    EXPECT_NEAR(hist[0].upperBound, 1.024, 1e-12);
+    EXPECT_EQ(hist[1].count, 2);
+    EXPECT_NEAR(hist[1].upperBound, 2.048, 1e-12);
+    EXPECT_NE(lat.histogramString().find("#"), std::string::npos);
 }
 
 TEST(Strings, JoinInts)

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "support/error.h"
 #include "support/thread_pool.h"
 
 namespace smartmem::support {
@@ -77,6 +80,62 @@ TEST(ThreadPool, WorkerThreadsAreFlagged)
         on_worker = ThreadPool::onWorkerThread();
     }).get();
     EXPECT_TRUE(on_worker);
+}
+
+TEST(ThreadPool, DrainWaitsForQueuedAndRunningWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++done;
+        });
+    }
+    pool.drain();
+    // drain() returns only once every submitted task has finished.
+    EXPECT_EQ(done.load(), 16);
+
+    // The pool is still usable afterwards (drain is not shutdown).
+    auto f = pool.submit([&done] { ++done; });
+    f.get();
+    pool.drain();
+    EXPECT_EQ(done.load(), 17);
+}
+
+TEST(ThreadPool, DrainOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    pool.drain();
+    SUCCEED();
+}
+
+TEST(ThreadPool, DrainFromWorkerThreadIsRefused)
+{
+    // A worker draining the pool it runs on would deadlock waiting on
+    // itself; the guard turns that into an InternalError instead.
+    ThreadPool pool(1);
+    auto f = pool.submit([&pool] { pool.drain(); });
+    EXPECT_THROW(f.get(), InternalError);
+}
+
+TEST(ThreadPool, DestructorRunsAllQueuedTasks)
+{
+    // The documented destructor contract: queued-but-unstarted tasks
+    // still run (teardown == drain() + join, never task loss).
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++done;
+            });
+        }
+    }
+    EXPECT_EQ(done.load(), 32);
 }
 
 TEST(ThreadCount, ParseRejectsGarbage)

@@ -36,6 +36,19 @@
  *       additionally cross-checks the outputs against the reference
  *       executor (1e-4 relative tolerance) and exits non-zero on a
  *       mismatch.
+ *   smartmem_cli serve --requests <file> [--device <name>|--device-file <f>]
+ *                [--workers N] [--queue-cap N] [--max-batch N]
+ *                [--deadline-ms X] [--no-coalesce] [--backend <name>]
+ *                [--exec-threads N] [--seed N]
+ *       Run the multi-tenant inference server (docs/SERVING.md) over
+ *       a request file and report per-request responses plus serving
+ *       statistics (batch coalescing, latency percentiles,
+ *       backpressure counters).  Request lines are
+ *       `<model|@graph-file> [device=D] [compiler=C] [stage=S]
+ *       [count=N] [salt=N]`; blank lines and `#` comments are
+ *       skipped.  All requests are submitted up front (so same-model
+ *       bursts coalesce), then the server drains and the tables
+ *       print.  Exits 1 if any request was rejected or failed.
  *   smartmem_cli opt <model>|--all [--batch N] [--passes a,b,c]
  *                [--print-stats] [--json FILE]
  *       Run the graph pass pipeline (docs/PASSES.md) over a zoo model
@@ -98,6 +111,7 @@
 #include "models/model_registry.h"
 #include "models/models.h"
 #include "serialize/graph_text.h"
+#include "serve/server.h"
 #include "opclass/opclass.h"
 #include "report/table.h"
 #include "runtime/memory_pool.h"
@@ -130,6 +144,11 @@ usage()
                  "[--backend B] [--batch N] [--stage S] [--threads N] "
                  "[--repeat K] [--verify] [--device D] "
                  "[--device-file F]\n"
+                 "       smartmem_cli serve --requests FILE "
+                 "[--device D] [--device-file F] [--workers N] "
+                 "[--queue-cap N] [--max-batch N] [--deadline-ms X] "
+                 "[--no-coalesce] [--backend B] [--exec-threads N] "
+                 "[--seed N]\n"
                  "       smartmem_cli opt <model>|--all [--batch N] "
                  "[--passes a,b,c] [--print-stats] [--json FILE]\n"
                  "       smartmem_cli classify\n"
@@ -903,6 +922,208 @@ cmdCompile(int argc, char **argv)
     return 0;
 }
 
+/** One parsed request-file line: a request template plus a repeat
+ *  count (`count=N`). */
+struct RequestLine
+{
+    serve::InferenceRequest request;
+    int count = 1;
+};
+
+/** Parse one request line: `<model|@file> [device=] [compiler=]
+ *  [stage=] [count=] [salt=]`.  Exits(2) on junk, naming the line. */
+RequestLine
+parseRequestLine(const std::string &line, int lineNo)
+{
+    RequestLine out;
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : line) {
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty())
+                tokens.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+    out.request.model = tokens.at(0);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        auto eq = tok.find('=');
+        std::string key = eq == std::string::npos ? tok
+                                                  : tok.substr(0, eq);
+        std::string value =
+            eq == std::string::npos ? "" : tok.substr(eq + 1);
+        if (key == "device") {
+            out.request.device = value;
+        } else if (key == "compiler") {
+            out.request.compiler = value;
+        } else if (key == "stage") {
+            out.request.stage = bench::parseIntFlag("stage",
+                                                    value.c_str(), 0);
+        } else if (key == "count") {
+            out.count = bench::parseIntFlag("count", value.c_str(), 1);
+        } else if (key == "salt") {
+            out.request.inputSalt = static_cast<std::uint64_t>(
+                bench::parseIntFlag("salt", value.c_str(), 0));
+        } else {
+            std::fprintf(stderr,
+                         "requests line %d: unknown field '%s' "
+                         "(known: device, compiler, stage, count, "
+                         "salt)\n",
+                         lineNo, key.c_str());
+            std::exit(2);
+        }
+    }
+    return out;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    std::string requestsFile, deviceName = "adreno740", deviceFile;
+    serve::ServerOptions so;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--requests" && i + 1 < argc)
+            requestsFile = argv[++i];
+        else if (arg == "--device" && i + 1 < argc)
+            deviceName = argv[++i];
+        else if (arg == "--device-file" && i + 1 < argc)
+            deviceFile = argv[++i];
+        else if (arg == "--workers" && i + 1 < argc)
+            so.workers = bench::parseIntFlag("--workers", argv[++i], 1);
+        else if (arg == "--queue-cap" && i + 1 < argc)
+            so.queueCapacity = static_cast<std::size_t>(
+                bench::parseIntFlag("--queue-cap", argv[++i], 1));
+        else if (arg == "--max-batch" && i + 1 < argc)
+            so.maxBatch =
+                bench::parseIntFlag("--max-batch", argv[++i], 1);
+        else if (arg == "--deadline-ms" && i + 1 < argc)
+            so.batchDeadlineMs = std::atof(argv[++i]);
+        else if (arg == "--no-coalesce")
+            so.coalesce = false;
+        else if (arg == "--backend" && i + 1 < argc)
+            so.backend = argv[++i];
+        else if (arg == "--exec-threads" && i + 1 < argc)
+            so.executorThreads =
+                bench::parseIntFlag("--exec-threads", argv[++i], 1);
+        else if (arg == "--seed" && i + 1 < argc)
+            so.seed = static_cast<std::uint64_t>(
+                bench::parseIntFlag("--seed", argv[++i], 0));
+        else
+            return usage();
+    }
+    if (requestsFile.empty())
+        return usage();
+
+    std::ifstream in(requestsFile);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read requests file %s\n",
+                     requestsFile.c_str());
+        return 2;
+    }
+    std::vector<RequestLine> lines;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        lines.push_back(parseRequestLine(line, lineNo));
+    }
+    if (lines.empty()) {
+        std::fprintf(stderr, "error: %s has no requests\n",
+                     requestsFile.c_str());
+        return 2;
+    }
+
+    device::DeviceProfile dev = resolveDevice(deviceName, deviceFile);
+    so.extraDevices = {dev};
+    so.defaultDevice = dev.name;
+    serve::InferenceServer server(std::move(so));
+
+    // Submit everything up front (same-model bursts coalesce), then
+    // collect in submission order.
+    std::vector<std::future<serve::InferenceResponse>> futures;
+    std::vector<std::string> names;
+    for (const RequestLine &rl : lines) {
+        for (int c = 0; c < rl.count; ++c) {
+            serve::InferenceRequest r = rl.request;
+            r.inputSalt += static_cast<std::uint64_t>(c);
+            names.push_back(r.model);
+            futures.push_back(server.submit(std::move(r)));
+        }
+    }
+
+    int bad = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        serve::InferenceResponse r = futures[i].get();
+        if (r.ok()) {
+            std::printf("#%zu %-14s ok     batch=%d queue %.2f ms, "
+                        "total %.2f ms\n",
+                        i, names[i].c_str(), r.batchSize, r.queueMs,
+                        r.totalMs);
+        } else {
+            ++bad;
+            std::printf("#%zu %-14s %s: %s\n", i, names[i].c_str(),
+                        serve::responseStatusName(r.status),
+                        r.error.c_str());
+        }
+    }
+    server.shutdown(true);
+
+    auto st = server.stats();
+    std::printf("%s", report::banner("serving stats").c_str());
+    report::Table global({"submitted", "served", "rejected", "failed",
+                          "coalesced", "batches", "mean batch",
+                          "queue high-water"});
+    global.addRow({std::to_string(st.global.submitted),
+                   std::to_string(st.global.served),
+                   std::to_string(st.global.rejected),
+                   std::to_string(st.global.failed),
+                   std::to_string(st.global.coalesced),
+                   std::to_string(st.global.batches),
+                   formatFixed(st.global.meanBatchSize(), 2),
+                   std::to_string(st.queueHighWater)});
+    std::printf("%s\n", global.render().c_str());
+
+    report::Table lat({"model", "served", "p50 ms", "p90 ms",
+                       "p99 ms", "queue p50 ms", "mean batch"});
+    for (const auto &kv : st.perModel) {
+        const serve::StatsBlock &b = kv.second;
+        lat.addRow({kv.first, std::to_string(b.served),
+                    formatFixed(b.totalLatency.p50(), 2),
+                    formatFixed(b.totalLatency.p90(), 2),
+                    formatFixed(b.totalLatency.p99(), 2),
+                    formatFixed(b.queueLatency.p50(), 2),
+                    formatFixed(b.meanBatchSize(), 2)});
+    }
+    lat.addRow({"(all)", std::to_string(st.global.served),
+                formatFixed(st.global.totalLatency.p50(), 2),
+                formatFixed(st.global.totalLatency.p90(), 2),
+                formatFixed(st.global.totalLatency.p99(), 2),
+                formatFixed(st.global.queueLatency.p50(), 2),
+                formatFixed(st.global.meanBatchSize(), 2)});
+    std::printf("%s\n", lat.render().c_str());
+
+    if (!st.global.batchHistogram.empty()) {
+        report::Table hist({"batch size", "executions"});
+        for (const auto &kv : st.global.batchHistogram)
+            hist.addRow({std::to_string(kv.first),
+                         std::to_string(kv.second)});
+        std::printf("%s\n", hist.render().c_str());
+    }
+
+    if (bad > 0)
+        std::printf("%d request(s) not served\n", bad);
+    return bad == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -926,6 +1147,8 @@ main(int argc, char **argv)
             return cmdOpt(argc, argv);
         if (cmd == "run")
             return cmdRun(argc, argv);
+        if (cmd == "serve")
+            return cmdServe(argc, argv);
         if (cmd == "zoo")
             return cmdZoo(argc, argv);
         if (cmd == "export-graph")
