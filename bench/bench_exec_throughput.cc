@@ -23,6 +23,18 @@
  *                            be byte-identical across thread counts;
  *                            exits non-zero on any mismatch (the CI
  *                            gate).
+ *     [--assert-attention-gain]
+ *                            exit non-zero unless the fused-attention
+ *                            A/B (streaming vs materializing kernel,
+ *                            same plan, 1 thread) shows >= 1.10x on
+ *                            at least one attention-carrying model
+ *                            (the CI perf gate for ISSUE 10).
+ *
+ * Per-model roofline columns: GF/s is measured, AI is the cost
+ * model's arithmetic intensity (MACs per effective byte moved), and
+ * %Peak relates measured MAC throughput to the .smdev profile's
+ * peak_macs_per_sec (meta keys peak_gmacs / global_bw_gbps carry the
+ * roofline parameters into --json).
  *
  * --json output is diff_bench_json.py-compatible, one table per
  * batch; wall-clock cells are NOT goldened (they are runner-
@@ -33,10 +45,15 @@
 #include <cstring>
 
 #include "bench/bench_util.h"
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "core/tuner.h"
+#include "cost/kernel_cost.h"
 #include "exec/cpu_backend.h"
 #include "exec/executor.h"
 #include "exec/kernels_blocked.h"
 #include "exec/simd_dispatch.h"
+#include "opt/pass.h"
 #include "runtime/plan_executor.h"
 
 using namespace smartmem;
@@ -50,6 +67,7 @@ struct ThroughputOptions
     double gmacsCap = 20.0;
     double refGmacsCap = 8.0;
     bool check = false;
+    bool assertAttentionGain = false;
 };
 
 /** Parse a comma-separated list of positive ints; exits(2) on junk. */
@@ -122,6 +140,8 @@ extractThroughputArgs(int &argc, char **argv)
             t.refGmacsCap = parseGmacs("--ref-gmacs-cap", argv[++i]);
         } else if (arg == "--check") {
             t.check = true;
+        } else if (arg == "--assert-attention-gain") {
+            t.assertAttentionGain = true;
         } else {
             argv[w++] = argv[i];
         }
@@ -211,6 +231,44 @@ runCheck(const bench::BenchOptions &opts, const ThroughputOptions &t)
 // Timing mode
 // -------------------------------------------------------------------
 
+/**
+ * The "fusion off" A/B arm: a full stage-3 compile with the
+ * attention-fusion pass and the FusionPolicy knob switched off, so
+ * the matmul/scale/add/softmax/matmul chain runs as separate kernels
+ * with materialized O(n^2) score intermediates.
+ */
+runtime::ExecutionPlan
+compileStage3NoAttention(const ir::Graph &graph,
+                         const device::DeviceProfile &dev)
+{
+    opt::PassManager pm;
+    for (const std::string &pn : opt::PassManager::passNames()) {
+        if (pn != "attention-fusion")
+            pm.add(pn);
+    }
+    ir::Graph g = pm.runToFixedPoint(graph);
+
+    core::FusionPolicy p;
+    p.fuseEltwiseChains = true;
+    p.fuseEltwiseIntoIld = true;
+    p.fusePreChains = true;
+    p.fuseNormMatmulPrologue = true;
+    p.maxPostOps = 64;
+    p.fuseAttentionBlock = false;
+    p.fuseTransformChains = true;
+    p.eliminateTransforms = true;
+    p.simplifyIndexMaps = true;
+    runtime::ExecutionPlan plan = core::planGraph(g, p);
+    plan.compilerName = "SmartMem-noattn";
+    core::assignLayouts(plan,
+                        dev.hasTexture
+                            ? core::LayoutStrategy::SmartSelect
+                            : core::LayoutStrategy::SmartSelectBufferOnly,
+                        dev, /*allowRedundantCopies=*/true);
+    core::tunePlan(plan, dev);
+    return plan;
+}
+
 double
 timeRun(runtime::PlanExecutor &be, const runtime::ExecutionPlan &plan,
         const std::map<ir::ValueId, exec::Tensor> &inputs)
@@ -223,6 +281,7 @@ timeRun(runtime::PlanExecutor &be, const runtime::ExecutionPlan &plan,
 }
 
 ThroughputOptions g_topts; // set once in main, read by run()
+double g_bestAttentionGain = 0; // best A/B ratio, read by main()
 
 void
 run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
@@ -237,6 +296,10 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
     json.setMeta("simd", simd);
     json.setMeta("gemm_row_tile", std::to_string(tiles.rowTile));
     json.setMeta("gemm_k_block", std::to_string(tiles.kBlock));
+    json.setMeta("peak_gmacs",
+                 formatFixed(dev.peakMacsPerSec / 1e9, 1));
+    json.setMeta("global_bw_gbps",
+                 formatFixed(dev.globalBwBytesPerSec / 1e9, 1));
 
     if (print)
         std::printf("%s", report::banner(
@@ -257,14 +320,15 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
 
     for (int batch : t.batches) {
         report::Table table({"Model", "GMACs", "Ref(ms)", "Stage0(ms)",
-                             "Stage3(ms)", "Ref/S3", "S0/S3", "GF/s"});
+                             "Stage3(ms)", "Ref/S3", "S0/S3", "GF/s",
+                             "AI", "%Peak"});
         for (const auto &name : t.models) {
             auto g = models::buildModel(name, batch);
             const double gmacs =
                 static_cast<double>(ir::graphMacs(g)) / 1e9;
             if (t.gmacsCap > 0 && gmacs > t.gmacsCap) {
                 table.addRow({name, formatFixed(gmacs, 1), "-", "-",
-                              "-", "-", "-", "-"});
+                              "-", "-", "-", "-", "-", "-"});
                 continue;
             }
             exec::Executor ex(kSeed);
@@ -306,6 +370,21 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
             if (info.type == "Transformer" || info.type == "Hybrid")
                 stage_gain_tf.add(s0_ms / s3_ms);
 
+            // Roofline placement: the cost model's arithmetic
+            // intensity (MACs per effective byte of the stage-3 plan)
+            // and measured MAC throughput as a fraction of the .smdev
+            // profile's peak.
+            const cost::PlanCost pc = cost::costPlan(dev, plan3);
+            const double ai = pc.bytesMoved > 0
+                ? static_cast<double>(pc.macs) /
+                      static_cast<double>(pc.bytesMoved)
+                : 0.0;
+            const double measured_macs_per_sec =
+                gmacs * 1e9 / (s3_ms / 1e3);
+            const double pct_peak = dev.peakMacsPerSec > 0
+                ? 100.0 * measured_macs_per_sec / dev.peakMacsPerSec
+                : 0.0;
+
             table.addRow({
                 name,
                 formatFixed(gmacs, 1),
@@ -319,6 +398,8 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
                           s3_ms),
                 report::formatSpeedup(s0_ms / s3_ms),
                 formatFixed(2.0 * gmacs / (s3_ms / 1e3), 1),
+                formatFixed(ai, 1),
+                formatFixed(pct_peak, 1),
             });
         }
         const std::string title =
@@ -327,6 +408,78 @@ run(const bench::BenchOptions &opts, bool print, bench::JsonReport &json)
         if (print)
             std::printf("-- batch %d --\n%s\n", batch,
                         table.render().c_str());
+    }
+
+    // ---------------------------------------------------------------
+    // Fused-attention A/B: stage-3 as compiled (attention fusion on,
+    // streaming online-softmax kernel) vs the same stage-3 pipeline
+    // with attention fusion switched off (separate matmul/scale/add/
+    // softmax/matmul kernels, materialized score matrices).  Single-
+    // threaded so the ratio isolates the execution strategy, not the
+    // partitioner.
+    // ---------------------------------------------------------------
+    {
+        report::Table ab({"Model", "AttnKernels", "Fused(ms)",
+                          "Unfused(ms)", "Gain", "ScoreMB"});
+        runtime::ExecutorOptions serial;
+        serial.threads = 1;
+        serial.seed = kSeed;
+        serial.gemmRowTile = tiles.rowTile;
+        serial.gemmKBlock = tiles.kBlock;
+        for (const auto &name : t.models) {
+            auto g = models::buildModel(name, min_batch);
+            const double gmacs =
+                static_cast<double>(ir::graphMacs(g)) / 1e9;
+            if (t.gmacsCap > 0 && gmacs > t.gmacsCap)
+                continue;
+            auto fusedPlan = core::compileStage(g, dev, 3);
+            int attn = 0;
+            for (const auto &kk : fusedPlan.kernels)
+                if (kk.streamingAttention)
+                    ++attn;
+            if (attn == 0)
+                continue;
+            auto unfusedPlan = compileStage3NoAttention(g, dev);
+
+            // The two pipelines renumber values differently, so each
+            // arm gets its own (identically seeded) input set.
+            exec::Executor exOn(kSeed);
+            auto inOn = exec::makeSeededInputs(fusedPlan.graph, exOn);
+            exec::Executor exOff(kSeed);
+            auto inOff =
+                exec::makeSeededInputs(unfusedPlan.graph, exOff);
+
+            // Best-of-2 per arm: the gate should not fail on a
+            // one-off scheduler hiccup.
+            auto sbe = runtime::makeExecutor("cpu-blocked", serial);
+            const double fused_ms =
+                std::min(timeRun(*sbe, fusedPlan, inOn),
+                         timeRun(*sbe, fusedPlan, inOn));
+            const double score_mb =
+                static_cast<double>(sbe->scoreBytesAvoided()) / 2.0 /
+                1e6;
+            auto mbe = runtime::makeExecutor("cpu-blocked", serial);
+            const double unfused_ms =
+                std::min(timeRun(*mbe, unfusedPlan, inOff),
+                         timeRun(*mbe, unfusedPlan, inOff));
+
+            const double gain = unfused_ms / fused_ms;
+            g_bestAttentionGain = std::max(g_bestAttentionGain, gain);
+            ab.addRow({name, std::to_string(attn),
+                       formatFixed(fused_ms, 1),
+                       formatFixed(unfused_ms, 1),
+                       report::formatSpeedup(gain),
+                       formatFixed(score_mb, 1)});
+        }
+        const std::string ab_title =
+            "Fused attention A/B, batch " + std::to_string(min_batch) +
+            " (1 thread)";
+        json.add(ab_title, ab);
+        if (print)
+            std::printf("-- fused attention A/B, batch %d, 1 thread "
+                        "(ScoreMB = O(n^2) score traffic the "
+                        "streaming kernel avoids) --\n%s\n",
+                        min_batch, ab.render().c_str());
     }
 
     report::Table summary({"Metric", "Geo-mean"});
@@ -361,5 +514,19 @@ main(int argc, char **argv)
     auto opts = bench::parseBenchArgs(argc, argv);
     if (g_topts.check)
         return runCheck(opts, g_topts);
-    return bench::runRepeated(opts, "bench_exec_throughput", run);
+    int rc = bench::runRepeated(opts, "bench_exec_throughput", run);
+    if (rc == 0 && g_topts.assertAttentionGain) {
+        if (g_bestAttentionGain >= 1.10) {
+            std::printf("attention gain gate: best streaming/"
+                        "materializing ratio %.2fx >= 1.10x  PASS\n",
+                        g_bestAttentionGain);
+        } else {
+            std::fprintf(stderr,
+                         "attention gain gate: best ratio %.2fx < "
+                         "1.10x (or no attention model ran)  FAIL\n",
+                         g_bestAttentionGain);
+            rc = 1;
+        }
+    }
+    return rc;
 }

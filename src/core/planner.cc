@@ -328,6 +328,11 @@ planGraph(const Graph &graph, const FusionPolicy &policy)
         k.outLayout =
             ir::Layout::rowMajor(graph.value(k.output).shape.rank());
         k.isLayoutCopy = groupAllTransforms(st, static_cast<int>(gi));
+        if (policy.fuseAttentionBlock) {
+            for (NodeId nid : group)
+                if (graph.node(nid).kind == OpKind::FusedAttention)
+                    k.streamingAttention = true;
+        }
 
         std::set<ValueId> internal;
         for (NodeId nid : group)

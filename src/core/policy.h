@@ -36,6 +36,12 @@ struct FusionPolicy
      *  fixed-pattern frameworks (MNN/NCNN/TFLite) allow 1-2. */
     int maxPostOps = 64;
 
+    /** Execute FusedAttention nodes with the streaming online-softmax
+     *  kernel (score tile stays in cache; the O(n^2) score matrix is
+     *  never materialized).  Off, the backends fall back to the
+     *  materializing evaluation -- the A/B baseline. */
+    bool fuseAttentionBlock = false;
+
     /** Fuse consecutive layout-transformation operators into a single
      *  data-movement kernel with a composed index map (DNNFusion). */
     bool fuseTransformChains = false;

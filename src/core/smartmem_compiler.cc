@@ -22,6 +22,7 @@ smartFusion(bool lte, bool simplify_maps)
     p.fusePreChains = true;
     p.fuseNormMatmulPrologue = true;
     p.maxPostOps = 64;
+    p.fuseAttentionBlock = true;
     p.fuseTransformChains = true;
     p.eliminateTransforms = lte;
     p.simplifyIndexMaps = simplify_maps;

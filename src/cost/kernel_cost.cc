@@ -31,7 +31,8 @@ opEfficiency(ir::OpKind kind)
       case OpKind::GroupConv2d:     return 0.12;
       case OpKind::DepthwiseConv2d: return 0.08;
       case OpKind::MatMul:
-      case OpKind::BatchMatMul:     return 0.14;
+      case OpKind::BatchMatMul:
+      case OpKind::FusedAttention:  return 0.14;
       case OpKind::LayerNorm:
       case OpKind::InstanceNorm:
       case OpKind::BatchNorm:
@@ -309,6 +310,30 @@ costKernel(const device::DeviceProfile &dev, const ExecutionPlan &plan,
         read_seconds += static_cast<double>(eff_bytes) /
                         bandwidth(dev, layout.space());
     }
+    // A materializing (non-streaming) fused-attention kernel spills
+    // the O(n^2) score matrix: one write plus one re-read per node at
+    // global bandwidth.  The streaming online-softmax path keeps the
+    // score tile in cache, so its kernels skip this traffic entirely.
+    if (!kernel.streamingAttention) {
+        for (ir::NodeId nid : kernel.fusedNodes) {
+            const ir::Node &n = graph.node(nid);
+            if (n.kind != ir::OpKind::FusedAttention)
+                continue;
+            const ir::Shape &q = graph.value(n.inputs[0]).shape;
+            const ir::Shape &key = graph.value(n.inputs[1]).shape;
+            const std::int64_t score_bytes =
+                q.dim(0) * q.dim(1) * key.dim(1) *
+                ir::dtypeSize(graph.value(n.output).dtype);
+            kc.bytesRead += score_bytes;
+            kc.bytesWritten += score_bytes;
+            kc.memAccessElems += 2 * q.dim(0) * q.dim(1) * key.dim(1);
+            kc.cacheMissLines +=
+                std::max<std::int64_t>(2 * score_bytes / line, 1);
+            read_seconds += 2.0 * static_cast<double>(score_bytes) /
+                            dev.globalBwBytesPerSec;
+        }
+    }
+
     kc.memorySeconds = read_seconds;
 
     // Kernels lowered from graph-level transform operators (explicit

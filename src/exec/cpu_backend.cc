@@ -796,6 +796,64 @@ PlanRunner::evalNodeBlocked(const Kernel &k, const Node &node)
         locals_[node.output] = {out, true};
         return;
       }
+      case OpKind::FusedAttention: {
+        const Shape &qs = shapeOf(node.inputs[0]);
+        const Shape &vs = shapeOf(node.inputs[2]);
+        const std::int64_t batch = qs.dim(0);
+        const std::int64_t n = qs.dim(1);
+        const std::int64_t dk = qs.dim(2);
+        const std::int64_t m = vs.dim(1);
+        const std::int64_t dv = vs.dim(2);
+        const float scale = static_cast<float>(
+            node.attrs.getInt("scale_milli", 1000)) / 1000.0f;
+        const float *q = resolveLocal(k, node.inputs[0]);
+        const float *kd = resolveLocal(k, node.inputs[1]);
+        const float *v = resolveLocal(k, node.inputs[2]);
+        const float *bias = nullptr;
+        bool bias_batched = false;
+        if (node.inputs.size() > 3) {
+            bias = resolveLocal(k, node.inputs[3]);
+            const Shape &bsh = shapeOf(node.inputs[3]);
+            bias_batched = bsh.rank() == 3 && bsh.dim(0) > 1;
+        }
+        float *out = alloc(os.numElements());
+        if (k.streamingAttention) {
+            blockedFusedAttention(q, kd, v, bias, bias_batched, scale,
+                                  out, batch, n, dk, m, dv, simd_,
+                                  tiles_, par_);
+            ++stats_.fusedAttentionKernels;
+            stats_.scoreBytesAvoided +=
+                batch * n * m *
+                static_cast<std::int64_t>(sizeof(float));
+        } else {
+            // Materializing fallback (the A/B baseline the streaming
+            // kernel is measured against): full score panel, then
+            // scale+bias, row softmax, and the V matmul over it.
+            float *score = alloc(batch * n * m);
+            blockedMatMul({q, dk, 1, n * dk, nullptr},
+                          {kd, dk, 1, m * dk, nullptr},
+                          {score, m, 1, n * m, nullptr}, batch, n, m,
+                          dk, /*transB=*/true, simd_, tiles_, par_);
+            const std::int64_t nm = n * m;
+            par_.run(batch * nm, 4096,
+                     [&](std::int64_t e0, std::int64_t e1) {
+                         for (std::int64_t e = e0; e < e1; ++e) {
+                             float s = score[e] * scale;
+                             if (bias != nullptr)
+                                 s += bias[bias_batched ? e : e % nm];
+                             score[e] = s;
+                         }
+                     });
+            blockedSoftmax(score, score, Shape({batch, n, m}), 2, par_);
+            blockedMatMul({score, m, 1, nm, nullptr},
+                          {v, dv, 1, m * dv, nullptr},
+                          {out, dv, 1, n * dv, nullptr}, batch, n, dv,
+                          m, /*transB=*/false, simd_, tiles_, par_);
+            pool_.release(score);
+        }
+        locals_[node.output] = {out, true};
+        return;
+      }
       case OpKind::Relu:
       case OpKind::Gelu:
       case OpKind::Silu:

@@ -90,6 +90,15 @@ struct CpuBackendStats
      *  (no pack copy in publishOutput). */
     int nativeLayoutStores = 0;
 
+    /** FusedAttention launches that ran the streaming online-softmax
+     *  kernel (Kernel::streamingAttention set). */
+    int fusedAttentionKernels = 0;
+
+    /** Score-matrix bytes those launches never materialized: the
+     *  [batch, n, m] float panel a matmul+softmax+matmul chain would
+     *  have written and re-read. */
+    std::int64_t scoreBytesAvoided = 0;
+
     /** SIMD dispatch level the run executed at. */
     SimdLevel simdLevel = SimdLevel::Scalar;
 

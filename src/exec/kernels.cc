@@ -377,6 +377,64 @@ evalPool(const ir::Graph &graph, const Node &node, const Tensor &x)
     return out;
 }
 
+Tensor
+evalFusedAttention(const ir::Graph &graph, const Node &node,
+                   const Tensor &q, const Tensor &k, const Tensor &v,
+                   const Tensor *bias)
+{
+    const Shape &qs = q.shape();
+    const Shape &vs = v.shape();
+    const std::int64_t batch = qs.dim(0);
+    const std::int64_t n = qs.dim(1);
+    const std::int64_t dk = qs.dim(2);
+    const std::int64_t m = vs.dim(1);
+    const std::int64_t dv = vs.dim(2);
+    const float scale = static_cast<float>(
+        node.attrs.getInt("scale_milli", 1000)) / 1000.0f;
+    const bool bias_batched =
+        bias != nullptr && bias->shape().rank() == 3 &&
+        bias->shape().dim(0) > 1;
+
+    Tensor out(graph.value(node.output).shape);
+    std::vector<float> row(static_cast<std::size_t>(m));
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float *qp = q.data() + b * n * dk;
+        const float *kp = k.data() + b * m * dk;
+        const float *vp = v.data() + b * m * dv;
+        const float *bp =
+            bias ? bias->data() + (bias_batched ? b * n * m : 0)
+                 : nullptr;
+        float *op = out.data() + b * n * dv;
+        for (std::int64_t i = 0; i < n; ++i) {
+            float mx = -1e30f;
+            for (std::int64_t j = 0; j < m; ++j) {
+                float acc = 0;
+                for (std::int64_t kk = 0; kk < dk; ++kk)
+                    acc += qp[i * dk + kk] * kp[j * dk + kk];
+                acc *= scale;
+                if (bp)
+                    acc += bp[i * m + j];
+                row[static_cast<std::size_t>(j)] = acc;
+                mx = std::max(mx, acc);
+            }
+            float denom = 0;
+            for (std::int64_t j = 0; j < m; ++j) {
+                float e = std::exp(row[static_cast<std::size_t>(j)] - mx);
+                row[static_cast<std::size_t>(j)] = e;
+                denom += e;
+            }
+            for (std::int64_t d = 0; d < dv; ++d)
+                op[i * dv + d] = 0;
+            for (std::int64_t j = 0; j < m; ++j) {
+                float p = row[static_cast<std::size_t>(j)] / denom;
+                for (std::int64_t d = 0; d < dv; ++d)
+                    op[i * dv + d] += p * vp[j * dv + d];
+            }
+        }
+    }
+    return out;
+}
+
 /** Materialize a data-movement op via its IndexMap. */
 Tensor
 evalViaIndexMap(const ir::Graph &graph, const Node &node, const Tensor &x)
@@ -532,6 +590,11 @@ evalNode(const ir::Graph &graph, const Node &node,
 
       case OpKind::Pad:
         return evalPad(graph, node, *inputs[0]);
+
+      case OpKind::FusedAttention:
+        return evalFusedAttention(graph, node, *inputs[0], *inputs[1],
+                                  *inputs[2],
+                                  inputs.size() > 3 ? inputs[3] : nullptr);
     }
     smPanic("unhandled op kind in evalNode");
 }

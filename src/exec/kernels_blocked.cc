@@ -707,6 +707,39 @@ dotKernel(SimdLevel simd))(const float *, const float *, i64)
     }
 }
 
+/**
+ * C[rows x n] += A[rows x k] * B[k x n] through the register-tiled
+ * block kernels (accumulating).  This is attention's probability-
+ * weighted V fold: the accumulators stay in vector registers for a
+ * whole column chunk and every V row is read once per row quad.
+ */
+void
+gemmAccum(SimdLevel simd, const float *a, i64 ars, const float *b,
+          i64 brs, float *c, const i64 *cOff, i64 rows, i64 n, i64 k)
+{
+    switch (simd) {
+#if SMARTMEM_SIMD_X86
+      case SimdLevel::Avx512:
+        gemmBlockAvx512(a, ars, 1, b, brs, c, cOff, 1, rows, n, 0, k,
+                        false);
+        return;
+      case SimdLevel::Avx2:
+        gemmBlockAvx2(a, ars, 1, b, brs, c, cOff, 1, rows, n, 0, k,
+                      false);
+        return;
+#endif
+#if SMARTMEM_SIMD_NEON
+      case SimdLevel::Neon:
+        gemmBlockNeon(a, ars, 1, b, brs, c, cOff, 1, rows, n, 0, k,
+                      false);
+        return;
+#endif
+      default:
+        gemmBlockScalar(a, ars, 1, b, brs, 1, c, cOff, 1, rows, n, 0,
+                        k, false);
+    }
+}
+
 TileParams
 sanitizeTiles(const TileParams &tiles)
 {
@@ -765,6 +798,100 @@ blockedMatMul(const MatView &a, const MatView &b, const MatMutView &c,
             } else {
                 gemmStrided(simd, tiles, ap, a.rs, a.cs, bp, b.rs, b.cs,
                             cp, cOff.data(), c.cs, rows, n, k);
+            }
+        }
+    });
+}
+
+void
+blockedFusedAttention(const float *q, const float *k, const float *v,
+                      const float *bias, bool biasBatched, float scale,
+                      float *out, std::int64_t batch, std::int64_t n,
+                      std::int64_t dk, std::int64_t m, std::int64_t dv,
+                      SimdLevel simd, const TileParams &tilesIn,
+                      const ParallelRunner &par)
+{
+    const TileParams tiles = sanitizeTiles(tilesIn);
+    const i64 jBlock = std::min(tiles.kBlock, m);
+    const i64 row_blocks = (n + tiles.rowTile - 1) / tiles.rowTile;
+    const i64 tasks = batch * row_blocks;
+    float (*const dot)(const float *, const float *, i64) =
+        dotKernel(simd);
+    // Query rows are processed in quads: one key/V block sweep feeds
+    // four rows' online-softmax states, so every K row is reused four
+    // times from L1 and the V fold runs as a 4-row register-tiled
+    // GEMM.  Each row's arithmetic is independent and identically
+    // ordered, so the quad width never changes output bytes.
+    constexpr i64 kQRows = 4;
+    par.run(tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+        std::vector<float> sbuf(
+            static_cast<std::size_t>(kQRows * jBlock));
+        std::vector<float> acc(static_cast<std::size_t>(kQRows * dv));
+        const i64 accOff[kQRows] = {0, dv, 2 * dv, 3 * dv};
+        for (std::int64_t t = t0; t < t1; ++t) {
+            const i64 bi = t / row_blocks;
+            const i64 i0 = (t % row_blocks) * tiles.rowTile;
+            const i64 i1 = std::min(i0 + tiles.rowTile, n);
+            const float *kp = k + bi * m * dk;
+            const float *vp = v + bi * m * dv;
+            const float *bp =
+                bias != nullptr
+                    ? bias + (biasBatched ? bi * n * m : 0)
+                    : nullptr;
+            for (i64 i = i0; i < i1; i += kQRows) {
+                const i64 rows = std::min(kQRows, i1 - i);
+                float mx[kQRows], denom[kQRows];
+                for (i64 r = 0; r < rows; ++r) {
+                    mx[r] = -1e30f;
+                    denom[r] = 0;
+                }
+                std::fill(acc.begin(), acc.end(), 0.0f);
+                // Online softmax: one ascending sweep over key
+                // blocks; a rising row maximum rescales the partial
+                // sums so no score row is ever materialized.
+                for (i64 j0 = 0; j0 < m; j0 += jBlock) {
+                    const i64 cnt = std::min(jBlock, m - j0);
+                    for (i64 r = 0; r < rows; ++r) {
+                        const float *qrow = q + (bi * n + i + r) * dk;
+                        float *srow =
+                            sbuf.data() +
+                            static_cast<std::size_t>(r * jBlock);
+                        float bmx = -1e30f;
+                        for (i64 j = 0; j < cnt; ++j) {
+                            float s = scale *
+                                      dot(qrow, kp + (j0 + j) * dk, dk);
+                            if (bp != nullptr)
+                                s += bp[(i + r) * m + j0 + j];
+                            srow[j] = s;
+                            bmx = std::max(bmx, s);
+                        }
+                        if (bmx > mx[r]) {
+                            const float rs = std::exp(mx[r] - bmx);
+                            denom[r] *= rs;
+                            float *arow =
+                                acc.data() +
+                                static_cast<std::size_t>(r * dv);
+                            for (i64 d = 0; d < dv; ++d)
+                                arow[d] *= rs;
+                            mx[r] = bmx;
+                        }
+                        for (i64 j = 0; j < cnt; ++j) {
+                            const float e = std::exp(srow[j] - mx[r]);
+                            srow[j] = e;
+                            denom[r] += e;
+                        }
+                    }
+                    gemmAccum(simd, sbuf.data(), jBlock, vp + j0 * dv,
+                              dv, acc.data(), accOff, rows, dv, cnt);
+                }
+                for (i64 r = 0; r < rows; ++r) {
+                    float *orow = out + (bi * n + i + r) * dv;
+                    const float *arow =
+                        acc.data() + static_cast<std::size_t>(r * dv);
+                    const float inv = 1.0f / denom[r];
+                    for (i64 d = 0; d < dv; ++d)
+                        orow[d] = arow[d] * inv;
+                }
             }
         }
     });

@@ -251,6 +251,33 @@ void blockedBinary(ir::OpKind kind, const float *a, const float *b,
 void blockedSoftmax(const float *x, float *out, const ir::Shape &shape,
                     int axis, const ParallelRunner &par);
 
+/**
+ * Streaming fused attention: out = softmax(scale * Q.K^T + bias) . V
+ * without materializing the [n, m] score matrix.  Each output row is
+ * produced by one online-softmax sweep over k-blocks of
+ * TileParams::kBlock keys: the block's scores come from the
+ * SIMD-dispatched dot micro-kernel, a running row maximum rescales the
+ * partial accumulator and denominator (exp(oldMax - newMax)), and the
+ * probability-weighted V rows are folded in with a register-tiled
+ * four-row GEMM over the exp'd score blocks of a query-row quad.
+ * Peak live scratch per worker is 4 * (kBlock + dv) floats.
+ *
+ * Operands are row-major: q [batch, n, dk], k [batch, m, dk],
+ * v [batch, m, dv], optional bias [n, m] (biasBatched selects a
+ * per-batch [batch, n, m] plane), out [batch, n, dv].
+ *
+ * Parallel over batch x row tiles; every row is swept in ascending-j
+ * order with block boundaries fixed by `tiles` alone, so output bytes
+ * are independent of thread count at a fixed SimdLevel.
+ */
+void blockedFusedAttention(const float *q, const float *k, const float *v,
+                           const float *bias, bool biasBatched,
+                           float scale, float *out, std::int64_t batch,
+                           std::int64_t n, std::int64_t dk,
+                           std::int64_t m, std::int64_t dv,
+                           SimdLevel simd, const TileParams &tiles,
+                           const ParallelRunner &par);
+
 /** LayerNorm over the last dim with optional gamma/beta, parallel
  *  over outer slices. */
 void blockedLayerNorm(const float *x, const float *gamma,

@@ -38,6 +38,17 @@ nodeMacs(const Graph &graph, const Node &node)
         std::int64_t k = node.attrs.getInt("kernel");
         return out_elems * k * k;
       }
+      case OpKind::FusedAttention: {
+        // Q.K^T (B*N*M*dk) plus attn.V (B*N*M*dv).
+        const Shape &q = graph.value(node.inputs[0]).shape;
+        const Shape &v = graph.value(node.inputs[2]).shape;
+        const std::int64_t b = q.dim(0);
+        const std::int64_t n = q.dim(1);
+        const std::int64_t dk = q.dim(2);
+        const std::int64_t m = v.dim(1);
+        const std::int64_t dv = v.dim(2);
+        return b * n * m * (dk + dv);
+      }
       default:
         return 0;
     }

@@ -13,7 +13,7 @@ nameTable()
 {
     static const std::map<std::string, OpKind> table = [] {
         std::map<std::string, OpKind> t;
-        for (int i = 0; i <= static_cast<int>(OpKind::Pad); ++i) {
+        for (int i = 0; i <= static_cast<int>(kLastOpKind); ++i) {
             auto kind = static_cast<OpKind>(i);
             t.emplace(opKindName(kind), kind);
         }
@@ -67,6 +67,7 @@ opKindName(OpKind kind)
       case OpKind::Slice:           return "Slice";
       case OpKind::Concat:          return "Concat";
       case OpKind::Pad:             return "Pad";
+      case OpKind::FusedAttention:  return "FusedAttention";
     }
     return "?";
 }

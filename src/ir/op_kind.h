@@ -67,7 +67,15 @@ enum class OpKind {
     Slice,
     Concat,
     Pad,
+
+    // Fused compute groups produced by the pass pipeline (ILD & Var).
+    // FusedAttention(Q, K, V[, bias]) = softmax(scale * Q.K^T [+ bias],
+    // last axis) . V with scale = attr "scale_milli" / 1000.
+    FusedAttention,
 };
+
+/** The numerically largest OpKind (keep in sync when appending). */
+constexpr OpKind kLastOpKind = OpKind::FusedAttention;
 
 /** Canonical operator name ("Conv2d"). */
 std::string opKindName(OpKind kind);

@@ -270,6 +270,35 @@ inferShape(OpKind kind, const std::vector<Shape> &in, const Attrs &attrs)
         return Shape(out);
       }
 
+      case OpKind::FusedAttention: {
+        // Q [B, N, dk], K [B, M, dk], V [B, M, dv] -> [B, N, dv];
+        // the optional 4th input is a bias broadcastable over [N, M].
+        SM_REQUIRE(in.size() >= 3, "fused attention expects Q, K, V");
+        const Shape &q = in[0];
+        const Shape &k = in[1];
+        const Shape &v = in[2];
+        SM_REQUIRE(q.rank() == 3 && k.rank() == 3 && v.rank() == 3,
+                   "fused attention expects rank-3 Q/K/V");
+        SM_REQUIRE(q.dim(0) == k.dim(0) && q.dim(0) == v.dim(0),
+                   "fused attention batch mismatch");
+        SM_REQUIRE(q.dim(2) == k.dim(2),
+                   "fused attention K-dim mismatch: " + q.toString() +
+                   " vs " + k.toString());
+        SM_REQUIRE(k.dim(1) == v.dim(1),
+                   "fused attention context-length mismatch");
+        if (in.size() >= 4) {
+            const Shape &bias = in[3];
+            SM_REQUIRE(bias.rank() >= 2 &&
+                       bias.dim(bias.rank() - 2) == q.dim(1) &&
+                       bias.dim(bias.rank() - 1) == k.dim(1),
+                       "fused attention bias must broadcast over [N, M]");
+            for (int i = 0; i < bias.rank() - 2; ++i)
+                SM_REQUIRE(bias.dim(i) == 1 || bias.dim(i) == q.dim(0),
+                           "fused attention bias batch mismatch");
+        }
+        return Shape({q.dim(0), q.dim(1), v.dim(2)});
+      }
+
       case OpKind::Pad: {
         const auto &pads = attrs.getInts("pads"); // before0,after0,...
         SM_REQUIRE(static_cast<int>(pads.size()) == 2 * in[0].rank(),

@@ -26,6 +26,7 @@ classifyOp(OpKind kind)
       case OpKind::MaxPool2d:
       case OpKind::AvgPool2d:
       case OpKind::GlobalAvgPool:
+      case OpKind::FusedAttention:
         return ildVariable;
 
       // Element-wise: touches each element once, any layout works, and

@@ -56,6 +56,14 @@ reductionDims(const ir::Graph &graph, const ir::Node &node, int input_idx)
       case OpKind::AvgPool2d:
       case OpKind::GlobalAvgPool:
         return {2, 3};
+      case OpKind::FusedAttention:
+        // Q aggregates over dk (last dim); K over dk (last dim); V over
+        // the context length M (rank-2 dim); the bias is read-only.
+        if (input_idx == 0 || input_idx == 1)
+            return {in.rank() - 1};
+        if (input_idx == 2)
+            return {in.rank() - 2};
+        return {};
       default:
         return {};
     }

@@ -164,6 +164,8 @@ PassManager::create(const std::string &name)
         return std::make_unique<ConstantFold>();
     if (name == "conv-bn-fold")
         return std::make_unique<ConvBatchNormFold>();
+    if (name == "attention-fusion")
+        return std::make_unique<AttentionFusion>();
     if (name == "dce")
         return std::make_unique<DeadCodeElim>();
     smFatal("unknown pass '" + name +
@@ -175,7 +177,7 @@ PassManager::passNames()
 {
     static const std::vector<std::string> names = {
         "identity-elim", "cse", "algebraic",
-        "const-fold", "conv-bn-fold", "dce"};
+        "const-fold", "conv-bn-fold", "attention-fusion", "dce"};
     return names;
 }
 

@@ -130,7 +130,8 @@ class PassManager
     static const std::vector<std::string> &passNames();
 
     /** The canonicalization pipeline core::canonicalizeGraph() runs:
-     *  identity-elim, cse, algebraic, const-fold, conv-bn-fold, dce. */
+     *  identity-elim, cse, algebraic, const-fold, conv-bn-fold,
+     *  attention-fusion, dce. */
     static PassManager defaultPipeline();
 
   private:
@@ -162,8 +163,9 @@ class IdentityElim : public Pass
  * Common-subexpression elimination: hash-cons operator nodes by
  * (kind, attrs, resolved inputs) and literal-data constants by
  * (shape, dtype, payload), redirecting duplicates to one survivor.
- * Synthesized constants are never merged -- distinct value streams
- * are distinct weights by construction.
+ * Operand ids are sorted for commutative kinds (Add, Mul), so a+b and
+ * b+a hash-cons to one node.  Synthesized constants are never merged
+ * -- distinct value streams are distinct weights by construction.
  */
 class CommonSubexprElim : public Pass
 {
@@ -216,6 +218,29 @@ class ConvBatchNormFold : public Pass
 {
   public:
     std::string name() const override { return "conv-bn-fold"; }
+    ir::Graph run(const ir::Graph &graph,
+                  PassStats &stats) const override;
+    using Pass::run;
+};
+
+/**
+ * Attention-block fusion: rewrites the canonical attention chain
+ *
+ *   BatchMatMul(q, k, transB=1) -> [Scale] -> [Add bias-constant]
+ *     -> Softmax(last axis) -> BatchMatMul(attn, v)
+ *
+ * (rank-3 operands, every intermediate sole-consumed and not a graph
+ * output) into a single FusedAttention(q, k, v[, bias]) node carrying
+ * the Scale's "scale_milli" attr.  At most ONE bias Add participates:
+ * chains stacking a relative-position bias AND a mask constant, or
+ * with odd shapes/axes, are left untouched byte-stably.  The executors
+ * evaluate the fused node without materializing the O(n^2) score
+ * matrix (online softmax; see docs/EXECUTION.md).
+ */
+class AttentionFusion : public Pass
+{
+  public:
+    std::string name() const override { return "attention-fusion"; }
     ir::Graph run(const ir::Graph &graph,
                   PassStats &stats) const override;
     using Pass::run;

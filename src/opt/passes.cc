@@ -11,6 +11,9 @@
  */
 #include "opt/pass.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "support/error.h"
 
 namespace smartmem::opt {
@@ -134,8 +137,15 @@ CommonSubexprElim::run(const Graph &graph, PassStats &stats) const
                   "|" + n.attrs.toString();
         } else {
             key = ir::opKindName(n.kind) + "|" + n.attrs.toString();
+            std::vector<ValueId> ins;
+            ins.reserve(n.inputs.size());
             for (ValueId in : n.inputs)
-                key += "|" + std::to_string(resolve(in));
+                ins.push_back(resolve(in));
+            // Value-number commutative operands: a+b and b+a share a key.
+            if (n.kind == OpKind::Add || n.kind == OpKind::Mul)
+                std::sort(ins.begin(), ins.end());
+            for (ValueId in : ins)
+                key += "|" + std::to_string(in);
         }
         auto ins = seen.emplace(key, n.output);
         if (!ins.second) {
@@ -460,6 +470,166 @@ ConvBatchNormFold::run(const Graph &graph, PassStats &stats) const
     for (ValueId out : graph.outputIds()) {
         auto it = vmap.find(out);
         SM_ASSERT(it != vmap.end(), "conv-bn-fold lost a graph output");
+        b.markOutput(it->second);
+    }
+    return b.finish();
+}
+
+// ---------------------------------------------------- attention fusion
+
+namespace {
+
+/** One recognized attention chain, keyed by its exit BatchMatMul. */
+struct AttentionChain
+{
+    std::vector<NodeId> merged; ///< bmm1, [scale], [add], softmax
+    ValueId q = -1;
+    ValueId k = -1;
+    ValueId v = -1;
+    ValueId bias = -1; ///< -1 when the chain has no bias Add
+    std::int64_t scaleMilli = 1000;
+};
+
+/** An intermediate may only feed the next link of the chain. */
+bool
+soleUse(const Graph &g, ValueId v)
+{
+    return g.consumers(v).size() == 1 && !isGraphOutput(g, v);
+}
+
+/** Match the chain ending at `bmm2`; nullopt when anything is off. */
+std::optional<AttentionChain>
+matchAttentionChain(const Graph &g, const Node &bmm2)
+{
+    if (bmm2.kind != OpKind::BatchMatMul ||
+        bmm2.attrs.getInt("transB", 0) != 0)
+        return std::nullopt;
+    if (g.value(bmm2.inputs[1]).shape.rank() != 3)
+        return std::nullopt;
+
+    AttentionChain c;
+    c.v = bmm2.inputs[1];
+
+    const Node &sm = producerOf(g, bmm2.inputs[0]);
+    if (sm.kind != OpKind::Softmax || !soleUse(g, sm.output))
+        return std::nullopt;
+    const ir::Shape &score = g.value(sm.inputs[0]).shape;
+    if (score.rank() != 3)
+        return std::nullopt;
+    std::int64_t axis = sm.attrs.getInt("axis", score.rank() - 1);
+    if (axis < 0)
+        axis += score.rank();
+    if (axis != score.rank() - 1)
+        return std::nullopt;
+    c.merged.push_back(sm.id);
+
+    const Node *cur = &producerOf(g, sm.inputs[0]);
+
+    // Optional single bias Add of a Constant broadcastable over [N, M].
+    if (cur->kind == OpKind::Add) {
+        if (!soleUse(g, cur->output))
+            return std::nullopt;
+        const Node &lhs = producerOf(g, cur->inputs[0]);
+        const Node &rhs = producerOf(g, cur->inputs[1]);
+        ValueId bias, score_in;
+        if (rhs.kind == OpKind::Constant) {
+            bias = cur->inputs[1];
+            score_in = cur->inputs[0];
+        } else if (lhs.kind == OpKind::Constant) {
+            bias = cur->inputs[0];
+            score_in = cur->inputs[1];
+        } else {
+            return std::nullopt;
+        }
+        const ir::Shape &bs = g.value(bias).shape;
+        if (bs.rank() < 2 || bs.rank() > 3 ||
+            bs.dim(bs.rank() - 2) != score.dim(1) ||
+            bs.dim(bs.rank() - 1) != score.dim(2))
+            return std::nullopt;
+        if (bs.rank() == 3 && bs.dim(0) != 1 &&
+            bs.dim(0) != score.dim(0))
+            return std::nullopt;
+        c.bias = bias;
+        c.merged.push_back(cur->id);
+        cur = &producerOf(g, score_in);
+    }
+
+    // Optional Scale.  A second Add above it (bias + mask stacks)
+    // falls through to the BatchMatMul check below and misses.
+    if (cur->kind == OpKind::Scale) {
+        if (!soleUse(g, cur->output))
+            return std::nullopt;
+        c.scaleMilli = cur->attrs.getInt("scale_milli", 1000);
+        c.merged.push_back(cur->id);
+        cur = &producerOf(g, cur->inputs[0]);
+    }
+
+    if (cur->kind != OpKind::BatchMatMul ||
+        cur->attrs.getInt("transB", 0) == 0 ||
+        !soleUse(g, cur->output))
+        return std::nullopt;
+    if (g.value(cur->inputs[0]).shape.rank() != 3 ||
+        g.value(cur->inputs[1]).shape.rank() != 3)
+        return std::nullopt;
+    c.q = cur->inputs[0];
+    c.k = cur->inputs[1];
+    c.merged.push_back(cur->id);
+    return c;
+}
+
+} // namespace
+
+Graph
+AttentionFusion::run(const Graph &graph, PassStats &stats) const
+{
+    std::map<NodeId, AttentionChain> chains; // exit bmm2 -> chain
+    std::set<NodeId> skip;
+    for (const Node &n : graph.nodes()) {
+        auto c = matchAttentionChain(graph, n);
+        if (!c)
+            continue;
+        chains.emplace(n.id, std::move(*c));
+        for (NodeId id : chains.at(n.id).merged)
+            skip.insert(id);
+    }
+    if (chains.empty())
+        return graph;
+    stats.changed = true;
+    stats.nodesFused = static_cast<int>(skip.size());
+
+    ir::GraphBuilder b;
+    std::map<ValueId, ValueId> vmap;
+    for (const Node &n : graph.nodes()) {
+        if (skip.count(n.id) > 0)
+            continue;
+        auto cit = chains.find(n.id);
+        if (cit == chains.end()) {
+            copyNode(b, graph, n, vmap, {});
+            continue;
+        }
+        const AttentionChain &c = cit->second;
+        auto mapped = [&](ValueId v) {
+            auto it = vmap.find(v);
+            SM_ASSERT(it != vmap.end(),
+                      "attention-fusion: unresolved value " +
+                          std::to_string(v));
+            return it->second;
+        };
+        std::vector<ValueId> ins = {mapped(c.q), mapped(c.k),
+                                    mapped(c.v)};
+        if (c.bias >= 0)
+            ins.push_back(mapped(c.bias));
+        Attrs a;
+        if (c.scaleMilli != 1000)
+            a.set("scale_milli", c.scaleMilli);
+        vmap[n.output] = b.addNode(OpKind::FusedAttention,
+                                   std::move(ins), std::move(a),
+                                   n.name + ".attn");
+    }
+    for (ValueId out : graph.outputIds()) {
+        auto it = vmap.find(out);
+        SM_ASSERT(it != vmap.end(),
+                  "attention-fusion lost a graph output");
         b.markOutput(it->second);
     }
     return b.finish();

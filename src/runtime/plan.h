@@ -91,6 +91,12 @@ struct Kernel
      *  (block dims / unrolling / tiling), in (0, 1]; produced by the
      *  genetic auto-tuner, 0.85 for untuned kernels. */
     double tunedEfficiency = 0.85;
+
+    /** True when this kernel's FusedAttention node runs the streaming
+     *  online-softmax path: the score matrix never hits memory, so the
+     *  cost model and the live-bytes simulation drop its traffic.  Set
+     *  by the planner under FusionPolicy::fuseAttentionBlock. */
+    bool streamingAttention = false;
 };
 
 /** A compiled executable plan. */

@@ -65,6 +65,16 @@ class CpuBlockedExecutor final : public PlanExecutor
         return stats_.poolHighWaterBytes;
     }
 
+    int fusedAttentionKernels() const override
+    {
+        return stats_.fusedAttentionKernels;
+    }
+
+    std::int64_t scoreBytesAvoided() const override
+    {
+        return stats_.scoreBytesAvoided;
+    }
+
     /** Full counters of the most recent run. */
     const exec::CpuBackendStats &stats() const { return stats_; }
 

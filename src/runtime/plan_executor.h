@@ -67,6 +67,13 @@ class PlanExecutor
     /** Peak bytes of pooled buffers in the most recent run(); 0 for
      *  backends without a real allocator (reference). */
     virtual std::int64_t poolHighWaterBytes() const { return 0; }
+
+    /** Streaming fused-attention launches in the most recent run();
+     *  0 for backends without the streaming kernel (reference). */
+    virtual int fusedAttentionKernels() const { return 0; }
+
+    /** Score-matrix bytes those launches avoided materializing. */
+    virtual std::int64_t scoreBytesAvoided() const { return 0; }
 };
 
 /** Registered backend names, in registry order. */

@@ -41,6 +41,8 @@ serializePlan(const runtime::ExecutionPlan &plan)
            << (k.isLayoutCopy ? 1 : 0) << "\n";
         os << "outlayout " << k.outLayout.toString() << "\n";
         os << "efficiency " << hexDouble(k.tunedEfficiency) << "\n";
+        if (k.streamingAttention)
+            os << "streaming 1\n";
         os << "inputs " << k.inputs.size() << "\n";
         for (const runtime::KernelInput &in : k.inputs) {
             os << "input " << in.source << " " << in.sourceCopy << " "
@@ -109,6 +111,9 @@ parsePlan(const std::string &text, ir::Graph graph)
             r.asHexDouble(r.fieldsOf("efficiency", 1)[0]);
         if (!(k.tunedEfficiency > 0.0 && k.tunedEfficiency <= 1.0))
             r.fail("tuned efficiency outside (0, 1]");
+        if (r.peekKeyword("streaming"))
+            k.streamingAttention =
+                r.asBool(r.fieldsOf("streaming", 1)[0]);
 
         const auto n_inputs =
             r.asInt(r.fieldsOf("inputs", 1)[0], 0, 1 << 24);

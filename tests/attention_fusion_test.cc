@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Attention-fusion tests: the pattern pass (opt::AttentionFusion), the
+ * planner's streaming flag, and the streaming online-softmax kernel.
+ *
+ *  - Positive matches: plain and biased matmul+softmax+matmul chains
+ *    collapse to one FusedAttention node that executes identically.
+ *  - Pattern misses: stacked bias+mask Adds, non-last-axis softmax,
+ *    and escaping intermediates leave the graph byte-stable
+ *    (serialize::graphSignature, the plan-cache key contract).
+ *  - Kernel: streaming and materializing executions agree to 1e-4
+ *    with the unfused reference, and streaming output bytes are
+ *    identical at 1, 2, and 4 threads.
+ *  - Zoo: canonicalization fuses attention on the transformer models
+ *    and leaves the conv-net signatures untouched.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/layout_select.h"
+#include "core/planner.h"
+#include "core/smartmem_compiler.h"
+#include "device/device_profile.h"
+#include "exec/executor.h"
+#include "models/models.h"
+#include "opt/pass.h"
+#include "runtime/plan_executor.h"
+#include "serialize/plan_text.h"
+
+namespace smartmem {
+namespace {
+
+using ir::GraphBuilder;
+using ir::OpKind;
+using ir::Shape;
+using ir::ValueId;
+
+constexpr std::uint64_t kSeed = 4242;
+
+/** Scale(x) by `milli`/1000, the zoo's attention-logit idiom. */
+ValueId
+scaleBy(GraphBuilder &b, ValueId x, std::int64_t milli)
+{
+    ir::Attrs a;
+    a.set("scale_milli", milli);
+    return b.addNode(OpKind::Scale, {x}, a);
+}
+
+/**
+ * The canonical chain: BatchMatMul(q, k, transB) -> Scale ->
+ * [Add bias] -> Softmax(last axis) -> BatchMatMul(probs, v), over
+ * q [batch, n, dk], k/v [batch, m, dk/dv] model inputs.
+ */
+ir::Graph
+buildChain(bool with_bias, std::int64_t batch = 2, std::int64_t n = 8,
+           std::int64_t m = 8, std::int64_t dk = 4, std::int64_t dv = 4)
+{
+    GraphBuilder b;
+    auto q = b.input("q", Shape({batch, n, dk}));
+    auto k = b.input("k", Shape({batch, m, dk}));
+    auto v = b.input("v", Shape({batch, m, dv}));
+    auto s = b.batchMatMul(q, k, /*trans_b=*/true);
+    s = scaleBy(b, s, 500);
+    if (with_bias)
+        s = b.binary(OpKind::Add, s, b.constant("bias", Shape({n, m})));
+    s = b.softmax(s, 2);
+    b.markOutput(b.batchMatMul(s, v));
+    return b.finish();
+}
+
+/** Plan with SmartMem-grade fusion; `streaming` toggles the
+ *  FusionPolicy::fuseAttentionBlock kernel flag (the A/B axis). */
+runtime::ExecutionPlan
+makePlan(const ir::Graph &graph, bool streaming)
+{
+    core::FusionPolicy policy;
+    policy.fuseEltwiseChains = true;
+    policy.fuseEltwiseIntoIld = true;
+    policy.fuseTransformChains = true;
+    policy.fuseAttentionBlock = streaming;
+    runtime::ExecutionPlan plan = core::planGraph(graph, policy);
+    core::assignLayouts(plan, core::LayoutStrategy::SmartSelect,
+                        device::adreno740());
+    return plan;
+}
+
+std::vector<exec::Tensor>
+runBackend(const runtime::ExecutionPlan &plan, const std::string &name,
+           int threads = 0, int *attention_kernels = nullptr)
+{
+    runtime::ExecutorOptions opts;
+    opts.seed = kSeed;
+    opts.threads = threads;
+    auto engine = runtime::makeExecutor(name, opts);
+    exec::Executor ex(kSeed);
+    auto inputs = exec::makeSeededInputs(plan.graph, ex);
+    auto out = engine->run(plan, inputs);
+    if (attention_kernels != nullptr)
+        *attention_kernels = engine->fusedAttentionKernels();
+    return out;
+}
+
+TEST(AttentionFusion, FusesPlainAndBiasedChains)
+{
+    for (bool with_bias : {false, true}) {
+        ir::Graph g = buildChain(with_bias);
+        opt::PassStats stats;
+        ir::Graph out = opt::AttentionFusion().run(g, stats);
+        EXPECT_TRUE(stats.changed);
+        EXPECT_EQ(stats.nodesFused, with_bias ? 4 : 3);
+        EXPECT_EQ(out.countKind(OpKind::FusedAttention), 1);
+        EXPECT_EQ(out.countKind(OpKind::Softmax), 0);
+        EXPECT_EQ(out.countKind(OpKind::BatchMatMul), 0);
+        EXPECT_EQ(out.countKind(OpKind::Scale), 0);
+
+        // The fused node computes exactly what the chain computed.
+        exec::Executor ex(kSeed);
+        auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+        auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+        EXPECT_LE(exec::maxRelDiff(ref, got), 1e-5f)
+            << (with_bias ? "biased" : "plain");
+    }
+}
+
+TEST(AttentionFusion, KeepsDefaultScaleImplicit)
+{
+    // scale_milli == 1000 is the FusedAttention default; the fused
+    // node must not carry a redundant attribute (signature hygiene).
+    GraphBuilder b;
+    auto q = b.input("q", Shape({2, 8, 4}));
+    auto k = b.input("k", Shape({2, 8, 4}));
+    auto v = b.input("v", Shape({2, 8, 4}));
+    auto s = b.softmax(b.batchMatMul(q, k, true), 2);
+    b.markOutput(b.batchMatMul(s, v));
+    auto g = b.finish();
+
+    opt::PassStats stats;
+    ir::Graph out = opt::AttentionFusion().run(g, stats);
+    EXPECT_TRUE(stats.changed);
+    ASSERT_EQ(out.countKind(OpKind::FusedAttention), 1);
+    for (const ir::Node &n : out.nodes()) {
+        if (n.kind == OpKind::FusedAttention) {
+            EXPECT_FALSE(n.attrs.has("scale_milli"));
+        }
+    }
+}
+
+/** Pattern misses must leave the plan-cache key byte-stable. */
+void
+expectMiss(const ir::Graph &g, const std::string &label)
+{
+    opt::PassStats stats;
+    ir::Graph out = opt::AttentionFusion().run(g, stats);
+    EXPECT_FALSE(stats.changed) << label;
+    EXPECT_EQ(out.countKind(OpKind::FusedAttention), 0) << label;
+    EXPECT_EQ(serialize::graphSignature(g),
+              serialize::graphSignature(out))
+        << label;
+}
+
+TEST(AttentionFusion, StackedBiasAndMaskAddsMiss)
+{
+    // Two logit Adds (folded relpos bias AND a causal mask): the
+    // one-Add pattern must not partially rewrite the chain.
+    GraphBuilder b;
+    auto q = b.input("q", Shape({2, 8, 4}));
+    auto k = b.input("k", Shape({2, 8, 4}));
+    auto v = b.input("v", Shape({2, 8, 4}));
+    auto s = scaleBy(b, b.batchMatMul(q, k, true), 500);
+    s = b.binary(OpKind::Add, s, b.constant("bias", Shape({8, 8})));
+    s = b.binary(OpKind::Add, s, b.constant("mask", Shape({8, 8})));
+    b.markOutput(b.batchMatMul(b.softmax(s, 2), v));
+    expectMiss(b.finish(), "bias+mask");
+}
+
+TEST(AttentionFusion, WrongSoftmaxAxisMisses)
+{
+    GraphBuilder b;
+    auto q = b.input("q", Shape({2, 8, 8}));
+    auto k = b.input("k", Shape({2, 8, 8}));
+    auto v = b.input("v", Shape({2, 8, 4}));
+    auto s = b.softmax(b.batchMatMul(q, k, true), 1);
+    b.markOutput(b.batchMatMul(s, v));
+    expectMiss(b.finish(), "softmax axis 1");
+}
+
+TEST(AttentionFusion, EscapingScoreMisses)
+{
+    // The softmax output is also a graph output: fusing would delete
+    // a value the model returns.
+    GraphBuilder b;
+    auto q = b.input("q", Shape({2, 8, 4}));
+    auto k = b.input("k", Shape({2, 8, 4}));
+    auto v = b.input("v", Shape({2, 8, 4}));
+    auto s = b.softmax(b.batchMatMul(q, k, true), 2);
+    b.markOutput(s);
+    b.markOutput(b.batchMatMul(s, v));
+    expectMiss(b.finish(), "escaping probs");
+}
+
+TEST(AttentionFusion, NonConstantBiasMisses)
+{
+    // A data-dependent logit Add is not the folded-bias pattern.
+    GraphBuilder b;
+    auto q = b.input("q", Shape({2, 8, 4}));
+    auto k = b.input("k", Shape({2, 8, 4}));
+    auto v = b.input("v", Shape({2, 8, 4}));
+    auto extra = b.input("extra", Shape({8, 8}));
+    auto s = b.batchMatMul(q, k, true);
+    s = b.binary(OpKind::Add, s, extra);
+    b.markOutput(b.batchMatMul(b.softmax(s, 2), v));
+    expectMiss(b.finish(), "input bias");
+}
+
+TEST(AttentionKernel, StreamingMatchesMaterializingAndReference)
+{
+    for (bool with_bias : {false, true}) {
+        // Odd sizes so block tails (m % kBlock, n % rowTile) execute.
+        ir::Graph g = buildChain(with_bias, 3, 13, 17, 9, 11);
+        ir::Graph fused = opt::AttentionFusion().run(g);
+        ASSERT_EQ(fused.countKind(OpKind::FusedAttention), 1);
+
+        exec::Executor ex(kSeed);
+        auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+
+        int streaming_kernels = 0;
+        auto on = runBackend(makePlan(fused, true), "cpu-blocked", 0,
+                             &streaming_kernels);
+        EXPECT_EQ(streaming_kernels, 1);
+        auto off = runBackend(makePlan(fused, false), "cpu-blocked");
+        auto fn = runBackend(makePlan(fused, true), "reference");
+
+        EXPECT_LE(exec::maxRelDiff(ref, on), 1e-4f) << "streaming";
+        EXPECT_LE(exec::maxRelDiff(ref, off), 1e-4f) << "materializing";
+        EXPECT_LE(exec::maxRelDiff(ref, fn), 1e-4f) << "reference";
+    }
+}
+
+TEST(AttentionKernel, StreamingBytesStableAcrossThreadCounts)
+{
+    ir::Graph fused =
+        opt::AttentionFusion().run(buildChain(true, 4, 33, 29, 8, 16));
+    ASSERT_EQ(fused.countKind(OpKind::FusedAttention), 1);
+    auto plan = makePlan(fused, true);
+
+    auto base = runBackend(plan, "cpu-blocked", 1);
+    for (int threads : {2, 4}) {
+        auto got = runBackend(plan, "cpu-blocked", threads);
+        ASSERT_EQ(base.size(), got.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            ASSERT_EQ(base[i].numElements(), got[i].numElements());
+            EXPECT_EQ(std::memcmp(base[i].data(), got[i].data(),
+                                  static_cast<std::size_t>(
+                                      base[i].numElements()) *
+                                      sizeof(float)),
+                      0)
+                << "threads " << threads;
+        }
+    }
+}
+
+TEST(AttentionZoo, CanonicalizationFusesTransformersOnly)
+{
+    int models_with_fusion = 0;
+    for (const std::string &name : models::evaluationModels()) {
+        ir::Graph g = models::buildTinyVariant(name);
+        ir::Graph canon = core::canonicalizeGraph(g);
+        const int fused = canon.countKind(OpKind::FusedAttention);
+        if (fused > 0)
+            ++models_with_fusion;
+    }
+    // ISSUE acceptance: at least four transformer-class zoo models
+    // carry fused-attention groups after canonicalization.
+    EXPECT_GE(models_with_fusion, 4);
+
+    // Conv-only models must be untouched by the pass itself.
+    for (const std::string &name : {std::string("ResNet50"),
+                                    std::string("Yolo-V8")}) {
+        ir::Graph g = models::buildTinyVariant(name);
+        opt::PassStats stats;
+        ir::Graph out = opt::AttentionFusion().run(g, stats);
+        EXPECT_FALSE(stats.changed) << name;
+        EXPECT_EQ(serialize::graphSignature(g),
+                  serialize::graphSignature(out))
+            << name;
+    }
+}
+
+} // namespace
+} // namespace smartmem

@@ -151,6 +151,38 @@ TEST(Cse, MergesDuplicateOpsAndLiteralConstants)
     EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f);
 }
 
+TEST(Cse, MergesCommutedAddAndMulOperands)
+{
+    GraphBuilder b;
+    auto x = b.input("x", Shape({4}));
+    auto g1 = b.unary(OpKind::Gelu, x);
+    auto s1 = b.unary(OpKind::Sigmoid, x);
+    // Same commutative op, operands in opposite order: one value.
+    auto a1 = b.binary(OpKind::Add, g1, s1);
+    auto a2 = b.binary(OpKind::Add, s1, g1);
+    auto m1 = b.binary(OpKind::Mul, g1, s1);
+    auto m2 = b.binary(OpKind::Mul, s1, g1);
+    // Sub is NOT commutative and must stay duplicated.
+    auto d1 = b.binary(OpKind::Sub, g1, s1);
+    auto d2 = b.binary(OpKind::Sub, s1, g1);
+    auto y = b.binary(
+        OpKind::Add, b.binary(OpKind::Add, a1, a2),
+        b.binary(OpKind::Add, b.binary(OpKind::Mul, m1, m2),
+                 b.binary(OpKind::Mul, d1, d2)));
+    b.markOutput(y);
+    auto g = b.finish();
+
+    PassStats stats;
+    auto out = CommonSubexprElim().run(g, stats);
+    EXPECT_TRUE(stats.changed);
+    EXPECT_EQ(stats.nodesRemoved, 2); // a2 -> a1, m2 -> m1, not d2
+
+    exec::Executor ex(7);
+    auto ref = ex.runOutputs(g, exec::makeSeededInputs(g, ex));
+    auto got = ex.runOutputs(out, exec::makeSeededInputs(out, ex));
+    EXPECT_EQ(exec::maxRelDiff(ref, got), 0.0f);
+}
+
 TEST(Cse, NeverMergesSynthesizedConstants)
 {
     GraphBuilder b;

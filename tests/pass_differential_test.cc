@@ -219,7 +219,7 @@ TEST(PassDifferentialCoverage, EachNewPassRewritesSomeZooModel)
     for (const std::string &pass :
          {std::string("cse"), std::string("algebraic"),
           std::string("const-fold"), std::string("conv-bn-fold"),
-          std::string("dce")}) {
+          std::string("attention-fusion"), std::string("dce")}) {
         EXPECT_GT(totals[pass], 0)
             << pass << " never fired across the evaluation zoo";
     }

@@ -271,7 +271,7 @@ passFuzzGraph(Rng &rng)
     for (int i = 0; i < n_ops; ++i) {
         auto pick = pool[rng.pickIndex(pool.size())];
         const Shape s = b.graph().value(pick).shape;
-        switch (rng.pickIndex(10)) {
+        switch (rng.pickIndex(11)) {
           case 0:
             pool.push_back(b.unary(OpKind::Relu, pick));
             break;
@@ -329,6 +329,25 @@ passFuzzGraph(Rng &rng)
             auto w = b.constant("w",
                                 Shape({s.dim(s.rank() - 1), cols}));
             pool.push_back(b.matmul(pick, w));
+            break;
+          }
+          case 9: { // attention-fusion bait: self-attention over pick
+            const Shape r3({1, s.dim(0), s.dim(1)});
+            auto q = b.reshape(pick, r3.dims());
+            auto kk = b.reshape(pick, r3.dims());
+            auto vv = b.reshape(pick, r3.dims());
+            auto sc = b.batchMatMul(q, kk, /*trans_b=*/true);
+            ir::Attrs a;
+            a.set("scale_milli", std::int64_t(500));
+            sc = b.addNode(OpKind::Scale, {sc}, std::move(a),
+                           "attn.scale");
+            if (rng.chance(0.5)) {
+                auto bias = b.constant("attn_bias",
+                                       Shape({s.dim(0), s.dim(0)}));
+                sc = b.binary(OpKind::Add, sc, bias);
+            }
+            auto o = b.batchMatMul(b.softmax(sc, 2), vv);
+            pool.push_back(b.reshape(o, s.dims()));
             break;
           }
           default: // algebraic: single-input concat

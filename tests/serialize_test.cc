@@ -238,6 +238,8 @@ expectRoundTrips(const runtime::ExecutionPlan &plan)
                   plan.kernels[i].tunedEfficiency);
         EXPECT_EQ(reparsed.kernels[i].fusedNodes,
                   plan.kernels[i].fusedNodes);
+        EXPECT_EQ(reparsed.kernels[i].streamingAttention,
+                  plan.kernels[i].streamingAttention);
     }
 }
 
@@ -472,17 +474,18 @@ TEST(PlanCacheDir, PrePipelineEntriesValidateOrMissGracefully)
         return plan;
     };
 
-    // ViT: untouched by the new pipeline, so the old-style entry's
-    // signature is byte-identical and the entry still hits.
+    // ConvNext: untouched by the new pipeline (no foldable convs, no
+    // attention chains), so the old-style entry's signature is
+    // byte-identical and the entry still hits.
     {
-        ir::Graph g = models::buildModel("ViT");
+        ir::Graph g = models::buildModel("ConvNext");
         ir::Graph old_canon = oldCanonicalize(g);
         ir::Graph new_canon = core::canonicalizeGraph(g);
         ASSERT_EQ(serialize::graphSignature(old_canon),
                   serialize::graphSignature(new_canon));
-        auto plan = stagePlan(old_canon, "skew-vit");
+        auto plan = stagePlan(old_canon, "skew-convnext");
         ASSERT_TRUE(cache.store(plan));
-        auto loaded = cache.load("skew-vit", new_canon);
+        auto loaded = cache.load("skew-convnext", new_canon);
         ASSERT_TRUE(loaded.has_value());
         EXPECT_EQ(serialize::serializePlan(*loaded),
                   serialize::serializePlan(plan));

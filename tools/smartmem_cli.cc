@@ -290,7 +290,7 @@ cmdClassify()
 {
     std::printf("Operator classification (Table 3):\n");
     report::Table table({"Operator", "Quadrant"});
-    for (int k = 0; k <= static_cast<int>(ir::OpKind::Pad); ++k) {
+    for (int k = 0; k <= static_cast<int>(ir::kLastOpKind); ++k) {
         auto kind = static_cast<ir::OpKind>(k);
         if (kind == ir::OpKind::Input || kind == ir::OpKind::Constant)
             continue;
@@ -621,6 +621,13 @@ cmdRun(int argc, char **argv)
         std::printf("  pool high-water %s\n",
                     formatBytes(static_cast<std::uint64_t>(
                         be->poolHighWaterBytes())).c_str());
+    }
+    if (be->fusedAttentionKernels() > 0) {
+        std::printf("  fused attention: %d streaming kernels, %s score "
+                    "matrix avoided\n",
+                    be->fusedAttentionKernels(),
+                    formatBytes(static_cast<std::uint64_t>(
+                        be->scoreBytesAvoided())).c_str());
     }
     std::printf("  outputs %zu, checksum %.6g\n", outputs.size(),
                 checksum);
